@@ -1,0 +1,92 @@
+"""Regeneration benchmarks for the extension experiments (DESIGN.md §7)."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run as run_experiment
+
+
+def _regenerate(benchmark, save_result, experiment_id: str):
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), rounds=1, iterations=1
+    )
+    save_result(result)
+    return result
+
+
+def test_ext_crossval_lobo(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_crossval")
+    assert len(result.rows) == 8  # 4 GPUs x 2 model families
+    # Held-out error is never better than in-sample by more than noise.
+    for row in result.rows:
+        assert row[3] >= row[2] * 0.8
+
+
+def test_ext_transfer_cross_gpu(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_transfer")
+    assert all(row[5] >= 1.0 for row in result.rows)
+
+
+def test_ext_radeon_pipeline(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_radeon")
+    values = {r[0]: r[1] for r in result.rows}
+    assert values["modeling samples"] == 114
+
+
+def test_ext_governor_scoring(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_governor")
+    assert len(result.rows) == 4
+
+
+def test_ext_bootstrap_cis(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_bootstrap")
+    assert len(result.rows) == 8
+
+
+def test_ext_methods_comparison(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_methods")
+    # The forest always fits tighter in-sample than forward-10.
+    for row in result.rows:
+        assert row[5] < row[1]
+
+
+def test_ext_roofline_map(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_roofline")
+    assert len(result.rows) == 4
+
+
+def test_ext_synthetic_generalization(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_synthetic")
+    assert len(result.rows) == 8
+
+
+def test_ext_thermal_ambient_sweep(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_thermal")
+    assert len(result.rows) == 16
+    # Hotter ambient always means a hotter die at H-H.
+    for gpu_rows in (result.rows[i : i + 4] for i in range(0, 16, 4)):
+        temps = [row[2] for row in gpu_rows]
+        assert temps == sorted(temps)
+
+
+def test_ext_seeds_sensitivity(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_seeds")
+    assert len(result.rows) == 4
+
+
+def test_ext_profiler_fidelity(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_profiler")
+    # Model quality never improves as the profiler degrades.
+    perf_r2 = [row[5] for row in result.rows]
+    assert perf_r2 == sorted(perf_r2, reverse=True)
+
+
+def test_ext_pareto_frontiers(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "ext_pareto")
+    assert len(result.rows) == 20  # 4 GPUs x 5 workloads
+    # Kepler's frontier is never smaller than Tesla's for backprop.
+    sizes = {
+        row[0]: int(row[2].split("/")[0])
+        for row in result.rows
+        if row[1] == "backprop"
+    }
+    assert sizes["GTX 680"] >= sizes["GTX 480"]

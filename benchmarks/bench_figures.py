@@ -1,0 +1,73 @@
+"""Regeneration benchmarks for the paper's eleven figures."""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPU_NAMES
+from repro.experiments.registry import run as run_experiment
+
+
+def _regenerate(benchmark, save_result, experiment_id: str):
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), rounds=1, iterations=1
+    )
+    save_result(result)
+    return result
+
+
+def test_fig1_backprop(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig1")
+    # Every GPU contributes one row per configurable pair.
+    assert len(result.rows) == 8 + 7 + 7 + 7
+
+
+def test_fig2_streamcluster(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig2")
+    assert "M-H" in result.notes or "H-H" in result.notes
+
+
+def test_fig3_gaussian(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig3")
+    assert len(result.rows) == 29
+
+
+def test_fig4_efficiency_improvement(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig4")
+    averages = result.rows[-1][1:]
+    assert averages[3] == max(averages)  # Kepler biggest, as in the paper
+
+
+def test_fig5_power_error_distribution(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig5")
+    assert len(result.rows) == 33
+
+
+def test_fig6_performance_error_distribution(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig6")
+    assert len(result.rows) == 33
+
+
+def test_fig7_power_variable_sweep(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig7")
+    assert len(result.rows) == 16
+
+
+def test_fig8_performance_variable_sweep(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig8")
+    assert len(result.rows) == 16
+
+
+def test_fig9_per_pair_power_models(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig9")
+    unified_rows = [r for r in result.rows if r[1] == "unified"]
+    assert len(unified_rows) == len(GPU_NAMES)
+
+
+def test_fig10_per_pair_performance_models(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig10")
+    unified_rows = [r for r in result.rows if r[1] == "unified"]
+    assert len(unified_rows) == len(GPU_NAMES)
+
+
+def test_fig11_variable_influence(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "fig11")
+    assert {r[1] for r in result.rows} == {"power", "performance"}

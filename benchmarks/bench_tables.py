@@ -1,0 +1,66 @@
+"""Regeneration benchmarks for the paper's eight tables.
+
+Each target regenerates one table end-to-end (sweeps, profiling, model
+fitting as required), times it with pytest-benchmark, validates the
+paper-facing shape, and writes the rendered table (with the paper's
+reference values) to ``benchmarks/results/``.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import context
+from repro.experiments.registry import run as run_experiment
+
+
+def _regenerate(benchmark, save_result, experiment_id: str):
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), rounds=1, iterations=1
+    )
+    save_result(result)
+    return result
+
+
+def test_table1_gpu_specifications(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table1")
+    assert len(result.headers) == 5
+
+
+def test_table2_benchmark_list(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table2")
+    assert sum(row[1] for row in result.rows) == 37
+
+
+def test_table3_frequency_combinations(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table3")
+    assert len(result.rows) == 9
+
+
+def test_table4_best_frequency_pairs(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table4")
+    assert len(result.rows) == 37
+
+
+def test_table5_power_model_r2(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table5")
+    ours = result.rows[0][1:]
+    assert all(0.0 < v < 1.0 for v in ours)
+
+
+def test_table6_performance_model_r2(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table6")
+    ours = result.rows[0][1:]
+    assert all(v > 0.85 for v in ours)
+
+
+def test_table7_power_model_error(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table7")
+    watts = [r for r in result.rows if r[0] == "Error[W] (ours)"][0][1:]
+    assert all(v < 30.0 for v in watts)
+
+
+def test_table8_performance_model_error(benchmark, save_result):
+    result = _regenerate(benchmark, save_result, "table8")
+    ours = [r for r in result.rows if r[0] == "Error[%] (ours)"][0][1:]
+    assert ours[0] == max(ours)  # Tesla worst, as in the paper

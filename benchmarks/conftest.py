@@ -1,0 +1,27 @@
+"""Benchmark-suite fixtures and result persistence."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where rendered artifact outputs are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist a rendered experiment result for inspection."""
+
+    def _save(result) -> None:
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.to_text() + "\n", encoding="utf-8")
+
+    return _save

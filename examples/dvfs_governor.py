@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Model-driven DVFS management — the paper's motivating application.
+
+The paper concludes that its unified models "would be a strong basis for
+the dynamic runtime management of power and performance".  This example
+closes that loop: fit the models once, then let a governor pick the
+frequency pair with minimal *predicted* energy for each workload, and
+score the choice against the exhaustive-measurement oracle.
+
+Run::
+
+    python examples/dvfs_governor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    UnifiedPerformanceModel,
+    UnifiedPowerModel,
+    build_dataset,
+    get_benchmark,
+    get_gpu,
+)
+from repro.optimize import ModelGovernor, exhaustive_oracle, score_governor
+
+WORKLOADS = ["kmeans", "hotspot", "lbm", "sgemm", "spmv", "stencil", "MAdd"]
+
+
+def main() -> None:
+    gpu = get_gpu("GTX 480")
+    print(f"Fitting unified models for {gpu} ...")
+    dataset = build_dataset(gpu)
+    power = UnifiedPowerModel().fit(dataset)
+    perf = UnifiedPerformanceModel().fit(dataset)
+    governor = ModelGovernor(power, perf)
+
+    scale = 0.25
+    print(
+        f"\n{'workload':10s} {'chosen':8s} {'oracle':8s} "
+        f"{'regret':>8s} {'rank':>5s} {'vs default':>11s}"
+    )
+    regrets, ranks, savings = [], [], []
+    for name in WORKLOADS:
+        decision = governor.decide(dataset, name, scale)
+        oracle = exhaustive_oracle(gpu, get_benchmark(name), scale=scale)
+        score = score_governor(decision, oracle)
+        regrets.append(score.energy_regret)
+        ranks.append(score.rank)
+        savings.append(score.saving_vs_default_pct)
+        print(
+            f"{name:10s} {score.chosen_pair:8s} {score.oracle_pair:8s} "
+            f"{score.energy_regret * 100:7.1f}% {score.rank:5d} "
+            f"{score.saving_vs_default_pct:+10.1f}%"
+        )
+
+    print(
+        f"\nmean regret {np.mean(regrets) * 100:.1f}%, "
+        f"mean rank {np.mean(ranks):.1f} of "
+        f"{len(gpu.operating_points())}, "
+        f"mean saving vs (H-H) {np.mean(savings):+.1f}%"
+    )
+    print(
+        "\nA rank near 1 means the governor found the true optimum from "
+        "a single profiled run — no per-pair measurement needed, which "
+        "is exactly what the unified models enable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Online DVFS management of a job stream, with reconfiguration costs.
+
+The paper's clock-control method requires reflashing the VBIOS and
+rebooting the card, so a runtime manager cannot reconfigure for free.
+This example runs a mixed job stream under three policies and accounts
+for every Joule, including the switching overhead:
+
+* ``static-hh`` — leave the factory default alone;
+* ``governor``  — model-driven choice, switching only when the predicted
+  saving beats the reflash cost;
+* ``oracle``    — per-job true optimum with the same switching costs.
+
+Run::
+
+    python examples/job_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import build_dataset, get_gpu
+from repro import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.optimize import DVFSScheduler, Job, ModelGovernor
+
+#: Short mixed stream: every job different, nothing amortizes a reflash.
+MIXED = [
+    Job(name, 0.25)
+    for name in ("sgemm", "lbm", "kmeans", "hotspot", "spmv", "stencil")
+]
+
+#: Phase-structured stream: long homogeneous phases, as in production
+#: batch queues — a single reflash serves many jobs.
+PHASED = (
+    [Job("sgemm", 0.25)] * 25
+    + [Job("lbm", 0.25)] * 25
+    + [Job("cutcp", 0.25)] * 25
+)
+
+
+def run_stream(scheduler: DVFSScheduler, label: str, stream) -> None:
+    outcomes = scheduler.compare(stream)
+    static = outcomes["static-hh"]
+    print(f"--- {label} ({len(stream)} jobs) ---")
+    print(f"{'policy':12s} {'energy [J]':>11s} {'time [s]':>9s} "
+          f"{'switches':>9s} {'vs static':>10s}")
+    for name, outcome in outcomes.items():
+        saving = (1 - outcome.total_energy_j / static.total_energy_j) * 100
+        print(
+            f"{name:12s} {outcome.total_energy_j:11.0f} "
+            f"{outcome.total_seconds:9.1f} {outcome.reconfigurations:9d} "
+            f"{saving:+9.1f}%"
+        )
+    print()
+
+
+def main() -> None:
+    gpu = get_gpu("GTX 480")
+    print(f"Fitting models for {gpu} ...\n")
+    dataset = build_dataset(gpu)
+    governor = ModelGovernor(
+        UnifiedPowerModel().fit(dataset),
+        UnifiedPerformanceModel().fit(dataset),
+    )
+    # A mixed stream gets a myopic scheduler (nothing amortizes); the
+    # batch queue can assume each setting serves a whole phase.
+    myopic = DVFSScheduler(
+        gpu, governor=governor, dataset=dataset, amortization_horizon=1
+    )
+    batch = DVFSScheduler(
+        gpu, governor=governor, dataset=dataset, amortization_horizon=25
+    )
+
+    run_stream(myopic, "mixed short jobs (horizon 1)", MIXED)
+    run_stream(batch, "phase-structured batch (horizon 25)", PHASED)
+
+    print(
+        "With the paper's BIOS-reflash method a frequency change costs "
+        "seconds of downtime, so per-job DVFS rarely pays for short "
+        "mixed work — but long homogeneous phases amortize one reflash "
+        "across many jobs.  The governor discovers this on its own: it "
+        "switches only when its models predict the saving exceeds the "
+        "cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

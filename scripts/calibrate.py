@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Calibration report: paper headline numbers vs. the simulator.
+
+Run after any change to the physics constants.  Prints, for every
+calibration target of DESIGN.md Section 5, the paper value and the value
+the simulator currently produces.  Used during development; the same
+quantities are regenerated properly by the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, "src")
+
+import numpy as np
+
+from repro.arch.specs import all_gpus
+from repro.instruments.testbed import Testbed
+from repro.kernels.suites import all_benchmarks, get_benchmark
+
+PAPER_BACKPROP = {
+    "GTX 285": ("H-L", 13.0, 2.0),
+    "GTX 460": ("H-L", 39.0, 2.0),
+    "GTX 480": ("H-L", 40.0, 0.1),
+    "GTX 680": ("M-L", 75.0, 30.0),
+}
+PAPER_FIG4_AVG = {
+    "GTX 285": 0.8,
+    "GTX 460": 12.3,
+    "GTX 480": 12.1,
+    "GTX 680": 24.4,
+}
+
+
+def sweep(tb: Testbed, bench, scale=1.0):
+    rows = {}
+    for op in tb.gpu.operating_points():
+        tb.set_clocks(op.core_level, op.mem_level)
+        m = tb.measure(bench, scale)
+        rows[op.key] = m
+    return rows
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Backprop (Fig. 1): best pair, efficiency improvement, perf loss")
+    print("=" * 72)
+    bp = get_benchmark("backprop")
+    for gpu in all_gpus():
+        tb = Testbed(gpu)
+        rows = sweep(tb, bp)
+        hh = rows["H-H"]
+        best_key = min(rows, key=lambda k: rows[k].energy_j)
+        best = rows[best_key]
+        imp = (hh.energy_j / best.energy_j - 1) * 100
+        loss = (best.exec_seconds / hh.exec_seconds - 1) * 100
+        p_pair, p_imp, p_loss = PAPER_BACKPROP[gpu.name]
+        print(
+            f"  {gpu.name}: pair {best_key} (paper {p_pair})  "
+            f"improve {imp:5.1f}% (paper {p_imp:5.1f}%)  "
+            f"loss {loss:5.1f}% (paper {p_loss:5.1f}%)"
+        )
+
+    print()
+    print("=" * 72)
+    print("Streamcluster (Fig. 2) on GTX 680: paper (M-H), +4.7%, loss 8.7%")
+    print("=" * 72)
+    sc = get_benchmark("streamcluster")
+    for gpu in all_gpus():
+        tb = Testbed(gpu)
+        rows = sweep(tb, sc)
+        hh = rows["H-H"]
+        best_key = min(rows, key=lambda k: rows[k].energy_j)
+        best = rows[best_key]
+        imp = (hh.energy_j / best.energy_j - 1) * 100
+        loss = (best.exec_seconds / hh.exec_seconds - 1) * 100
+        print(f"  {gpu.name}: pair {best_key}  improve {imp:5.1f}%  loss {loss:5.1f}%")
+
+    print()
+    print("=" * 72)
+    print("Fig. 4: mean best-pair improvement across all benchmarks")
+    print("=" * 72)
+    for gpu in all_gpus():
+        tb = Testbed(gpu)
+        imps = []
+        pairs = {}
+        for b in all_benchmarks():
+            rows = sweep(tb, b)
+            hh = rows["H-H"]
+            best_key = min(rows, key=lambda k: rows[k].energy_j)
+            imps.append((hh.energy_j / rows[best_key].energy_j - 1) * 100)
+            pairs[b.name] = best_key
+        nondef = sum(1 for v in pairs.values() if v != "H-H")
+        print(
+            f"  {gpu.name}: avg {np.mean(imps):5.1f}% "
+            f"(paper {PAPER_FIG4_AVG[gpu.name]:5.1f}%)  "
+            f"non-default best: {nondef}/37"
+        )
+        interesting = {k: v for k, v in pairs.items() if v != "H-H"}
+        print(f"      {interesting}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *Power and Performance Characterization and
+Modeling of GPU-Accelerated Systems* (Abe, Sasaki, Kato, Inoue, Edahiro,
+Peres; 2014).
+
+The package is organised in layers, bottom to top:
+
+``repro.arch``
+    GPU architecture substrate: the four GeForce cards of the paper
+    (GTX 285 / 460 / 480 / 680), their DVFS operating points (Table I and
+    Table III), per-generation voltage/frequency curves, and a synthetic
+    VBIOS image format through which clocks are actually programmed —
+    mirroring the Gdev-style BIOS-patching method the paper uses.
+
+``repro.kernels``
+    Workload substrate: synthetic specifications of all 37 benchmarks of
+    Table II (Rodinia, Parboil, CUDA SDK, matrix kernels) with
+    per-benchmark instruction mixes, memory intensity, locality,
+    divergence and input-size scaling.
+
+``repro.engine``
+    The simulated hardware: an analytical timing model, a physical power
+    model (static + core-dynamic + memory-dynamic domains), per-
+    architecture performance-counter sets (32 / 74 / 108 counters) and a
+    ``GPUSimulator`` that boots from a VBIOS image.
+
+``repro.instruments``
+    Measurement equipment: a WT1600-like sampling wattmeter, a CUDA-
+    profiler-like counter collector (including its per-benchmark
+    failures), a host-system model and the ``Testbed`` measurement
+    protocol (repeat-to-500 ms rule, energy integration).
+
+``repro.core``
+    The paper's contribution: unified statistical power (Eq. 1) and
+    performance (Eq. 2) models built by multiple linear regression with
+    forward selection on adjusted R², over a 114-sample dataset.
+
+``repro.characterize`` / ``repro.optimize`` / ``repro.baselines``
+    Section III characterization sweeps, a model-driven DVFS governor
+    (the paper's motivating application), and related-work comparators.
+
+``repro.experiments``
+    One module per paper table/figure; see ``python -m repro list``.
+"""
+
+from repro._version import __version__
+from repro.arch import (
+    Architecture,
+    GPUSpec,
+    OperatingPoint,
+    all_gpus,
+    get_gpu,
+)
+from repro.kernels import KernelSpec, all_benchmarks, get_benchmark
+from repro.instruments import Testbed
+from repro.core import (
+    ModelingDataset,
+    PowerPerformancePredictor,
+    UnifiedPerformanceModel,
+    UnifiedPowerModel,
+    build_dataset,
+)
+from repro.characterize import FrequencySweep, best_operating_point
+
+__all__ = [
+    "__version__",
+    "Architecture",
+    "GPUSpec",
+    "OperatingPoint",
+    "all_gpus",
+    "get_gpu",
+    "KernelSpec",
+    "all_benchmarks",
+    "get_benchmark",
+    "Testbed",
+    "ModelingDataset",
+    "build_dataset",
+    "UnifiedPowerModel",
+    "UnifiedPerformanceModel",
+    "PowerPerformancePredictor",
+    "FrequencySweep",
+    "best_operating_point",
+]

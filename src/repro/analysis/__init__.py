@@ -1,0 +1,12 @@
+"""Text rendering and summary statistics for experiment outputs."""
+
+from repro.analysis.format import format_table, format_series, format_box
+from repro.analysis.stats import box_summary, geometric_mean
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_box",
+    "box_summary",
+    "geometric_mean",
+]

@@ -1,0 +1,126 @@
+"""Bootstrap confidence intervals for the model-quality statistics.
+
+The paper reports point estimates (Tables V-VIII).  With 114 workload
+samples the sampling variability of R-bar-squared and the mean errors is
+non-trivial; this module quantifies it by resampling *benchmarks* (the
+exchangeable unit — observations within a benchmark are correlated) with
+replacement and refitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Type
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.core.evaluate import evaluate_model
+from repro.core.models import _UnifiedModel
+from repro.rng import stream
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A percentile bootstrap confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    level: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.point:.3g} [{self.low:.3g}, {self.high:.3g}]"
+
+
+@dataclass(frozen=True)
+class ModelQualityCI:
+    """Bootstrap intervals for one model family on one GPU."""
+
+    adjusted_r2: BootstrapInterval
+    mean_pct_error: BootstrapInterval
+    mean_abs_error: BootstrapInterval
+    n_resamples: int
+
+
+def _resample_dataset(
+    dataset: ModelingDataset, rng: np.random.Generator
+) -> ModelingDataset:
+    """Resample benchmarks with replacement, keeping all their observations."""
+    names = dataset.benchmarks
+    chosen = rng.choice(len(names), size=len(names), replace=True)
+    observations = []
+    for idx in chosen:
+        name = names[idx]
+        observations.extend(
+            o for o in dataset.observations if o.benchmark == name
+        )
+    return ModelingDataset(
+        gpu=dataset.gpu,
+        counter_names=dataset.counter_names,
+        counter_domains=dataset.counter_domains,
+        observations=tuple(observations),
+    )
+
+
+def _interval(
+    point: float, draws: Sequence[float], level: float
+) -> BootstrapInterval:
+    alpha = (1.0 - level) / 2.0
+    low, high = np.percentile(draws, [100 * alpha, 100 * (1 - alpha)])
+    return BootstrapInterval(
+        point=point, low=float(low), high=float(high), level=level
+    )
+
+
+def model_quality_ci(
+    model_cls: Type[_UnifiedModel],
+    dataset: ModelingDataset,
+    n_resamples: int = 50,
+    level: float = 0.90,
+    max_features: int = 10,
+    seed: int | None = None,
+) -> ModelQualityCI:
+    """Bootstrap CIs for R-bar-squared and the mean errors.
+
+    Parameters
+    ----------
+    model_cls:
+        Unified model family to evaluate.
+    dataset:
+        Full modeling dataset of one GPU.
+    n_resamples:
+        Bootstrap replicates; each refits the model, so keep moderate.
+    level:
+        Confidence level of the percentile intervals.
+    """
+    if n_resamples < 10:
+        raise ValueError(f"need at least 10 resamples, got {n_resamples}")
+    if not 0.5 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0.5, 1), got {level}")
+    base = model_cls(max_features=max_features).fit(dataset)
+    base_report = evaluate_model(base, dataset)
+
+    rng = stream("bootstrap", dataset.gpu.name, model_cls.__name__, seed=seed)
+    r2_draws, pct_draws, abs_draws = [], [], []
+    for _ in range(n_resamples):
+        resampled = _resample_dataset(dataset, rng)
+        model = model_cls(max_features=max_features).fit(resampled)
+        report = evaluate_model(model, resampled)
+        r2_draws.append(model.adjusted_r2)
+        pct_draws.append(report.mean_pct_error)
+        abs_draws.append(report.mean_abs_error)
+
+    return ModelQualityCI(
+        adjusted_r2=_interval(base.adjusted_r2, r2_draws, level),
+        mean_pct_error=_interval(
+            base_report.mean_pct_error, pct_draws, level
+        ),
+        mean_abs_error=_interval(
+            base_report.mean_abs_error, abs_draws, level
+        ),
+        n_resamples=n_resamples,
+    )

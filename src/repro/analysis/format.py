@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are line charts and box plots; in a terminal-first
+reproduction we render the underlying series as aligned text so the
+numbers can be compared directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a header rule."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Mapping[str, Sequence[tuple[float, float]]]
+) -> str:
+    """Render named (x, y) series as a compact text block."""
+    lines = [title]
+    for name, points in series.items():
+        pts = "  ".join(f"({x:g}, {y:.4g})" for x, y in points)
+        lines.append(f"  {name}: {pts}")
+    return "\n".join(lines)
+
+
+def format_box(stats: Mapping[str, float], width: int = 40) -> str:
+    """Render one box-and-whisker summary as an ASCII strip.
+
+    Expects keys min/q1/median/q3/max (as produced by
+    :meth:`repro.core.evaluate.ErrorReport.box_stats`).
+    """
+    lo, hi = stats["min"], stats["max"]
+    span = max(hi - lo, 1e-12)
+
+    def pos(v: float) -> int:
+        return int(round((v - lo) / span * (width - 1)))
+
+    strip = [" "] * width
+    for i in range(pos(stats["q1"]), pos(stats["q3"]) + 1):
+        strip[i] = "="
+    strip[pos(stats["min"])] = "|"
+    strip[pos(stats["max"])] = "|"
+    strip[pos(stats["median"])] = "#"
+    return (
+        f"[{''.join(strip)}] min={lo:.1f} q1={stats['q1']:.1f} "
+        f"med={stats['median']:.1f} q3={stats['q3']:.1f} max={hi:.1f}"
+    )

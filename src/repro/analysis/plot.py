@@ -1,0 +1,93 @@
+"""ASCII line charts for terminal-rendered figures.
+
+The paper's Figs. 1-3 are line charts (normalized performance and power
+efficiency against the core clock, one line per memory level).  This
+module renders such series as monospace plots so `python -m repro run
+fig1` shows the *shape* directly, not just the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Marker per series, cycled in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 56,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one ASCII grid.
+
+    Points are plotted with one marker per series; collisions show the
+    most recently drawn series.  Axes are annotated with the data range.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("no data points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        return height - 1 - row, col
+
+    for marker, (name, pts) in zip(
+        _cycle(MARKERS), sorted(series.items())
+    ):
+        ordered = sorted(pts)
+        # Draw line segments by linear interpolation between points.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]),
+                abs(cell(x1, y1)[0] - cell(x0, y0)[0]),
+                1,
+            )
+            for i in range(steps + 1):
+                t = i / steps
+                r, c = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                grid[r][c] = "."
+        for x, y in ordered:
+            r, c = cell(x, y)
+            grid[r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        prefix = (
+            f"{y_hi:8.2f} |"
+            if i == 0
+            else f"{y_lo:8.2f} |"
+            if i == height - 1
+            else " " * 9 + "|"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = f"{x_lo:<10.0f}{x_label:^{max(width - 20, 0)}}{x_hi:>10.0f}"
+    lines.append(" " * 9 + x_axis)
+    legend = "   ".join(
+        f"{marker}={name}"
+        for marker, (name, _) in zip(_cycle(MARKERS), sorted(series.items()))
+    )
+    lines.append(" " * 9 + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def _cycle(markers: str):
+    while True:
+        yield from markers

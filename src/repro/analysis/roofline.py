@@ -1,0 +1,93 @@
+"""Roofline analysis of the workload suite against each GPU.
+
+Places every Table II benchmark on the classic roofline plot of one GPU
+at one operating point: attainable performance is the minimum of the
+compute roof (peak FLOP/s) and the bandwidth roof (peak bytes/s times
+arithmetic intensity).  The machine-balance point — where the roofs
+cross — moves with the frequency pair, which is the geometric intuition
+behind the whole characterization: DVFS *moves the roofline*, and the
+energy-optimal pair depends on which side of the ridge a workload sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.cache import simulate_cache
+from repro.engine.timing import STREAM_EFFICIENCY
+from repro.kernels.profile import KernelSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One benchmark's position on a GPU's roofline."""
+
+    benchmark: str
+    #: Operational intensity in FLOPs per DRAM byte (post-cache).
+    intensity: float
+    #: Attainable performance under the roofline (GFLOP/s).
+    attainable_gflops: float
+    #: Whether the compute roof is the binding one.
+    compute_bound: bool
+
+    @property
+    def bound(self) -> str:
+        """``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_bound else "memory"
+
+
+def machine_balance(spec: GPUSpec, op: OperatingPoint) -> float:
+    """Ridge-point intensity (FLOPs/byte) of a GPU at an operating point."""
+    return spec.peak_flops(op) / (
+        spec.peak_bandwidth(op) * STREAM_EFFICIENCY
+    )
+
+
+def roofline_point(
+    kernel: KernelSpec, spec: GPUSpec, op: OperatingPoint, scale: float = 1.0
+) -> RooflinePoint:
+    """Place one benchmark on the roofline of (GPU, operating point).
+
+    Uses *post-cache* DRAM traffic for the operational intensity — the
+    cache hierarchy shifts kernels rightward on newer generations, which
+    is why memory-frequency scaling becomes viable there.
+    """
+    work = kernel.work(scale)
+    cache = simulate_cache(work, spec)
+    flops = work.flops + work.dp_flops
+    intensity = flops / max(cache.dram_bytes, 1.0)
+    compute_roof = spec.peak_flops(op)
+    memory_roof = spec.peak_bandwidth(op) * STREAM_EFFICIENCY * intensity
+    attainable = min(compute_roof, memory_roof)
+    return RooflinePoint(
+        benchmark=kernel.name,
+        intensity=intensity,
+        attainable_gflops=attainable / 1e9,
+        compute_bound=compute_roof <= memory_roof,
+    )
+
+
+def roofline_sweep(
+    kernels: list[KernelSpec], spec: GPUSpec, op: OperatingPoint | None = None
+) -> list[RooflinePoint]:
+    """Roofline positions of a benchmark list on one GPU."""
+    if op is None:
+        op = spec.default_point()
+    return [roofline_point(k, spec, op) for k in kernels]
+
+
+def bound_migration(
+    kernel: KernelSpec, spec: GPUSpec
+) -> dict[str, str]:
+    """Which side of the ridge a kernel sits on, per operating point.
+
+    A kernel that flips between compute- and memory-bound across pairs
+    (like Gaussian in Fig. 3) is exactly the case where the energy-
+    optimal pair is non-obvious.
+    """
+    return {
+        op.key: roofline_point(kernel, spec, op).bound
+        for op in spec.operating_points()
+    }

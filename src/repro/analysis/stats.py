@@ -1,0 +1,33 @@
+"""Small statistics helpers shared by experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+def box_summary(values: Iterable[float]) -> dict[str, float]:
+    """Box-and-whisker summary (min, quartiles, max, mean)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(med),
+        "q3": float(q3),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,136 @@
+"""Power-trace analysis: phase segmentation and summary statistics.
+
+The WT1600-style meter yields a 50 ms sample stream.  On the real
+testbed, distinguishing GPU-busy phases from host/transfer phases in that
+stream is how one attributes energy without GPU-side instrumentation —
+this module implements the standard threshold-based segmentation plus the
+summary statistics used when sanity-checking a measurement campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instruments.powermeter import PowerTrace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contiguous segment of a power trace."""
+
+    #: Sample index where the phase starts (inclusive).
+    start: int
+    #: Sample index where the phase ends (exclusive).
+    end: int
+    #: Whether the segment is classified as GPU-busy.
+    busy: bool
+    #: Mean power over the segment (W).
+    mean_power_w: float
+
+    @property
+    def num_samples(self) -> int:
+        """Samples in the phase."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Energy attribution of one trace."""
+
+    phases: tuple[Phase, ...]
+    interval_s: float
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total time classified as GPU-busy."""
+        return (
+            sum(p.num_samples for p in self.phases if p.busy)
+            * self.interval_s
+        )
+
+    @property
+    def idle_seconds(self) -> float:
+        """Total time classified as idle/host."""
+        return (
+            sum(p.num_samples for p in self.phases if not p.busy)
+            * self.interval_s
+        )
+
+    @property
+    def busy_energy_j(self) -> float:
+        """Energy of the busy phases."""
+        return sum(
+            p.mean_power_w * p.num_samples * self.interval_s
+            for p in self.phases
+            if p.busy
+        )
+
+    @property
+    def idle_energy_j(self) -> float:
+        """Energy of the idle phases."""
+        return sum(
+            p.mean_power_w * p.num_samples * self.interval_s
+            for p in self.phases
+            if not p.busy
+        )
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of the window spent busy."""
+        total = self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / total if total else 0.0
+
+
+def segment_trace(trace: PowerTrace, threshold_w: float | None = None) -> TraceSummary:
+    """Split a trace into busy/idle phases by a power threshold.
+
+    Parameters
+    ----------
+    trace:
+        Meter output.
+    threshold_w:
+        Power level separating busy from idle samples.  Defaults to the
+        midpoint between the 10th and 90th percentile of the trace — the
+        standard heuristic for bimodal power streams.
+    """
+    samples = np.asarray(trace.samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("empty trace")
+    if threshold_w is None:
+        p10, p90 = np.percentile(samples, [10, 90])
+        threshold_w = (p10 + p90) / 2.0
+    busy_mask = samples >= threshold_w
+
+    phases: list[Phase] = []
+    start = 0
+    for i in range(1, samples.size + 1):
+        if i == samples.size or busy_mask[i] != busy_mask[start]:
+            phases.append(
+                Phase(
+                    start=start,
+                    end=i,
+                    busy=bool(busy_mask[start]),
+                    mean_power_w=float(np.mean(samples[start:i])),
+                )
+            )
+            start = i
+    return TraceSummary(phases=tuple(phases), interval_s=trace.interval_s)
+
+
+def trace_statistics(trace: PowerTrace) -> dict[str, float]:
+    """Descriptive statistics of a power trace."""
+    samples = np.asarray(trace.samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("empty trace")
+    return {
+        "samples": float(samples.size),
+        "duration_s": trace.duration_s,
+        "mean_w": float(np.mean(samples)),
+        "min_w": float(np.min(samples)),
+        "max_w": float(np.max(samples)),
+        "std_w": float(np.std(samples)),
+        "energy_j": trace.energy_j,
+        "peak_to_mean": float(np.max(samples) / np.mean(samples)),
+    }

@@ -1,0 +1,37 @@
+"""GPU architecture substrate.
+
+Models the four GeForce cards of the paper (Table I), their legal DVFS
+operating points (Table III), per-generation voltage/frequency curves and
+the synthetic VBIOS format through which clocks are programmed.
+"""
+
+from repro.arch.architecture import Architecture, ArchTraits
+from repro.arch.dvfs import ClockDomain, ClockLevel, OperatingPoint
+from repro.arch.specs import GPUSpec, PowerCoefficients, all_gpus, get_gpu, GPU_NAMES
+from repro.arch.voltage import VoltageTable
+from repro.arch.bios import (
+    BiosImage,
+    ClockEntry,
+    build_image,
+    parse_image,
+    patch_boot_levels,
+)
+
+__all__ = [
+    "Architecture",
+    "ArchTraits",
+    "ClockDomain",
+    "ClockLevel",
+    "OperatingPoint",
+    "GPUSpec",
+    "PowerCoefficients",
+    "VoltageTable",
+    "all_gpus",
+    "get_gpu",
+    "GPU_NAMES",
+    "BiosImage",
+    "ClockEntry",
+    "build_image",
+    "parse_image",
+    "patch_boot_levels",
+]

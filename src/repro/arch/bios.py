@@ -1,0 +1,253 @@
+"""Synthetic VBIOS image format and patcher.
+
+The paper's system software provides *no* interface to scale GPU clocks;
+the authors instead modify the BIOS image embedded in the driver binary so
+the card boots at the chosen performance level (the open "Gdev" method).
+This module reproduces that path with a small synthetic firmware format:
+
+============ ======= =====================================================
+offset       size    field
+============ ======= =====================================================
+0            4       magic ``b"RVBS"``
+4            2       format version (little-endian u16, currently 1)
+6            24      GPU name, UTF-8, NUL padded
+30           1       boot core level (0=L, 1=M, 2=H)
+31           1       boot memory level
+32           1       number of clock-table entries
+33           1       reserved (0)
+34           8*n     clock table entries (see :class:`ClockEntry`)
+34 + 8*n     1       checksum byte: total byte sum must be 0 mod 256
+============ ======= =====================================================
+
+Each clock-table entry is ``domain u8 | level u8 | freq_khz u32 |
+voltage_mv u16`` (little endian).  The simulator refuses to boot an image
+whose checksum or clock table is inconsistent, and
+:func:`patch_boot_levels` refuses combinations outside Table III — the
+same guard rails the real method has.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.arch.dvfs import ClockDomain, ClockLevel, OperatingPoint
+from repro.errors import BIOSFormatError, InvalidOperatingPointError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.specs import GPUSpec
+
+MAGIC = b"RVBS"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sH24sBBBB")
+_ENTRY = struct.Struct("<BBIH")
+
+_LEVEL_CODES = {ClockLevel.L: 0, ClockLevel.M: 1, ClockLevel.H: 2}
+_CODE_LEVELS = {v: k for k, v in _LEVEL_CODES.items()}
+_DOMAIN_CODES = {ClockDomain.CORE: 0, ClockDomain.MEMORY: 1}
+_CODE_DOMAINS = {v: k for k, v in _DOMAIN_CODES.items()}
+
+
+@dataclass(frozen=True)
+class ClockEntry:
+    """One row of the VBIOS clock/voltage table."""
+
+    domain: ClockDomain
+    level: ClockLevel
+    freq_khz: int
+    voltage_mv: int
+
+    def pack(self) -> bytes:
+        """Serialize to the 8-byte on-disk representation."""
+        return _ENTRY.pack(
+            _DOMAIN_CODES[self.domain],
+            _LEVEL_CODES[self.level],
+            self.freq_khz,
+            self.voltage_mv,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ClockEntry":
+        """Deserialize from the 8-byte on-disk representation."""
+        domain_code, level_code, freq_khz, voltage_mv = _ENTRY.unpack(raw)
+        try:
+            return cls(
+                domain=_CODE_DOMAINS[domain_code],
+                level=_CODE_LEVELS[level_code],
+                freq_khz=freq_khz,
+                voltage_mv=voltage_mv,
+            )
+        except KeyError as exc:
+            raise BIOSFormatError(f"bad clock entry encoding: {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class BiosImage:
+    """Parsed view of a VBIOS image."""
+
+    gpu_name: str
+    version: int
+    boot_core_level: ClockLevel
+    boot_mem_level: ClockLevel
+    entries: tuple[ClockEntry, ...]
+
+    def clock_khz(self, domain: ClockDomain, level: ClockLevel) -> int:
+        """Look up the programmed frequency of a (domain, level) slot."""
+        for entry in self.entries:
+            if entry.domain is domain and entry.level is level:
+                return entry.freq_khz
+        raise BIOSFormatError(
+            f"clock table has no entry for {domain.value}/{level.value}"
+        )
+
+    def voltage_mv(self, domain: ClockDomain, level: ClockLevel) -> int:
+        """Look up the programmed voltage of a (domain, level) slot."""
+        for entry in self.entries:
+            if entry.domain is domain and entry.level is level:
+                return entry.voltage_mv
+        raise BIOSFormatError(
+            f"clock table has no entry for {domain.value}/{level.value}"
+        )
+
+    def boot_point(self, spec: "GPUSpec") -> OperatingPoint:
+        """Resolve the boot levels against a GPU spec.
+
+        Cross-checks that the image's clock table matches the card (a
+        mismatched flash would brick a real board; we raise instead).
+        """
+        if self.gpu_name != spec.name:
+            raise BIOSFormatError(
+                f"image is for {self.gpu_name!r}, not {spec.name!r}"
+            )
+        for level in ClockLevel:
+            for domain, table in (
+                (ClockDomain.CORE, spec.core_mhz),
+                (ClockDomain.MEMORY, spec.mem_mhz),
+            ):
+                expected = round(table[level] * 1000)
+                found = self.clock_khz(domain, level)
+                if found != expected:
+                    raise BIOSFormatError(
+                        f"{domain.value}/{level.value} clock mismatch: image "
+                        f"has {found} kHz, spec says {expected} kHz"
+                    )
+        return spec.operating_point(self.boot_core_level, self.boot_mem_level)
+
+
+def _checksum(body: bytes) -> int:
+    """Value of the final byte that makes the total sum 0 mod 256."""
+    return (-sum(body)) % 256
+
+
+def build_image(
+    spec: "GPUSpec",
+    core_level: ClockLevel = ClockLevel.H,
+    mem_level: ClockLevel = ClockLevel.H,
+) -> bytes:
+    """Build a factory VBIOS image for a card, booting at given levels."""
+    if not spec.is_configurable(core_level, mem_level):
+        raise InvalidOperatingPointError(
+            f"{spec.name} cannot boot at ({core_level.value}-{mem_level.value})"
+        )
+    entries: list[ClockEntry] = []
+    for level in (ClockLevel.L, ClockLevel.M, ClockLevel.H):
+        entries.append(
+            ClockEntry(
+                ClockDomain.CORE,
+                level,
+                round(spec.core_mhz[level] * 1000),
+                round(spec.core_vdd.at(level) * 1000),
+            )
+        )
+        entries.append(
+            ClockEntry(
+                ClockDomain.MEMORY,
+                level,
+                round(spec.mem_mhz[level] * 1000),
+                round(spec.mem_vdd.at(level) * 1000),
+            )
+        )
+    header = _HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        spec.name.encode("utf-8").ljust(24, b"\x00"),
+        _LEVEL_CODES[core_level],
+        _LEVEL_CODES[mem_level],
+        len(entries),
+        0,
+    )
+    body = header + b"".join(e.pack() for e in entries)
+    return body + bytes([_checksum(body)])
+
+
+def parse_image(data: bytes) -> BiosImage:
+    """Parse and validate a VBIOS image.
+
+    Raises
+    ------
+    BIOSFormatError
+        On bad magic, truncation, unsupported version, or bad checksum.
+    """
+    if len(data) < _HEADER.size + 1:
+        raise BIOSFormatError(f"image truncated: {len(data)} bytes")
+    if sum(data) % 256 != 0:
+        raise BIOSFormatError("checksum mismatch")
+    magic, version, name_raw, core_code, mem_code, count, reserved = _HEADER.unpack(
+        data[: _HEADER.size]
+    )
+    if magic != MAGIC:
+        raise BIOSFormatError(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise BIOSFormatError(f"unsupported format version {version}")
+    if reserved != 0:
+        raise BIOSFormatError("reserved header byte is not zero")
+    expected_len = _HEADER.size + count * _ENTRY.size + 1
+    if len(data) != expected_len:
+        raise BIOSFormatError(
+            f"length mismatch: {len(data)} bytes, expected {expected_len}"
+        )
+    try:
+        core_level = _CODE_LEVELS[core_code]
+        mem_level = _CODE_LEVELS[mem_code]
+    except KeyError as exc:
+        raise BIOSFormatError("bad boot level encoding") from exc
+    entries = tuple(
+        ClockEntry.unpack(
+            data[_HEADER.size + i * _ENTRY.size : _HEADER.size + (i + 1) * _ENTRY.size]
+        )
+        for i in range(count)
+    )
+    return BiosImage(
+        gpu_name=name_raw.rstrip(b"\x00").decode("utf-8"),
+        version=version,
+        boot_core_level=core_level,
+        boot_mem_level=mem_level,
+        entries=entries,
+    )
+
+
+def patch_boot_levels(
+    data: bytes,
+    spec: "GPUSpec",
+    core_level: ClockLevel,
+    mem_level: ClockLevel,
+) -> bytes:
+    """Rewrite the boot levels of an existing image (the Gdev method).
+
+    Validates the input image, checks the requested pair against the
+    card's Table III column, and recomputes the checksum.
+    """
+    image = parse_image(data)
+    if image.gpu_name != spec.name:
+        raise BIOSFormatError(
+            f"image is for {image.gpu_name!r}, not {spec.name!r}"
+        )
+    if not spec.is_configurable(core_level, mem_level):
+        raise InvalidOperatingPointError(
+            f"{spec.name} does not expose ({core_level.value}-{mem_level.value})"
+        )
+    patched = bytearray(data[:-1])
+    patched[30] = _LEVEL_CODES[core_level]
+    patched[31] = _LEVEL_CODES[mem_level]
+    return bytes(patched) + bytes([_checksum(bytes(patched))])

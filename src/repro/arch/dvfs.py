@@ -1,0 +1,104 @@
+"""DVFS operating points: clock domains, levels, and frequency pairs.
+
+The paper scales the *processing core* and *memory* clock domains
+independently among three pre-defined levels each (High / Medium / Low,
+Table I), restricted to the combinations the card's BIOS actually exposes
+(Table III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ClockDomain(enum.Enum):
+    """A separately-scalable clock domain of the GPU."""
+
+    CORE = "core"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ClockLevel(enum.Enum):
+    """Named frequency level within a domain (Table I columns)."""
+
+    L = "L"
+    M = "M"
+    H = "H"
+
+    @property
+    def rank(self) -> int:
+        """Ordering rank: L < M < H."""
+        return {"L": 0, "M": 1, "H": 2}[self.value]
+
+    def __lt__(self, other: "ClockLevel") -> bool:
+        if not isinstance(other, ClockLevel):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=False)
+class OperatingPoint:
+    """A fully-resolved (core, memory) DVFS configuration.
+
+    Combines the symbolic levels with the physical frequencies and the
+    supply voltages implied by the card's V-f curve (the paper's method
+    adjusts voltage implicitly with frequency).
+    """
+
+    core_level: ClockLevel
+    mem_level: ClockLevel
+    core_mhz: float
+    mem_mhz: float
+    core_voltage: float
+    mem_voltage: float
+
+    @property
+    def key(self) -> str:
+        """Compact name matching the paper's notation, e.g. ``"H-L"``."""
+        return f"{self.core_level.value}-{self.mem_level.value}"
+
+    @property
+    def levels(self) -> tuple[ClockLevel, ClockLevel]:
+        """The ``(core, memory)`` level pair."""
+        return (self.core_level, self.mem_level)
+
+    @property
+    def core_hz(self) -> float:
+        """Core frequency in Hz."""
+        return self.core_mhz * 1e6
+
+    @property
+    def mem_hz(self) -> float:
+        """Memory frequency in Hz."""
+        return self.mem_mhz * 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"({self.key}: core {self.core_mhz:.0f} MHz @ "
+            f"{self.core_voltage:.3f} V, mem {self.mem_mhz:.0f} MHz @ "
+            f"{self.mem_voltage:.3f} V)"
+        )
+
+
+def parse_pair_key(key: str) -> tuple[ClockLevel, ClockLevel]:
+    """Parse a ``"H-L"`` style pair name into levels.
+
+    >>> parse_pair_key("H-L")
+    (<ClockLevel.H: 'H'>, <ClockLevel.L: 'L'>)
+    """
+    try:
+        core_s, mem_s = key.strip().upper().split("-")
+        return (ClockLevel(core_s), ClockLevel(mem_s))
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"not a valid frequency-pair key: {key!r}") from exc
+
+
+#: The default configuration the paper compares against everywhere.
+DEFAULT_PAIR: tuple[ClockLevel, ClockLevel] = (ClockLevel.H, ClockLevel.H)

@@ -1,0 +1,340 @@
+"""Specifications of the four evaluated GPUs (Table I) plus the physical
+power coefficients used by the simulator.
+
+Table I of the paper provides the public specification (cores, peak
+GFLOPS, bandwidth, TDP, clock levels).  The :class:`PowerCoefficients`
+block is *our* substitution for the physical silicon: it decomposes the
+TDP-scale power budget into a static/board component, a core-domain
+dynamic component, a memory-domain background component and a per-access
+DRAM energy.  The values are calibrated (see ``repro/calibration.py``)
+so that the characterization results of Section III re-emerge with the
+paper's shape — e.g. Fermi's large memory-background power is what makes
+(H-L) pairs win ~40% on compute-bound kernels, and Kepler's steep V-f
+curve is what makes (M-*) pairs win up to ~75%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.arch.architecture import Architecture, ArchTraits, traits_of
+from repro.arch.dvfs import ClockLevel, OperatingPoint, parse_pair_key
+from repro.arch.voltage import VoltageTable
+from repro.errors import InvalidOperatingPointError, UnknownGPUError
+
+
+@dataclass(frozen=True)
+class PowerCoefficients:
+    """Physical power decomposition of one card (DC side, Watts).
+
+    Attributes
+    ----------
+    board_static_w:
+        Leakage + board overhead with the card booted at the High core
+        voltage, independent of activity.  Scales with core voltage as
+        ``V**leakage_exponent``.
+    core_dyn_w:
+        Core-domain dynamic power at 100% compute utilization at the
+        (H, H) point.  Scales as ``(V/V_H)**2 * (f/f_H) * utilization``.
+    mem_background_w:
+        Memory-domain background power (DRAM interface clocking, memory
+        controller) at the Mem-H level, independent of traffic.  Scales
+        as ``(Vm/Vm_H)**2 * (fm/fm_H)``.
+    dram_access_j_per_gb:
+        Energy per gigabyte of DRAM traffic (Joules/GB); traffic-
+        proportional power that does *not* scale with memory frequency —
+        moving a byte costs the same charge regardless of clock.
+    leakage_exponent:
+        Super-linear voltage dependence of the static component.
+    """
+
+    board_static_w: float
+    core_dyn_w: float
+    mem_background_w: float
+    dram_access_j_per_gb: float
+    leakage_exponent: float = 2.0
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One evaluated graphics card (a row-set of Table I)."""
+
+    name: str
+    architecture: Architecture
+    num_cores: int
+    num_sms: int
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    tdp_w: float
+    core_mhz: dict[ClockLevel, float]
+    mem_mhz: dict[ClockLevel, float]
+    core_vdd: VoltageTable
+    mem_vdd: VoltageTable
+    allowed_pairs: frozenset[tuple[ClockLevel, ClockLevel]]
+    power: PowerCoefficients
+
+    def __post_init__(self) -> None:
+        self.core_vdd.validate()
+        self.mem_vdd.validate()
+        for table, label in ((self.core_mhz, "core"), (self.mem_mhz, "memory")):
+            if set(table) != {ClockLevel.L, ClockLevel.M, ClockLevel.H}:
+                raise ValueError(f"{label} clock table must define L, M and H")
+            if not (table[ClockLevel.L] <= table[ClockLevel.M] <= table[ClockLevel.H]):
+                raise ValueError(f"{label} clocks must be ordered L <= M <= H")
+        if (ClockLevel.H, ClockLevel.H) not in self.allowed_pairs:
+            raise ValueError("the default (H-H) pair must always be configurable")
+
+    # ------------------------------------------------------------------
+    # traits and clocks
+    # ------------------------------------------------------------------
+
+    @property
+    def traits(self) -> ArchTraits:
+        """Microarchitectural traits of this card's generation."""
+        return traits_of(self.architecture)
+
+    def core_freq(self, level: ClockLevel) -> float:
+        """Core clock in MHz at a level."""
+        return self.core_mhz[level]
+
+    def mem_freq(self, level: ClockLevel) -> float:
+        """Memory clock in MHz at a level."""
+        return self.mem_mhz[level]
+
+    # ------------------------------------------------------------------
+    # operating points (Table III)
+    # ------------------------------------------------------------------
+
+    def is_configurable(self, core: ClockLevel, mem: ClockLevel) -> bool:
+        """Whether the BIOS exposes this (core, mem) pair (Table III)."""
+        return (core, mem) in self.allowed_pairs
+
+    def operating_point(
+        self, core: ClockLevel | str, mem: ClockLevel | str | None = None
+    ) -> OperatingPoint:
+        """Resolve a configurable (core, mem) pair into an operating point.
+
+        Accepts either two :class:`ClockLevel` values or a single
+        ``"H-L"`` style key.
+
+        Raises
+        ------
+        InvalidOperatingPointError
+            If the pair is not in the card's Table III column.
+        """
+        if isinstance(core, str) and mem is None:
+            core, mem = parse_pair_key(core)
+        if isinstance(core, str):
+            core = ClockLevel(core.upper())
+        if isinstance(mem, str):
+            mem = ClockLevel(mem.upper())
+        if mem is None:
+            raise TypeError("memory level missing")
+        if not self.is_configurable(core, mem):
+            raise InvalidOperatingPointError(
+                f"{self.name} does not expose the ({core.value}-{mem.value}) pair"
+            )
+        return OperatingPoint(
+            core_level=core,
+            mem_level=mem,
+            core_mhz=self.core_mhz[core],
+            mem_mhz=self.mem_mhz[mem],
+            core_voltage=self.core_vdd.at(core),
+            mem_voltage=self.mem_vdd.at(mem),
+        )
+
+    def operating_points(self) -> list[OperatingPoint]:
+        """All configurable operating points, highest clocks first."""
+        pairs = sorted(
+            self.allowed_pairs,
+            key=lambda cm: (-cm[0].rank, -cm[1].rank),
+        )
+        return [self.operating_point(c, m) for c, m in pairs]
+
+    def default_point(self) -> OperatingPoint:
+        """The (H-H) factory default the paper compares against."""
+        return self.operating_point(ClockLevel.H, ClockLevel.H)
+
+    # ------------------------------------------------------------------
+    # derived peak rates
+    # ------------------------------------------------------------------
+
+    def peak_flops(self, op: OperatingPoint) -> float:
+        """Peak FLOP/s at an operating point (scales with core clock)."""
+        scale = op.core_mhz / self.core_mhz[ClockLevel.H]
+        return self.peak_gflops * 1e9 * scale
+
+    def peak_bandwidth(self, op: OperatingPoint) -> float:
+        """Peak DRAM bandwidth in bytes/s at an operating point."""
+        scale = op.mem_mhz / self.mem_mhz[ClockLevel.H]
+        return self.mem_bandwidth_gbs * 1e9 * scale
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.architecture})"
+
+
+def _pairs(*keys: str) -> frozenset[tuple[ClockLevel, ClockLevel]]:
+    return frozenset(parse_pair_key(k) for k in keys)
+
+
+_COMMON_PAIRS = ("H-H", "H-M", "H-L", "M-H", "M-M", "M-L")
+
+GTX_285 = GPUSpec(
+    name="GTX 285",
+    architecture=Architecture.TESLA,
+    num_cores=240,
+    num_sms=30,
+    peak_gflops=933.0,
+    mem_bandwidth_gbs=159.0,
+    tdp_w=183.0,
+    core_mhz={ClockLevel.L: 600.0, ClockLevel.M: 800.0, ClockLevel.H: 1296.0},
+    mem_mhz={ClockLevel.L: 100.0, ClockLevel.M: 300.0, ClockLevel.H: 1284.0},
+    # Tesla-era binning: core voltage nearly flat across the clock range,
+    # GDDR3 voltage fixed -> down-clocking saves almost only the f term.
+    core_vdd=VoltageTable(low=1.08, medium=1.12, high=1.18),
+    mem_vdd=VoltageTable(low=1.85, medium=1.85, high=1.85),
+    allowed_pairs=_pairs(*_COMMON_PAIRS, "L-H", "L-M"),
+    power=PowerCoefficients(
+        board_static_w=58.0,
+        core_dyn_w=95.0,
+        mem_background_w=38.0,
+        dram_access_j_per_gb=0.45,
+        leakage_exponent=2.0,
+    ),
+)
+
+GTX_460 = GPUSpec(
+    name="GTX 460",
+    architecture=Architecture.FERMI,
+    num_cores=336,
+    num_sms=7,
+    peak_gflops=907.0,
+    mem_bandwidth_gbs=115.2,
+    tdp_w=160.0,
+    core_mhz={ClockLevel.L: 100.0, ClockLevel.M: 810.0, ClockLevel.H: 1350.0},
+    mem_mhz={ClockLevel.L: 135.0, ClockLevel.M: 324.0, ClockLevel.H: 1800.0},
+    core_vdd=VoltageTable(low=0.875, medium=0.962, high=1.025),
+    # GDDR5 at 1.8 GHz: the interface is a large, voltage-scaled power sink.
+    mem_vdd=VoltageTable(low=1.35, medium=1.45, high=1.60),
+    allowed_pairs=_pairs(*_COMMON_PAIRS, "L-L"),
+    power=PowerCoefficients(
+        board_static_w=36.0,
+        core_dyn_w=70.0,
+        mem_background_w=62.0,
+        dram_access_j_per_gb=0.30,
+        leakage_exponent=2.0,
+    ),
+)
+
+GTX_480 = GPUSpec(
+    name="GTX 480",
+    architecture=Architecture.FERMI,
+    num_cores=480,
+    num_sms=15,
+    peak_gflops=1350.0,
+    mem_bandwidth_gbs=177.0,
+    tdp_w=250.0,
+    core_mhz={ClockLevel.L: 100.0, ClockLevel.M: 810.0, ClockLevel.H: 1400.0},
+    mem_mhz={ClockLevel.L: 135.0, ClockLevel.M: 324.0, ClockLevel.H: 1848.0},
+    core_vdd=VoltageTable(low=0.875, medium=0.962, high=1.062),
+    mem_vdd=VoltageTable(low=1.35, medium=1.45, high=1.62),
+    allowed_pairs=_pairs(*_COMMON_PAIRS, "L-L"),
+    power=PowerCoefficients(
+        board_static_w=62.0,
+        core_dyn_w=118.0,
+        mem_background_w=72.0,
+        dram_access_j_per_gb=0.30,
+        leakage_exponent=2.0,
+    ),
+)
+
+GTX_680 = GPUSpec(
+    name="GTX 680",
+    architecture=Architecture.KEPLER,
+    num_cores=1536,
+    num_sms=8,
+    peak_gflops=3090.0,
+    mem_bandwidth_gbs=192.2,
+    tdp_w=195.0,
+    core_mhz={ClockLevel.L: 648.0, ClockLevel.M: 1080.0, ClockLevel.H: 1411.0},
+    mem_mhz={ClockLevel.L: 324.0, ClockLevel.M: 810.0, ClockLevel.H: 3004.0},
+    # Boost-era binning: the top state carries a disproportionate voltage,
+    # so stepping down to M cuts dynamic power superlinearly.
+    core_vdd=VoltageTable(low=0.850, medium=0.875, high=1.212),
+    mem_vdd=VoltageTable(low=1.35, medium=1.45, high=1.60),
+    allowed_pairs=_pairs(*_COMMON_PAIRS, "L-H"),
+    power=PowerCoefficients(
+        board_static_w=25.0,
+        core_dyn_w=125.0,
+        mem_background_w=48.0,
+        dram_access_j_per_gb=0.25,
+        leakage_exponent=3.0,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Extension card (paper future work): AMD Radeon HD 7970, GCN generation.
+# Not part of the paper's evaluation; exercised by the ext_radeon
+# experiment to validate that the modeling pipeline generalizes to a
+# non-NVIDIA microarchitecture, as the authors propose.
+# ----------------------------------------------------------------------
+
+RADEON_HD_7970 = GPUSpec(
+    name="Radeon HD 7970",
+    architecture=Architecture.GCN,
+    num_cores=2048,
+    num_sms=32,
+    peak_gflops=3789.0,
+    mem_bandwidth_gbs=264.0,
+    tdp_w=250.0,
+    core_mhz={ClockLevel.L: 300.0, ClockLevel.M: 501.0, ClockLevel.H: 925.0},
+    mem_mhz={ClockLevel.L: 150.0, ClockLevel.M: 685.0, ClockLevel.H: 1375.0},
+    core_vdd=VoltageTable(low=0.850, medium=0.950, high=1.175),
+    mem_vdd=VoltageTable(low=1.35, medium=1.50, high=1.60),
+    allowed_pairs=_pairs(*_COMMON_PAIRS, "L-L"),
+    power=PowerCoefficients(
+        board_static_w=42.0,
+        core_dyn_w=150.0,
+        mem_background_w=55.0,
+        dram_access_j_per_gb=0.25,
+        leakage_exponent=2.5,
+    ),
+)
+
+#: Evaluation order used throughout the paper (oldest generation first).
+GPU_NAMES: tuple[str, ...] = ("GTX 285", "GTX 460", "GTX 480", "GTX 680")
+
+#: Extension cards beyond the paper's evaluation.
+EXTENSION_GPU_NAMES: tuple[str, ...] = ("Radeon HD 7970",)
+
+_REGISTRY: dict[str, GPUSpec] = {
+    g.name: g
+    for g in (GTX_285, GTX_460, GTX_480, GTX_680, RADEON_HD_7970)
+}
+
+
+def _normalize(name: str) -> str:
+    text = name.strip().lower()
+    for token in ("geforce", "gtx", "radeon", "hd"):
+        text = text.replace(token, "")
+    return text.replace(" ", "")
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU by name; accepts ``"GTX 480"``, ``"gtx480"``,
+    ``"Radeon HD 7970"``, ``"hd7970"``, etc."""
+    normalized = _normalize(name)
+    for spec in _REGISTRY.values():
+        if _normalize(spec.name) == normalized:
+            return spec
+    raise UnknownGPUError(
+        f"unknown GPU {name!r}; available: "
+        f"{', '.join((*GPU_NAMES, *EXTENSION_GPU_NAMES))}"
+    )
+
+
+def all_gpus(include_extensions: bool = False) -> list[GPUSpec]:
+    """The paper's four GPUs (plus extension cards if requested)."""
+    names = GPU_NAMES + EXTENSION_GPU_NAMES if include_extensions else GPU_NAMES
+    return [_REGISTRY[n] for n in names]

@@ -1,0 +1,14 @@
+"""Related-work comparators.
+
+* :mod:`repro.baselines.per_pair` — one regression per frequency pair,
+  the state of the art the paper's *unified* model is compared against
+  (Figs. 9 and 10; Nagasaka et al. for power).
+* :mod:`repro.baselines.hong_kim` — a simplified analytic MWP/CWP-style
+  model in the spirit of Hong & Kim, which requires per-GPU tuning and
+  is what the paper argues does not transfer across generations.
+"""
+
+from repro.baselines.per_pair import PerPairModelSuite
+from repro.baselines.hong_kim import HongKimModel
+
+__all__ = ["PerPairModelSuite", "HongKimModel"]

@@ -1,0 +1,302 @@
+"""Random-forest regression baseline (Zhang et al., related work).
+
+Zhang et al. analyzed the power and performance of a Radeon HD 5870
+"using a random forest method with the profile counter information".
+This module implements that comparator from scratch — CART regression
+trees with variance-reduction splits, bagging, and per-split feature
+subsampling — so the paper's linear unified models can be compared
+against the strongest non-linear alternative of their era.
+
+Unlike the unified models, the forest does not need the Eq. 1/Eq. 2
+frequency folding: it receives raw counter rates/totals plus the two
+frequencies as ordinary features and learns interactions itself.  The
+price is interpretability and extrapolation — exactly the trade the
+paper's discussion implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.errors import ModelNotFittedError
+from repro.rng import stream
+
+
+@dataclass
+class _Node:
+    """One node of a regression tree."""
+
+    #: Predicted value at this node (mean of its training targets).
+    value: float
+    #: Split definition; None for leaves.
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """CART regression tree with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; shallow trees underfit, deep trees memorize.
+    min_samples_leaf:
+        Minimum training samples per leaf.
+    max_features:
+        Features considered per split (``None`` = all); the forest sets
+        this for decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        max_features: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, np.ndarray] | None:
+        n, p = X.shape
+        k = self.max_features or p
+        features = rng.permutation(p)[: min(k, p)]
+        best: tuple[float, int, float, np.ndarray] | None = None
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        for j in features:
+            order = np.argsort(X[:, j], kind="stable")
+            xs, ys = X[order, j], y[order]
+            # Prefix sums allow O(n) evaluation of every split point.
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue  # cannot split between equal values
+                left_sse = csq[i - 1] - csum[i - 1] ** 2 / i
+                right_n = n - i
+                right_sum = total_sum - csum[i - 1]
+                right_sse = (total_sq - csq[i - 1]) - right_sum**2 / right_n
+                sse = float(left_sse + right_sse)
+                if best is None or sse < best[0]:
+                    threshold = (
+                        (xs[i - 1] + xs[i]) / 2.0 if i < n else xs[i - 1]
+                    )
+                    mask = X[:, j] <= threshold
+                    best = (sse, int(j), float(threshold), mask)
+        if best is None or best[0] >= base_sse - 1e-12:
+            return None
+        _, j, threshold, mask = best
+        if mask.all() or not mask.any():
+            return None
+        return j, threshold, mask
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node = _Node(value=float(np.mean(y)))
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or np.ptp(y) == 0.0
+        ):
+            return node
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return node
+        j, threshold, mask = split
+        node.feature = j
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "RegressionTree":
+        """Fit the tree; ``rng`` drives feature subsampling."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.size:
+            raise ValueError("X must be (n, p) and y (n,)")
+        if rng is None:
+            rng = stream("regression-tree")
+        self._root = self._grow(X, y, 0, rng)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        if self._root is None:
+            raise ModelNotFittedError("tree has not been fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = (
+                    node.left if row[node.feature] <= node.threshold else node.right
+                )
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise ModelNotFittedError("tree has not been fitted")
+        return walk(self._root)
+
+
+class RandomForest:
+    """Bagged regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 40,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        feature_fraction: float = 0.4,
+        seed_label: str = "random-forest",
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        if not 0.0 < feature_fraction <= 1.0:
+            raise ValueError(
+                f"feature_fraction must be in (0, 1], got {feature_fraction}"
+            )
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_fraction = feature_fraction
+        self.seed_label = seed_label
+        self._trees: list[RegressionTree] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self._trees)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        """Fit the ensemble on (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n, p = X.shape
+        k = max(1, int(round(self.feature_fraction * p)))
+        self._trees = []
+        for t in range(self.n_trees):
+            rng = stream(self.seed_label, "tree", t)
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=k,
+            )
+            tree.fit(X[idx], y[idx], rng)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble-mean prediction."""
+        if not self.is_fitted:
+            raise ModelNotFittedError("forest has not been fitted")
+        return np.mean([t.predict(X) for t in self._trees], axis=0)
+
+
+# ----------------------------------------------------------------------
+# dataset-facing wrapper
+# ----------------------------------------------------------------------
+
+def forest_features(
+    dataset: ModelingDataset, per_second: bool
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Raw counter features plus the two frequencies.
+
+    ``per_second=True`` mirrors the power model's rate features;
+    ``False`` uses totals (performance).  Counters are log-scaled —
+    their magnitudes span many decades, and CART thresholds behave far
+    better on log scale.
+    """
+    totals = dataset.counter_matrix()
+    if per_second:
+        totals = totals / dataset.exec_seconds()[:, None]
+    logged = np.log1p(np.maximum(totals, 0.0))
+    core = np.array([o.op.core_mhz for o in dataset.observations])
+    mem = np.array([o.op.mem_mhz for o in dataset.observations])
+    X = np.column_stack([logged, core, mem])
+    names = tuple(dataset.counter_names) + ("corefreq", "memfreq")
+    return X, names
+
+
+@dataclass
+class ForestModel:
+    """Random-forest counterpart of one unified model family.
+
+    Parameters
+    ----------
+    target:
+        ``"power"`` or ``"performance"``.
+    """
+
+    target: str
+    n_trees: int = 40
+    forest: RandomForest = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.target not in ("power", "performance"):
+            raise ValueError(
+                f"target must be 'power' or 'performance', got {self.target!r}"
+            )
+        self.forest = RandomForest(
+            n_trees=self.n_trees, seed_label=f"forest-{self.target}"
+        )
+
+    def _features(self, dataset: ModelingDataset) -> np.ndarray:
+        X, _ = forest_features(dataset, per_second=self.target == "power")
+        return X
+
+    def _target(self, dataset: ModelingDataset) -> np.ndarray:
+        if self.target == "power":
+            return dataset.avg_power_w()
+        return dataset.exec_seconds()
+
+    def fit(self, dataset: ModelingDataset) -> "ForestModel":
+        """Fit the forest on a modeling dataset."""
+        self.forest.fit(self._features(dataset), self._target(dataset))
+        return self
+
+    def predict(self, dataset: ModelingDataset) -> np.ndarray:
+        """Predict the target for every observation."""
+        return self.forest.predict(self._features(dataset))
+
+    def mean_pct_error(self, dataset: ModelingDataset) -> float:
+        """Mean absolute percentage error on a dataset."""
+        actual = self._target(dataset)
+        predicted = self.predict(dataset)
+        return float(
+            np.mean(100.0 * np.abs(predicted - actual) / np.abs(actual))
+        )

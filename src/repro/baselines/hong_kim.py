@@ -1,0 +1,136 @@
+"""Simplified analytic timing/power model in the spirit of Hong & Kim.
+
+The related work the paper positions against ([7, 8]) predicts GPU
+execution time from program analysis plus a *hand-tuned architectural
+model* (MWP/CWP).  Its weakness — the reason the paper builds statistical
+models instead — is that the tuned constants are specific to one GPU:
+the authors report that porting the GTX 280 model even to the same-
+generation GTX 285 was "very time-consuming".
+
+This baseline reproduces that trade-off:
+
+* :meth:`HongKimModel.tune` calibrates two architectural constants
+  (effective IPC, effective bandwidth) against measurements of *one* GPU;
+* :meth:`HongKimModel.predict_seconds` then predicts analytically, with
+  no counters needed;
+* applying a model tuned on GPU A to GPU B (``transfer``) shows the
+  cross-generation breakdown the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.dvfs import ClockLevel, OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.timing import compute_work_ops
+from repro.errors import ModelNotFittedError
+from repro.instruments.testbed import Measurement, Testbed
+from repro.kernels.profile import KernelSpec
+
+
+@dataclass
+class HongKimModel:
+    """Two-constant analytic model: compute-side IPC and memory bandwidth.
+
+    ``time = ops / (ipc_eff * peak_flops(op)) + dram_bytes /
+    (bw_eff * peak_bw(op)) + overhead`` — a no-overlap roofline with
+    tuned efficiency constants, as an honest miniature of the analytic
+    school of modeling.
+    """
+
+    gpu: GPUSpec
+
+    def __post_init__(self) -> None:
+        self.ipc_eff: float | None = None
+        self.bw_eff: float | None = None
+        self.overhead_s: float = 0.0
+
+    @property
+    def is_tuned(self) -> bool:
+        """Whether :meth:`tune` has run."""
+        return self.ipc_eff is not None
+
+    # ------------------------------------------------------------------
+
+    def _components(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> tuple[float, float]:
+        work = kernel.work(scale)
+        ops = compute_work_ops(work)
+        # The analytic school estimates DRAM traffic from source analysis;
+        # it sees requested bytes, not post-cache traffic.
+        t_comp = ops / self.gpu.peak_flops(op)
+        t_mem = work.global_bytes / self.gpu.peak_bandwidth(op)
+        return t_comp, t_mem
+
+    def tune(
+        self,
+        measurements: list[tuple[KernelSpec, float, Measurement]],
+    ) -> "HongKimModel":
+        """Calibrate the efficiency constants against one GPU's data.
+
+        Parameters
+        ----------
+        measurements:
+            ``(kernel, scale, measurement)`` triples from the target GPU.
+        """
+        if len(measurements) < 3:
+            raise ValueError("need at least three measurements to tune")
+        rows = []
+        times = []
+        for kernel, scale, m in measurements:
+            t_comp, t_mem = self._components(kernel, scale, m.op)
+            rows.append([t_comp, t_mem, 1.0])
+            times.append(m.exec_seconds)
+        A = np.asarray(rows)
+        y = np.asarray(times)
+        coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+        inv_ipc, inv_bw, overhead = coef
+        # Efficiencies are reciprocals of the fitted slowdowns, clamped to
+        # physically meaningful ranges.
+        self.ipc_eff = float(np.clip(1.0 / max(inv_ipc, 1e-9), 0.05, 1.5))
+        self.bw_eff = float(np.clip(1.0 / max(inv_bw, 1e-9), 0.05, 1.5))
+        self.overhead_s = float(max(overhead, 0.0))
+        return self
+
+    def transfer(self, other_gpu: GPUSpec) -> "HongKimModel":
+        """Port the tuned constants to a different GPU, untuned.
+
+        This is exactly what the paper reports failing: the constants
+        encode microarchitectural behaviour of the GPU they were tuned
+        on.
+        """
+        if not self.is_tuned:
+            raise ModelNotFittedError("tune the model before transferring")
+        ported = HongKimModel(other_gpu)
+        ported.ipc_eff = self.ipc_eff
+        ported.bw_eff = self.bw_eff
+        ported.overhead_s = self.overhead_s
+        return ported
+
+    def predict_seconds(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> float:
+        """Analytic execution-time prediction."""
+        if not self.is_tuned:
+            raise ModelNotFittedError("tune the model before predicting")
+        t_comp, t_mem = self._components(kernel, scale, op)
+        assert self.ipc_eff is not None and self.bw_eff is not None
+        return t_comp / self.ipc_eff + t_mem / self.bw_eff + self.overhead_s
+
+
+def tune_on_gpu(
+    gpu: GPUSpec,
+    benchmarks: list[KernelSpec],
+    scale: float = 0.25,
+    seed: int | None = None,
+) -> tuple[HongKimModel, list[tuple[KernelSpec, float, Measurement]]]:
+    """Measure a benchmark set at (H-H) and tune an analytic model on it."""
+    testbed = Testbed(gpu, seed=seed)
+    testbed.set_clocks(ClockLevel.H, ClockLevel.H)
+    data = [(b, scale, testbed.measure(b, scale)) for b in benchmarks]
+    model = HongKimModel(gpu).tune(data)
+    return model, data

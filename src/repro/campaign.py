@@ -1,0 +1,165 @@
+"""Measurement-campaign orchestration with on-disk persistence.
+
+A full Section III + Section IV campaign — sweeps and modeling datasets
+for every GPU — is the expensive part of the study (weeks of wall-meter
+time on real hardware).  ``Campaign`` orchestrates it with resumable
+JSON persistence: datasets are archived per GPU under a campaign
+directory and reloaded instead of re-measured on subsequent runs, which
+is how one would actually manage the paper's experiment data.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro._version import __version__
+from repro.arch.specs import GPU_NAMES, GPUSpec, get_gpu
+from repro.core.dataset import ModelingDataset, build_dataset
+from repro.core.evaluate import evaluate_model
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.core.serialize import (
+    dataset_from_json,
+    dataset_to_json,
+    model_from_json,
+    model_to_json,
+)
+
+MANIFEST_NAME = "campaign.json"
+
+
+@dataclass
+class CampaignSummary:
+    """Per-GPU model quality of a completed campaign."""
+
+    gpu: str
+    power_r2: float
+    power_err_pct: float
+    power_err_w: float
+    perf_r2: float
+    perf_err_pct: float
+
+
+class Campaign:
+    """Resumable measurement + modeling campaign over a set of GPUs.
+
+    Parameters
+    ----------
+    directory:
+        Where datasets, fitted models and the manifest are stored.
+    gpus:
+        GPU names to include; defaults to the paper's four.
+    seed:
+        Optional noise-seed override, recorded in the manifest.
+    """
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        gpus: Sequence[str] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.gpu_names = tuple(gpus) if gpus is not None else GPU_NAMES
+        self.seed = seed
+        # Validate the names eagerly (raises UnknownGPUError).
+        self._specs: dict[str, GPUSpec] = {
+            name: get_gpu(name) for name in self.gpu_names
+        }
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _slug(self, gpu_name: str) -> str:
+        return gpu_name.lower().replace(" ", "_")
+
+    def dataset_path(self, gpu_name: str) -> pathlib.Path:
+        """Where a GPU's dataset is archived."""
+        return self.directory / f"dataset_{self._slug(gpu_name)}.json"
+
+    def model_path(self, gpu_name: str, kind: str) -> pathlib.Path:
+        """Where a GPU's fitted model is archived."""
+        return self.directory / f"model_{kind}_{self._slug(gpu_name)}.json"
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        """The campaign manifest file."""
+        return self.directory / MANIFEST_NAME
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def dataset(self, gpu_name: str, refresh: bool = False) -> ModelingDataset:
+        """Load the archived dataset for one GPU, measuring if absent."""
+        spec = self._specs[gpu_name]
+        path = self.dataset_path(gpu_name)
+        if path.exists() and not refresh:
+            return dataset_from_json(path.read_text(encoding="utf-8"))
+        dataset = build_dataset(spec, seed=self.seed)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path.write_text(dataset_to_json(dataset), encoding="utf-8")
+        return dataset
+
+    def run(self, refresh: bool = False) -> list[CampaignSummary]:
+        """Measure (or reload) every GPU, fit and archive both models.
+
+        Returns the per-GPU quality summary and writes the manifest.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        summaries: list[CampaignSummary] = []
+        for name in self.gpu_names:
+            ds = self.dataset(name, refresh=refresh)
+            power = UnifiedPowerModel().fit(ds)
+            perf = UnifiedPerformanceModel().fit(ds)
+            self.model_path(name, "power").write_text(
+                model_to_json(power), encoding="utf-8"
+            )
+            self.model_path(name, "performance").write_text(
+                model_to_json(perf), encoding="utf-8"
+            )
+            power_report = evaluate_model(power, ds)
+            perf_report = evaluate_model(perf, ds)
+            summaries.append(
+                CampaignSummary(
+                    gpu=name,
+                    power_r2=power.adjusted_r2,
+                    power_err_pct=power_report.mean_pct_error,
+                    power_err_w=power_report.mean_abs_error,
+                    perf_r2=perf.adjusted_r2,
+                    perf_err_pct=perf_report.mean_pct_error,
+                )
+            )
+        manifest = {
+            "format": "repro.campaign",
+            "version": __version__,
+            "seed": self.seed,
+            "gpus": list(self.gpu_names),
+            "summaries": [vars(s) for s in summaries],
+        }
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        return summaries
+
+    def load_model(self, gpu_name: str, kind: str):
+        """Reload an archived fitted model (``"power"``/``"performance"``)."""
+        path = self.model_path(gpu_name, kind)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no archived {kind} model for {gpu_name}; run the campaign"
+            )
+        return model_from_json(path.read_text(encoding="utf-8"))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every GPU's dataset and models are archived."""
+        return all(
+            self.dataset_path(n).exists()
+            and self.model_path(n, "power").exists()
+            and self.model_path(n, "performance").exists()
+            for n in self.gpu_names
+        )

@@ -1,0 +1,18 @@
+"""Section III characterization: frequency sweeps and energy optimality."""
+
+from repro.characterize.sweep import FrequencySweep, SweepTable
+from repro.characterize.efficiency import (
+    BenchmarkCharacterization,
+    best_operating_point,
+    characterize_gpu,
+    efficiency_improvement,
+)
+
+__all__ = [
+    "FrequencySweep",
+    "SweepTable",
+    "BenchmarkCharacterization",
+    "best_operating_point",
+    "characterize_gpu",
+    "efficiency_improvement",
+]

@@ -1,0 +1,90 @@
+"""Energy-optimal frequency pairs and power-efficiency improvements.
+
+Derives Table IV (best pair per benchmark/GPU) and Fig. 4 (efficiency
+improvement of the best pair over the (H-H) default) from a sweep.
+Power efficiency is the paper's metric: the reciprocal of the measured
+energy consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.arch.specs import GPUSpec
+from repro.characterize.sweep import FrequencySweep, SweepTable
+from repro.instruments.testbed import Measurement
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacterization:
+    """Energy-optimality record of one benchmark on one GPU."""
+
+    benchmark: str
+    #: Best (energy-minimal) frequency-pair key, e.g. ``"H-L"``.
+    best_pair: str
+    #: Power-efficiency improvement of best over (H-H), in percent.
+    improvement_pct: float
+    #: Performance loss of best over (H-H), in percent (negative = faster).
+    performance_loss_pct: float
+    #: Energy at the default and best pairs (J).
+    default_energy_j: float
+    best_energy_j: float
+
+    @property
+    def is_default_best(self) -> bool:
+        """Whether the factory (H-H) setting is already energy-optimal."""
+        return self.best_pair == "H-H"
+
+
+def best_operating_point(
+    pair_measurements: Mapping[str, Measurement],
+) -> tuple[str, Measurement]:
+    """The energy-minimal pair among measured pairs of one benchmark."""
+    if not pair_measurements:
+        raise ValueError("no measurements given")
+    key = min(pair_measurements, key=lambda k: pair_measurements[k].energy_j)
+    return key, pair_measurements[key]
+
+
+def efficiency_improvement(
+    default: Measurement, candidate: Measurement
+) -> float:
+    """Power-efficiency improvement of candidate over default, percent.
+
+    Efficiency is 1/energy, so the improvement equals
+    ``E_default / E_candidate - 1``.
+    """
+    return (default.energy_j / candidate.energy_j - 1.0) * 100.0
+
+
+def characterize_benchmark(
+    table: SweepTable, benchmark: str
+) -> BenchmarkCharacterization:
+    """Table IV / Fig. 4 record for one benchmark of a sweep."""
+    pairs = table.measurements[benchmark]
+    default = table.default(benchmark)
+    best_key, best = best_operating_point(pairs)
+    return BenchmarkCharacterization(
+        benchmark=benchmark,
+        best_pair=best_key,
+        improvement_pct=efficiency_improvement(default, best),
+        performance_loss_pct=(best.exec_seconds / default.exec_seconds - 1.0)
+        * 100.0,
+        default_energy_j=default.energy_j,
+        best_energy_j=best.energy_j,
+    )
+
+
+def characterize_gpu(
+    gpu: GPUSpec, seed: int | None = None, table: SweepTable | None = None
+) -> list[BenchmarkCharacterization]:
+    """Characterize every benchmark on one GPU (one Table IV column).
+
+    Pass a pre-computed ``table`` to avoid re-running the sweep.
+    """
+    if table is None:
+        table = FrequencySweep(gpu, seed=seed).run()
+    return [
+        characterize_benchmark(table, name) for name in table.benchmark_names
+    ]

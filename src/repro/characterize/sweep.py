@@ -1,0 +1,87 @@
+"""Full frequency-pair sweeps over benchmarks (the Section III campaign).
+
+The paper measures every benchmark at every configurable (core, memory)
+pair of every GPU with the maximum feasible input size.  A
+:class:`FrequencySweep` reproduces that campaign for one card and returns
+a :class:`SweepTable` from which Figs. 1-4 and Table IV are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.arch.specs import GPUSpec
+from repro.instruments.testbed import Measurement, Testbed
+from repro.kernels.profile import KernelSpec
+from repro.kernels.suites import all_benchmarks
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """All measurements of one sweep, indexed by (benchmark, pair)."""
+
+    gpu: GPUSpec
+    #: ``measurements[benchmark_name][pair_key]`` -> Measurement.
+    measurements: Mapping[str, Mapping[str, Measurement]]
+
+    @property
+    def benchmark_names(self) -> tuple[str, ...]:
+        """Benchmarks in the sweep, in insertion order."""
+        return tuple(self.measurements)
+
+    def pairs_for(self, benchmark: str) -> tuple[str, ...]:
+        """Frequency-pair keys measured for a benchmark."""
+        return tuple(self.measurements[benchmark])
+
+    def at(self, benchmark: str, pair_key: str) -> Measurement:
+        """One measurement."""
+        return self.measurements[benchmark][pair_key]
+
+    def default(self, benchmark: str) -> Measurement:
+        """The (H-H) measurement the paper compares against."""
+        return self.at(benchmark, "H-H")
+
+
+class FrequencySweep:
+    """Sweep runner for one GPU.
+
+    Parameters
+    ----------
+    gpu:
+        Card to characterize.
+    seed:
+        Optional noise-seed override (tests).
+    """
+
+    def __init__(self, gpu: GPUSpec, seed: int | None = None) -> None:
+        self.testbed = Testbed(gpu, seed=seed)
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """The card being swept."""
+        return self.testbed.gpu
+
+    def run_benchmark(
+        self, benchmark: KernelSpec, scale: float = 1.0
+    ) -> dict[str, Measurement]:
+        """Measure one benchmark at every configurable pair."""
+        results: dict[str, Measurement] = {}
+        for op in self.gpu.operating_points():
+            self.testbed.set_clocks(op.core_level, op.mem_level)
+            results[op.key] = self.testbed.measure(benchmark, scale)
+        return results
+
+    def run(
+        self,
+        benchmarks: Sequence[KernelSpec] | None = None,
+        scale: float = 1.0,
+    ) -> SweepTable:
+        """Measure a set of benchmarks (default: all 37) at every pair.
+
+        ``scale=1.0`` is the paper's "maximum feasible input data size".
+        """
+        if benchmarks is None:
+            benchmarks = all_benchmarks()
+        table = {b.name: self.run_benchmark(b, scale) for b in benchmarks}
+        return SweepTable(gpu=self.gpu, measurements=table)

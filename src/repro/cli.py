@@ -1,0 +1,158 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4
+    python -m repro run all
+    python -m repro sweep "GTX 680" backprop
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    for experiment_id, (title, _run) in EXPERIMENTS.items():
+        print(f"  {experiment_id:8s} {title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import all_experiments, run
+
+    ids = all_experiments() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run(experiment_id, seed=args.seed)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.arch.specs import get_gpu
+    from repro.characterize.sweep import FrequencySweep
+    from repro.kernels.suites import get_benchmark
+
+    gpu = get_gpu(args.gpu)
+    bench = get_benchmark(args.benchmark)
+    results = FrequencySweep(gpu, seed=args.seed).run_benchmark(bench)
+    default = results["H-H"]
+    print(f"{bench} on {gpu}:")
+    print(f"{'pair':6s} {'time[s]':>9s} {'power[W]':>9s} {'energy[J]':>10s} {'eff vs H-H':>11s}")
+    for key, m in results.items():
+        gain = (default.energy_j / m.energy_j - 1.0) * 100.0
+        print(
+            f"{key:6s} {m.exec_seconds:9.3f} {m.avg_power_w:9.1f} "
+            f"{m.energy_j:10.1f} {gain:+10.1f}%"
+        )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign
+
+    campaign = Campaign(args.directory, gpus=args.gpus, seed=args.seed)
+    summaries = campaign.run(refresh=args.refresh)
+    print(
+        f"{'GPU':16s} {'power R̄²':>9s} {'err[%]':>7s} {'err[W]':>7s} "
+        f"{'perf R̄²':>9s} {'err[%]':>7s}"
+    )
+    for s in summaries:
+        print(
+            f"{s.gpu:16s} {s.power_r2:9.2f} {s.power_err_pct:7.1f} "
+            f"{s.power_err_w:7.1f} {s.perf_r2:9.2f} {s.perf_err_pct:7.1f}"
+        )
+    print(f"\narchived under {campaign.directory}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting import render_experiments
+
+    entries = render_experiments(
+        args.directory,
+        seed=args.seed,
+        include_extensions=not args.no_extensions,
+    )
+    for entry in entries:
+        print(f"  wrote {entry.path}")
+    print(f"\n{len(entries)} experiments rendered to {args.directory}/")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Power and Performance Characterization and "
+            "Modeling of GPU-Accelerated Systems' (Abe et al., 2014)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list all experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig4, or 'all'")
+    p_run.add_argument("--seed", type=int, default=None, help="noise seed override")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one benchmark on one GPU over all pairs"
+    )
+    p_sweep.add_argument("gpu", help="GPU name, e.g. 'GTX 680'")
+    p_sweep.add_argument("benchmark", help="benchmark name, e.g. backprop")
+    p_sweep.add_argument("--seed", type=int, default=None)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run the full measurement+modeling campaign with JSON archival",
+    )
+    p_campaign.add_argument(
+        "directory", help="directory for datasets, models and the manifest"
+    )
+    p_campaign.add_argument(
+        "--gpu",
+        action="append",
+        dest="gpus",
+        default=None,
+        help="restrict to specific GPUs (repeatable)",
+    )
+    p_campaign.add_argument(
+        "--refresh", action="store_true", help="re-measure even if archived"
+    )
+    p_campaign.add_argument("--seed", type=int, default=None)
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_report = sub.add_parser(
+        "report", help="render all experiments into a directory"
+    )
+    p_report.add_argument("directory", help="output directory")
+    p_report.add_argument(
+        "--no-extensions",
+        action="store_true",
+        help="render only the 19 paper artifacts",
+    )
+    p_report.add_argument("--seed", type=int, default=None)
+    p_report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

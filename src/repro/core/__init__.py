@@ -1,0 +1,54 @@
+"""The paper's contribution: unified statistical power/performance models.
+
+Implements Section IV — multiple linear regression with counter features
+classified as core-events or memory-events, frequency folded into the
+features (Eq. 1 for power, Eq. 2 for execution time), and forward
+selection maximizing adjusted R-squared with at most 10 variables.
+"""
+
+from repro.core.regression import RegressionResult, fit_ols
+from repro.core.selection import ForwardSelectionResult, forward_select
+from repro.core.features import (
+    performance_feature_matrix,
+    power_feature_matrix,
+)
+from repro.core.dataset import ModelingDataset, Observation, build_dataset
+from repro.core.models import (
+    UnifiedPerformanceModel,
+    UnifiedPowerModel,
+)
+from repro.core.evaluate import (
+    ErrorReport,
+    evaluate_model,
+    influence_breakdown,
+)
+from repro.core.predictor import PowerPerformancePredictor, Prediction
+from repro.core.classify import (
+    Classification,
+    WorkloadClass,
+    classify_counters,
+    recommended_bias,
+)
+
+__all__ = [
+    "RegressionResult",
+    "fit_ols",
+    "ForwardSelectionResult",
+    "forward_select",
+    "power_feature_matrix",
+    "performance_feature_matrix",
+    "ModelingDataset",
+    "Observation",
+    "build_dataset",
+    "UnifiedPowerModel",
+    "UnifiedPerformanceModel",
+    "ErrorReport",
+    "evaluate_model",
+    "influence_breakdown",
+    "PowerPerformancePredictor",
+    "Prediction",
+    "Classification",
+    "WorkloadClass",
+    "classify_counters",
+    "recommended_bias",
+]

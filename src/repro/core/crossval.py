@@ -1,0 +1,96 @@
+"""Out-of-sample validation of the unified models.
+
+The paper evaluates its regressions in-sample (fit and predict on the
+same 114 samples).  A natural robustness question — and the first thing
+a downstream user of these models would ask — is how they generalize to
+*unseen workloads*.  This module adds leave-one-benchmark-out (LOBO)
+cross-validation: for each benchmark, fit on the other 32 benchmarks'
+observations and predict the held-out one.
+
+LOBO is the right split here (rather than random k-fold) because
+observations of the same benchmark share counters and unmodeled structure;
+random folds would leak benchmark identity across the split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.core.evaluate import ErrorReport, evaluate_model
+from repro.core.models import _UnifiedModel
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Leave-one-benchmark-out outcome for one model family."""
+
+    #: Held-out error report per benchmark.
+    per_benchmark: dict[str, ErrorReport]
+    #: In-sample report of the model fitted on everything (reference).
+    in_sample: ErrorReport
+
+    @property
+    def mean_pct_error(self) -> float:
+        """Mean held-out percentage error across all observations."""
+        all_errors = np.concatenate(
+            [r.pct_errors for r in self.per_benchmark.values()]
+        )
+        return float(np.mean(all_errors))
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean held-out absolute error (target units)."""
+        all_errors = np.concatenate(
+            [r.abs_errors for r in self.per_benchmark.values()]
+        )
+        return float(np.mean(all_errors))
+
+    @property
+    def generalization_gap_pct(self) -> float:
+        """Held-out minus in-sample mean percentage error."""
+        return self.mean_pct_error - self.in_sample.mean_pct_error
+
+    def worst_benchmarks(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k benchmarks with the largest held-out error."""
+        ranked = sorted(
+            (
+                (name, report.mean_pct_error)
+                for name, report in self.per_benchmark.items()
+            ),
+            key=lambda kv: -kv[1],
+        )
+        return ranked[:k]
+
+
+def leave_one_benchmark_out(
+    model_cls: Type[_UnifiedModel],
+    dataset: ModelingDataset,
+    max_features: int = 10,
+) -> CrossValidationResult:
+    """Run LOBO cross-validation for one model family on one GPU.
+
+    Parameters
+    ----------
+    model_cls:
+        :class:`~repro.core.models.UnifiedPowerModel` or
+        :class:`~repro.core.models.UnifiedPerformanceModel`.
+    dataset:
+        Full modeling dataset of the GPU.
+    max_features:
+        Forward-selection cap (the paper's 10).
+    """
+    per_benchmark: dict[str, ErrorReport] = {}
+    for name in dataset.benchmarks:
+        train = dataset.without_benchmark(name)
+        test = dataset.only_benchmark(name)
+        model = model_cls(max_features=max_features).fit(train)
+        per_benchmark[name] = evaluate_model(model, test)
+    full = model_cls(max_features=max_features).fit(dataset)
+    return CrossValidationResult(
+        per_benchmark=per_benchmark,
+        in_sample=evaluate_model(full, dataset),
+    )

@@ -1,0 +1,210 @@
+"""Modeling dataset construction (Section IV-A).
+
+The paper builds its regression dataset from all Table II benchmarks the
+CUDA Profiler can analyze (33 of 37), each at several input sizes — 114
+(benchmark, size) samples in total — measured at *every* configurable
+frequency pair.  One dataset observation is therefore a
+(benchmark, size, operating point) triple carrying:
+
+* the counter totals collected by the profiler (once per benchmark/size,
+  at the default (H-H) clocks — counters describe the workload, not the
+  clocks), and
+* the execution time and average wall power measured at that pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.counters import CounterDomain, counter_set
+from repro.errors import ProfilerError
+from repro.instruments.profiler import CudaProfiler
+from repro.instruments.testbed import Testbed
+from repro.kernels.profile import KernelSpec
+from repro.kernels.suites import modeling_benchmarks
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One (benchmark, size, operating point) measurement."""
+
+    benchmark: str
+    suite: str
+    scale: float
+    op: OperatingPoint
+    #: Profiler counter totals for the (benchmark, size) workload.
+    counters: dict[str, float]
+    #: Measured execution time at this operating point (s).
+    exec_seconds: float
+    #: Measured average wall power at this operating point (W).
+    avg_power_w: float
+    #: Measured wall energy of one run (J).
+    energy_j: float
+
+    @property
+    def sample_key(self) -> tuple[str, float]:
+        """Identity of the workload sample this observation measures."""
+        return (self.benchmark, self.scale)
+
+
+@dataclass(frozen=True)
+class ModelingDataset:
+    """The full regression dataset for one GPU."""
+
+    gpu: GPUSpec
+    counter_names: tuple[str, ...]
+    counter_domains: dict[str, CounterDomain]
+    observations: tuple[Observation, ...]
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+
+    @property
+    def n_observations(self) -> int:
+        """Total (benchmark, size, pair) observations."""
+        return len(self.observations)
+
+    @property
+    def n_samples(self) -> int:
+        """Distinct (benchmark, size) workload samples (paper: 114)."""
+        return len({o.sample_key for o in self.observations})
+
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        """Benchmark names present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for o in self.observations:
+            seen.setdefault(o.benchmark, None)
+        return tuple(seen)
+
+    @property
+    def pair_keys(self) -> tuple[str, ...]:
+        """Operating-point keys present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for o in self.observations:
+            seen.setdefault(o.op.key, None)
+        return tuple(seen)
+
+    def counter_matrix(self) -> np.ndarray:
+        """Counter totals, shape (n_observations, n_counters)."""
+        return np.array(
+            [[o.counters[name] for name in self.counter_names]
+             for o in self.observations],
+            dtype=float,
+        )
+
+    def exec_seconds(self) -> np.ndarray:
+        """Measured execution times (the performance target)."""
+        return np.array([o.exec_seconds for o in self.observations])
+
+    def avg_power_w(self) -> np.ndarray:
+        """Measured average wall power (the power target)."""
+        return np.array([o.avg_power_w for o in self.observations])
+
+    # ------------------------------------------------------------------
+    # subsetting
+    # ------------------------------------------------------------------
+
+    def _subset(self, keep: Iterable[bool]) -> "ModelingDataset":
+        kept = tuple(o for o, k in zip(self.observations, keep) if k)
+        return ModelingDataset(
+            gpu=self.gpu,
+            counter_names=self.counter_names,
+            counter_domains=self.counter_domains,
+            observations=kept,
+        )
+
+    def for_pair(self, pair_key: str) -> "ModelingDataset":
+        """Observations of a single frequency pair (per-pair baselines)."""
+        return self._subset(o.op.key == pair_key for o in self.observations)
+
+    def without_benchmark(self, name: str) -> "ModelingDataset":
+        """Leave-one-benchmark-out subset (for cross-validation)."""
+        return self._subset(o.benchmark != name for o in self.observations)
+
+    def only_benchmark(self, name: str) -> "ModelingDataset":
+        """Observations of one benchmark."""
+        return self._subset(o.benchmark == name for o in self.observations)
+
+
+def build_dataset(
+    gpu: GPUSpec,
+    benchmarks: Sequence[KernelSpec] | None = None,
+    pairs: Sequence[str] | None = None,
+    seed: int | None = None,
+    profiler: CudaProfiler | None = None,
+) -> ModelingDataset:
+    """Measure and profile the full modeling dataset for one GPU.
+
+    Parameters
+    ----------
+    gpu:
+        Card to build the dataset for.
+    benchmarks:
+        Workloads to include; defaults to the 33 profiler-compatible
+        benchmarks (yielding the paper's 114 samples through their
+        per-benchmark input scales).
+    pairs:
+        Frequency-pair keys to measure; defaults to every configurable
+        pair of the card (Table III).
+    seed:
+        Optional noise-seed override (tests).
+    profiler:
+        Counter collector; defaults to the era-faithful profiler.  Pass
+        a custom :class:`CudaProfiler` (e.g. with a ``noise_scale``
+        override) for profiler-fidelity experiments.
+    """
+    if benchmarks is None:
+        benchmarks = modeling_benchmarks()
+    testbed = Testbed(gpu, seed=seed)
+    if profiler is None:
+        profiler = CudaProfiler(seed=seed)
+    counters = counter_set(gpu.traits.counter_set)
+    counter_names = tuple(c.name for c in counters)
+    domains = {c.name: c.domain for c in counters}
+
+    ops = gpu.operating_points()
+    if pairs is not None:
+        wanted = set(pairs)
+        ops = [op for op in ops if op.key in wanted]
+        if not ops:
+            raise ValueError(f"no configurable pair among {sorted(wanted)}")
+
+    observations: list[Observation] = []
+    for bench in benchmarks:
+        for scale in bench.modeling_sizes:
+            # Profile once per workload sample, at the default clocks.
+            testbed.set_clocks("H", "H")
+            try:
+                totals = profiler.profile(testbed.sim, bench, scale)
+            except ProfilerError:
+                # Mirrors the paper: benchmarks the profiler cannot
+                # analyze contribute no modeling samples.
+                break
+            for op in ops:
+                testbed.set_clocks(op.core_level, op.mem_level)
+                m = testbed.measure(bench, scale)
+                observations.append(
+                    Observation(
+                        benchmark=bench.name,
+                        suite=bench.suite,
+                        scale=scale,
+                        op=m.op,
+                        counters=totals,
+                        exec_seconds=m.exec_seconds,
+                        avg_power_w=m.avg_power_w,
+                        energy_j=m.energy_j,
+                    )
+                )
+    return ModelingDataset(
+        gpu=gpu,
+        counter_names=counter_names,
+        counter_domains=domains,
+        observations=tuple(observations),
+    )

@@ -1,0 +1,94 @@
+"""Residual diagnostics for the unified models.
+
+Section IV-B of the paper spends several paragraphs interpreting its
+R-bar-squared numbers: large target spreads inflate R², small ones
+deflate it, and percentage errors concentrate on short runs.  This
+module makes those arguments *measurable* on a fitted model:
+
+* per-frequency-pair bias — does the unified model systematically over-
+  or under-predict specific pairs (the structure Figs. 9/10 probe)?
+* heteroscedasticity — how strongly does the absolute residual grow with
+  the target magnitude (the paper's R̄²-vs-MAPE tension)?
+* target dispersion — the spread statistics the paper's narrative
+  invokes ("variations of power consumption are limited within 100 W",
+  execution time "varies from hundreds of milliseconds to tens of
+  seconds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.core.models import _UnifiedModel
+
+
+@dataclass(frozen=True)
+class PairBias:
+    """Signed relative bias of the model on one frequency pair."""
+
+    pair: str
+    #: Mean of (predicted - actual) / actual, in percent.
+    mean_bias_pct: float
+    #: Mean absolute percentage error on this pair.
+    mape: float
+    n: int
+
+
+@dataclass(frozen=True)
+class DiagnosticsReport:
+    """Full residual diagnostics of one fitted model on one dataset."""
+
+    per_pair: tuple[PairBias, ...]
+    #: Pearson correlation of |residual| with the target magnitude.
+    heteroscedasticity: float
+    #: Ratio of the largest to the smallest target value.
+    target_dynamic_range: float
+    #: Coefficient of variation of the target.
+    target_cv: float
+
+    @property
+    def worst_pair(self) -> PairBias:
+        """The pair with the largest absolute mean bias."""
+        return max(self.per_pair, key=lambda p: abs(p.mean_bias_pct))
+
+    @property
+    def max_abs_bias_pct(self) -> float:
+        """Largest per-pair systematic bias."""
+        return abs(self.worst_pair.mean_bias_pct)
+
+
+def diagnose(model: _UnifiedModel, dataset: ModelingDataset) -> DiagnosticsReport:
+    """Compute residual diagnostics for a fitted model."""
+    predicted = np.asarray(model.predict(dataset), dtype=float)
+    actual = np.asarray(model._target(dataset), dtype=float)
+    residual = predicted - actual
+    rel = residual / np.abs(actual)
+
+    pair_keys = [o.op.key for o in dataset.observations]
+    biases = []
+    for key in dataset.pair_keys:
+        mask = np.array([p == key for p in pair_keys])
+        biases.append(
+            PairBias(
+                pair=key,
+                mean_bias_pct=float(np.mean(rel[mask]) * 100.0),
+                mape=float(np.mean(np.abs(rel[mask])) * 100.0),
+                n=int(mask.sum()),
+            )
+        )
+
+    abs_residual = np.abs(residual)
+    if np.std(abs_residual) == 0.0 or np.std(actual) == 0.0:
+        hetero = 0.0
+    else:
+        hetero = float(np.corrcoef(abs_residual, np.abs(actual))[0, 1])
+
+    return DiagnosticsReport(
+        per_pair=tuple(biases),
+        heteroscedasticity=hetero,
+        target_dynamic_range=float(np.max(actual) / np.min(actual)),
+        target_cv=float(np.std(actual) / np.mean(actual)),
+    )

@@ -1,0 +1,104 @@
+"""Model evaluation: the error metrics of Tables VII/VIII and Figs. 5-11.
+
+The paper reports mean absolute percentage error, mean absolute error in
+Watts (power only), per-benchmark error distributions (Figs. 5, 6), and
+the influence of the selected explanatory variables (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.core.models import _UnifiedModel
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Prediction-error summary of one model on one dataset."""
+
+    #: Benchmark name per observation.
+    benchmarks: tuple[str, ...]
+    #: Measured target values.
+    actual: np.ndarray
+    #: Model predictions.
+    predicted: np.ndarray
+
+    @property
+    def abs_errors(self) -> np.ndarray:
+        """Absolute errors in target units."""
+        return np.abs(self.predicted - self.actual)
+
+    @property
+    def pct_errors(self) -> np.ndarray:
+        """Absolute percentage errors."""
+        return 100.0 * self.abs_errors / np.abs(self.actual)
+
+    @property
+    def mean_pct_error(self) -> float:
+        """Mean absolute percentage error (Tables VII/VIII 'Error[%]')."""
+        return float(np.mean(self.pct_errors))
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean absolute error in target units (Table VII 'Error[W]')."""
+        return float(np.mean(self.abs_errors))
+
+    @property
+    def median_pct_error(self) -> float:
+        """Median absolute percentage error."""
+        return float(np.median(self.pct_errors))
+
+    def per_benchmark_pct_error(self) -> dict[str, float]:
+        """Mean absolute percentage error per benchmark (Figs. 5, 6)."""
+        result: dict[str, list[float]] = {}
+        for name, err in zip(self.benchmarks, self.pct_errors):
+            result.setdefault(name, []).append(float(err))
+        return {name: float(np.mean(v)) for name, v in result.items()}
+
+    def box_stats(self) -> dict[str, float]:
+        """Box-and-whisker summary of percentage errors (Figs. 9, 10)."""
+        e = self.pct_errors
+        q1, med, q3 = np.percentile(e, [25, 50, 75])
+        return {
+            "min": float(np.min(e)),
+            "q1": float(q1),
+            "median": float(med),
+            "q3": float(q3),
+            "max": float(np.max(e)),
+            "mean": float(np.mean(e)),
+        }
+
+
+def evaluate_model(model: _UnifiedModel, dataset: ModelingDataset) -> ErrorReport:
+    """Predict a dataset with a fitted model and summarize the errors."""
+    predicted = model.predict(dataset)
+    actual = model._target(dataset)
+    return ErrorReport(
+        benchmarks=tuple(o.benchmark for o in dataset.observations),
+        actual=np.asarray(actual, dtype=float),
+        predicted=np.asarray(predicted, dtype=float),
+    )
+
+
+def influence_breakdown(
+    model: _UnifiedModel, dataset: ModelingDataset
+) -> dict[str, float]:
+    """Relative influence of each selected variable (Fig. 11).
+
+    Influence of variable *i* is ``|coef_i| * std(feature_i)`` —
+    the typical magnitude the term contributes to the prediction —
+    normalized so the shares sum to 1.
+    """
+    selection = model.selection
+    X, _ = model._features(dataset)
+    design = selection.design_matrix(X)
+    raw = np.abs(selection.model.coefficients) * np.std(design, axis=0)
+    total = float(np.sum(raw))
+    if total == 0.0:
+        shares = np.full(raw.shape, 1.0 / raw.size)
+    else:
+        shares = raw / total
+    return dict(zip(selection.selected_names, map(float, shares)))

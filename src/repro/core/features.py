@@ -1,0 +1,66 @@
+"""Feature construction for the unified models (Eqs. 1 and 2).
+
+The paper's key modeling idea: fold the operating frequency into the
+features so a *single* model covers every frequency pair.
+
+* **Power (Eq. 1)** — each counter is converted to a per-second rate and
+  multiplied by the frequency of its domain: the faster the clock, the
+  more energy each event costs per unit time::
+
+      power = sum_i x_i * (c_i_rate * corefreq)
+            + sum_j y_j * (m_j_rate * memfreq) + z
+
+* **Performance (Eq. 2)** — each counter total is divided by the
+  frequency of its domain: the faster the clock, the shorter the latency
+  of each event::
+
+      exectime = sum_i x_i * (c_i / corefreq)
+               + sum_j y_j * (m_j / memfreq) + z
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.engine.counters import CounterDomain
+
+
+def _domain_frequencies(dataset: ModelingDataset) -> np.ndarray:
+    """Per-(observation, counter) domain frequency in MHz."""
+    core = np.array([o.op.core_mhz for o in dataset.observations])
+    mem = np.array([o.op.mem_mhz for o in dataset.observations])
+    is_core = np.array(
+        [
+            dataset.counter_domains[name] is CounterDomain.CORE
+            for name in dataset.counter_names
+        ]
+    )
+    # (n_obs, n_counters): core frequency where the counter is a
+    # core-event, memory frequency otherwise.
+    return np.where(is_core[None, :], core[:, None], mem[:, None])
+
+
+def power_feature_matrix(
+    dataset: ModelingDataset,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Eq. 1 design matrix: per-second counter rates x domain frequency.
+
+    Returns the matrix (n_observations, n_counters) and feature names.
+    """
+    totals = dataset.counter_matrix()
+    seconds = dataset.exec_seconds()[:, None]
+    rates = totals / seconds
+    X = rates * _domain_frequencies(dataset)
+    names = tuple(f"{n}*freq" for n in dataset.counter_names)
+    return X, names
+
+
+def performance_feature_matrix(
+    dataset: ModelingDataset,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Eq. 2 design matrix: counter totals / domain frequency."""
+    totals = dataset.counter_matrix()
+    X = totals / _domain_frequencies(dataset)
+    names = tuple(f"{n}/freq" for n in dataset.counter_names)
+    return X, names

@@ -1,0 +1,118 @@
+"""The unified power and performance models (Section IV).
+
+Both models share the same machinery — Eq. 1 / Eq. 2 feature
+construction followed by forward selection capped at 10 variables — and
+differ only in the feature transform and the target.  A single fitted
+model covers *every* configurable frequency pair of a GPU; that unification
+is the paper's claimed novelty over per-frequency prior work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset
+from repro.core.features import performance_feature_matrix, power_feature_matrix
+from repro.core.selection import ForwardSelectionResult, forward_select
+from repro.errors import ModelNotFittedError
+
+FeatureFn = Callable[[ModelingDataset], tuple[np.ndarray, tuple[str, ...]]]
+
+
+class _UnifiedModel:
+    """Shared fit/predict machinery of the two unified models."""
+
+    #: Human-readable target name (subclasses set this).
+    target_name: str = ""
+
+    def __init__(self, max_features: int = 10) -> None:
+        if max_features < 1:
+            raise ValueError(f"max_features must be >= 1, got {max_features}")
+        self.max_features = max_features
+        self._selection: ForwardSelectionResult | None = None
+
+    # -- subclass interface ------------------------------------------------
+
+    def _features(self, dataset: ModelingDataset) -> tuple[np.ndarray, tuple[str, ...]]:
+        raise NotImplementedError
+
+    def _target(self, dataset: ModelingDataset) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def selection(self) -> ForwardSelectionResult:
+        """The forward-selection outcome (after :meth:`fit`)."""
+        if self._selection is None:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} has not been fitted yet"
+            )
+        return self._selection
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._selection is not None
+
+    @property
+    def adjusted_r2(self) -> float:
+        """R-bar-squared of the fitted model (Tables V and VI)."""
+        return self.selection.adjusted_r2
+
+    @property
+    def selected_counters(self) -> tuple[str, ...]:
+        """Names of the selected explanatory variables."""
+        return self.selection.selected_names
+
+    def fit(self, dataset: ModelingDataset) -> "_UnifiedModel":
+        """Fit on a modeling dataset; returns self for chaining."""
+        if dataset.n_observations < 2:
+            raise ValueError("dataset must contain at least two observations")
+        X, names = self._features(dataset)
+        y = self._target(dataset)
+        self._selection = forward_select(
+            X, y, names, max_features=self.max_features
+        )
+        return self
+
+    def predict(self, dataset: ModelingDataset) -> np.ndarray:
+        """Predict the target for every observation of a dataset."""
+        X, _ = self._features(dataset)
+        return self.selection.predict(X)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            f"fitted, R̄²={self.adjusted_r2:.3f}, "
+            f"{len(self.selected_counters)} variables"
+            if self.is_fitted
+            else "unfitted"
+        )
+        return f"<{type(self).__name__} ({state})>"
+
+
+class UnifiedPowerModel(_UnifiedModel):
+    """Eq. 1: average system power from counter rates x frequency."""
+
+    target_name = "average power [W]"
+
+    def _features(self, dataset: ModelingDataset) -> tuple[np.ndarray, tuple[str, ...]]:
+        return power_feature_matrix(dataset)
+
+    def _target(self, dataset: ModelingDataset) -> np.ndarray:
+        return dataset.avg_power_w()
+
+
+class UnifiedPerformanceModel(_UnifiedModel):
+    """Eq. 2: execution time from counter totals / frequency."""
+
+    target_name = "execution time [s]"
+
+    def _features(self, dataset: ModelingDataset) -> tuple[np.ndarray, tuple[str, ...]]:
+        return performance_feature_matrix(dataset)
+
+    def _target(self, dataset: ModelingDataset) -> np.ndarray:
+        return dataset.exec_seconds()

@@ -1,0 +1,151 @@
+"""Deployable two-stage power/performance predictor.
+
+Bundles a fitted performance model and power model into the object a
+runtime system would actually ship: given one profiled run of a workload
+(counter totals) it predicts execution time, average power and energy at
+*any* configurable frequency pair of its GPU — no further measurement.
+
+The two-stage structure mirrors deployment reality: Eq. 2 predicts the
+time at the target pair from counter totals, and that predicted time
+converts the totals into the per-second rates Eq. 1 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.core.dataset import ModelingDataset, Observation
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.engine.counters import CounterDomain, counter_set
+from repro.errors import ModelNotFittedError
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted behaviour of one workload at one operating point."""
+
+    op: OperatingPoint
+    seconds: float
+    watts: float
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted energy (time x power)."""
+        return self.seconds * self.watts
+
+
+class PowerPerformancePredictor:
+    """Predicts (time, power, energy) for profiled workloads.
+
+    Parameters
+    ----------
+    gpu:
+        Card the models were trained on.
+    power_model / performance_model:
+        Fitted unified models for that card.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        power_model: UnifiedPowerModel,
+        performance_model: UnifiedPerformanceModel,
+    ) -> None:
+        if not (power_model.is_fitted and performance_model.is_fitted):
+            raise ModelNotFittedError("predictor requires fitted models")
+        self.gpu = gpu
+        self.power_model = power_model
+        self.performance_model = performance_model
+        counters = counter_set(gpu.traits.counter_set)
+        self._counter_names = tuple(c.name for c in counters)
+        self._domains: dict[str, CounterDomain] = {
+            c.name: c.domain for c in counters
+        }
+
+    # ------------------------------------------------------------------
+
+    def _observation(
+        self, counters: Mapping[str, float], op: OperatingPoint, seconds: float
+    ) -> ModelingDataset:
+        missing = [n for n in self._counter_names if n not in counters]
+        if missing:
+            raise ValueError(
+                f"profile is missing {len(missing)} counters of the "
+                f"{self.gpu.name} set (e.g. {missing[:3]})"
+            )
+        obs = Observation(
+            benchmark="<query>",
+            suite="<query>",
+            scale=1.0,
+            op=op,
+            counters=dict(counters),
+            exec_seconds=seconds,
+            avg_power_w=0.0,
+            energy_j=1.0,
+        )
+        return ModelingDataset(
+            gpu=self.gpu,
+            counter_names=self._counter_names,
+            counter_domains=self._domains,
+            observations=(obs,),
+        )
+
+    def predict(
+        self, counters: Mapping[str, float], op: OperatingPoint
+    ) -> Prediction:
+        """Predict one workload's behaviour at one operating point.
+
+        Parameters
+        ----------
+        counters:
+            Counter *totals* from one profiled run (any clocks — the
+            models fold frequency into their features).
+        op:
+            Target operating point of this predictor's GPU.
+        """
+        # Stage 1: time from totals (Eq. 2 features need no time).
+        seconds = float(
+            self.performance_model.predict(
+                self._observation(counters, op, seconds=1.0)
+            )[0]
+        )
+        seconds = max(seconds, 1e-3)
+        # Stage 2: power from rates derived with the predicted time.
+        watts = float(
+            self.power_model.predict(
+                self._observation(counters, op, seconds=seconds)
+            )[0]
+        )
+        watts = max(watts, 1.0)
+        return Prediction(op=op, seconds=seconds, watts=watts)
+
+    def predict_all_pairs(
+        self, counters: Mapping[str, float]
+    ) -> dict[str, Prediction]:
+        """Predictions at every configurable pair, keyed by pair name."""
+        return {
+            op.key: self.predict(counters, op)
+            for op in self.gpu.operating_points()
+        }
+
+    def best_pair(
+        self, counters: Mapping[str, float], max_slowdown: float | None = None
+    ) -> Prediction:
+        """Energy-minimal predicted pair, optionally perf-constrained."""
+        predictions = self.predict_all_pairs(counters)
+        candidates = list(predictions.values())
+        if max_slowdown is not None:
+            if max_slowdown < 1.0:
+                raise ValueError(
+                    f"max_slowdown must be >= 1.0, got {max_slowdown}"
+                )
+            fastest = min(p.seconds for p in candidates)
+            candidates = [
+                p for p in candidates if p.seconds <= fastest * max_slowdown
+            ]
+        return min(candidates, key=lambda p: p.energy_j)

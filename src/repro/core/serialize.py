@@ -1,0 +1,175 @@
+"""JSON serialization of datasets and fitted models.
+
+A measurement campaign on real hardware is expensive; a real deployment
+profiles once and reuses both the dataset and the fitted models.  This
+module provides stable, versioned JSON round-trips for
+:class:`~repro.core.dataset.ModelingDataset` and the unified models so
+campaigns can be archived and models shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Type
+
+import numpy as np
+
+from repro.arch.dvfs import ClockLevel
+from repro.arch.specs import get_gpu
+from repro.core.dataset import ModelingDataset, Observation
+from repro.core.models import (
+    UnifiedPerformanceModel,
+    UnifiedPowerModel,
+    _UnifiedModel,
+)
+from repro.core.regression import RegressionResult
+from repro.core.selection import ForwardSelectionResult
+from repro.engine.counters import CounterDomain
+from repro.errors import ModelNotFittedError, ReproError
+
+FORMAT_VERSION = 1
+
+_MODEL_KINDS: dict[str, Type[_UnifiedModel]] = {
+    "power": UnifiedPowerModel,
+    "performance": UnifiedPerformanceModel,
+}
+
+
+class SerializationError(ReproError, ValueError):
+    """A JSON document is not a valid serialized dataset/model."""
+
+
+# ----------------------------------------------------------------------
+# datasets
+# ----------------------------------------------------------------------
+
+def dataset_to_json(dataset: ModelingDataset) -> str:
+    """Serialize a modeling dataset to a JSON string."""
+    doc: dict[str, Any] = {
+        "format": "repro.dataset",
+        "version": FORMAT_VERSION,
+        "gpu": dataset.gpu.name,
+        "counter_names": list(dataset.counter_names),
+        "counter_domains": {
+            name: domain.value
+            for name, domain in dataset.counter_domains.items()
+        },
+        "observations": [
+            {
+                "benchmark": o.benchmark,
+                "suite": o.suite,
+                "scale": o.scale,
+                "pair": o.op.key,
+                "counters": [o.counters[n] for n in dataset.counter_names],
+                "exec_seconds": o.exec_seconds,
+                "avg_power_w": o.avg_power_w,
+                "energy_j": o.energy_j,
+            }
+            for o in dataset.observations
+        ],
+    }
+    return json.dumps(doc)
+
+
+def dataset_from_json(text: str) -> ModelingDataset:
+    """Reconstruct a modeling dataset from its JSON form."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    if doc.get("format") != "repro.dataset":
+        raise SerializationError("not a serialized repro dataset")
+    if doc.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported dataset format version {doc.get('version')}"
+        )
+    gpu = get_gpu(doc["gpu"])
+    counter_names = tuple(doc["counter_names"])
+    domains = {
+        name: CounterDomain(value)
+        for name, value in doc["counter_domains"].items()
+    }
+    observations = []
+    for entry in doc["observations"]:
+        core_s, mem_s = entry["pair"].split("-")
+        op = gpu.operating_point(ClockLevel(core_s), ClockLevel(mem_s))
+        observations.append(
+            Observation(
+                benchmark=entry["benchmark"],
+                suite=entry["suite"],
+                scale=float(entry["scale"]),
+                op=op,
+                counters=dict(zip(counter_names, entry["counters"])),
+                exec_seconds=float(entry["exec_seconds"]),
+                avg_power_w=float(entry["avg_power_w"]),
+                energy_j=float(entry["energy_j"]),
+            )
+        )
+    return ModelingDataset(
+        gpu=gpu,
+        counter_names=counter_names,
+        counter_domains=domains,
+        observations=tuple(observations),
+    )
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+
+def model_to_json(model: _UnifiedModel) -> str:
+    """Serialize a *fitted* unified model to a JSON string."""
+    if not model.is_fitted:
+        raise ModelNotFittedError("cannot serialize an unfitted model")
+    kind = next(
+        k for k, cls in _MODEL_KINDS.items() if isinstance(model, cls)
+    )
+    selection = model.selection
+    doc = {
+        "format": "repro.model",
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "max_features": model.max_features,
+        "selected": list(selection.selected),
+        "selected_names": list(selection.selected_names),
+        "history": list(selection.history),
+        "coefficients": selection.model.coefficients.tolist(),
+        "intercept": selection.model.intercept,
+        "r2": selection.model.r2,
+        "adjusted_r2": selection.model.adjusted_r2,
+        "n_observations": selection.model.n_observations,
+    }
+    return json.dumps(doc)
+
+
+def model_from_json(text: str) -> _UnifiedModel:
+    """Reconstruct a fitted unified model from its JSON form."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    if doc.get("format") != "repro.model":
+        raise SerializationError("not a serialized repro model")
+    if doc.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported model format version {doc.get('version')}"
+        )
+    try:
+        model_cls = _MODEL_KINDS[doc["kind"]]
+    except KeyError:
+        raise SerializationError(f"unknown model kind {doc.get('kind')!r}")
+    model = model_cls(max_features=int(doc["max_features"]))
+    regression = RegressionResult(
+        coefficients=np.asarray(doc["coefficients"], dtype=float),
+        intercept=float(doc["intercept"]),
+        r2=float(doc["r2"]),
+        adjusted_r2=float(doc["adjusted_r2"]),
+        n_observations=int(doc["n_observations"]),
+    )
+    model._selection = ForwardSelectionResult(
+        selected=tuple(int(i) for i in doc["selected"]),
+        selected_names=tuple(doc["selected_names"]),
+        history=tuple(float(h) for h in doc["history"]),
+        model=regression,
+    )
+    return model

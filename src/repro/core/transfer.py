@@ -1,0 +1,100 @@
+"""Cross-GPU model transfer.
+
+The paper argues that analytic models do not transfer between GPUs (they
+spent excessive time porting Hong & Kim's GTX 280 model to the GTX 285).
+The natural follow-up — called out in DESIGN.md §7 — is to quantify how
+the paper's *statistical* models transfer:
+
+* **within a generation** (GTX 460 -> GTX 480): the counter sets are
+  identical, so a model ports directly — and still degrades, because the
+  coefficients encode board-level power and core counts;
+* **across generations**: the counter sets differ (32/74/108), so only
+  the intersection of counters is even expressible — models must be
+  refit on the common subset first, mirroring what a practitioner could
+  actually do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+from repro.core.dataset import ModelingDataset
+from repro.core.evaluate import ErrorReport, evaluate_model
+from repro.core.models import _UnifiedModel
+
+
+def common_counters(
+    a: ModelingDataset, b: ModelingDataset
+) -> tuple[str, ...]:
+    """Counter names available on both GPUs, in ``a``'s order."""
+    available = set(b.counter_names)
+    return tuple(n for n in a.counter_names if n in available)
+
+
+def restrict_counters(
+    dataset: ModelingDataset, counters: tuple[str, ...]
+) -> ModelingDataset:
+    """View of a dataset exposing only the given counters.
+
+    Observations keep their full counter dictionaries; only the feature
+    construction (driven by ``counter_names``) is narrowed.
+    """
+    missing = [n for n in counters if n not in dataset.counter_domains]
+    if missing:
+        raise ValueError(f"counters not present on {dataset.gpu.name}: {missing}")
+    return ModelingDataset(
+        gpu=dataset.gpu,
+        counter_names=tuple(counters),
+        counter_domains={
+            n: dataset.counter_domains[n] for n in counters
+        },
+        observations=dataset.observations,
+    )
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of porting a model from one GPU to another."""
+
+    source: str
+    target: str
+    #: Counters usable on both cards.
+    n_common_counters: int
+    #: Error of the ported model on the target GPU.
+    transferred: ErrorReport
+    #: Error of a model fit natively on the target (same counter subset).
+    native: ErrorReport
+
+    @property
+    def degradation_factor(self) -> float:
+        """How many times worse the ported model is than the native one."""
+        return self.transferred.mean_pct_error / self.native.mean_pct_error
+
+
+def transfer_model(
+    model_cls: Type[_UnifiedModel],
+    source: ModelingDataset,
+    target: ModelingDataset,
+    max_features: int = 10,
+) -> TransferResult:
+    """Fit on ``source``, evaluate on ``target`` (restricted to common
+    counters), and compare against a natively-fit reference."""
+    shared = common_counters(source, target)
+    if len(shared) < max_features:
+        raise ValueError(
+            f"only {len(shared)} common counters between "
+            f"{source.gpu.name} and {target.gpu.name}"
+        )
+    source_r = restrict_counters(source, shared)
+    target_r = restrict_counters(target, shared)
+
+    ported = model_cls(max_features=max_features).fit(source_r)
+    native = model_cls(max_features=max_features).fit(target_r)
+    return TransferResult(
+        source=source.gpu.name,
+        target=target.gpu.name,
+        n_common_counters=len(shared),
+        transferred=evaluate_model(ported, target_r),
+        native=evaluate_model(native, target_r),
+    )

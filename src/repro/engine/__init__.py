@@ -1,0 +1,40 @@
+"""Execution and physics simulator — the "hardware" under test.
+
+``GPUSimulator`` boots a card from a VBIOS image and runs kernel
+workloads, producing :class:`~repro.engine.simulator.RunRecord` objects
+that carry ground-truth timing, power and activity.  The measurement
+instruments in :mod:`repro.instruments` observe those records the way the
+paper's equipment observed the real machines — through a wall-power meter
+and the CUDA profiler's counters.
+"""
+
+from repro.engine.cache import CacheOutcome, simulate_cache
+from repro.engine.occupancy import scheduler_efficiency
+from repro.engine.timing import TimingBreakdown, simulate_timing
+from repro.engine.power import PowerBreakdown, simulate_power, idle_gpu_power
+from repro.engine.counters import (
+    Counter,
+    CounterDomain,
+    RunContext,
+    counter_set,
+    counter_set_size,
+)
+from repro.engine.simulator import GPUSimulator, RunRecord
+
+__all__ = [
+    "CacheOutcome",
+    "simulate_cache",
+    "scheduler_efficiency",
+    "TimingBreakdown",
+    "simulate_timing",
+    "PowerBreakdown",
+    "simulate_power",
+    "idle_gpu_power",
+    "Counter",
+    "CounterDomain",
+    "RunContext",
+    "counter_set",
+    "counter_set_size",
+    "GPUSimulator",
+    "RunRecord",
+]

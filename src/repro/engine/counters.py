@@ -1,0 +1,782 @@
+"""Per-architecture performance-counter sets.
+
+Section IV of the paper: *"the types and the number of performance
+counters depend on each GPU architecture: 32 counters for GTX 285, 74
+counters for GTX 460 and GTX 480, and 108 counters for GTX 680."*
+
+This module defines those three sets with realistic CUDA-profiler-era
+names and evaluates each counter from the ground-truth run record.  Every
+counter is tagged *core-event* or *memory-event* — the classification the
+paper's unified models use to decide which frequency multiplies/divides
+the counter value (Eqs. 1 and 2).  As in the real tool, a few counters
+are ratios (``achieved_occupancy``) or always-zero triggers
+(``prof_trigger_*``); robust feature selection has to cope with them.
+
+Counters observe the run imperfectly: values are deterministic functions
+of the work profile, cache outcome and timing, and the *profiler* (in
+:mod:`repro.instruments.profiler`) adds per-collection observation noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.cache import LINE_BYTES, SECTOR_BYTES, CacheOutcome
+from repro.engine.timing import TimingBreakdown
+from repro.kernels.profile import WorkProfile
+
+
+class CounterDomain(enum.Enum):
+    """Frequency domain a counter's events belong to (Section IV)."""
+
+    CORE = "core"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a counter can observe about one run."""
+
+    work: WorkProfile
+    cache: CacheOutcome
+    timing: TimingBreakdown
+    spec: GPUSpec
+    op: OperatingPoint
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Core-clock cycles elapsed during kernel execution."""
+        return self.timing.t_kernel * self.op.core_hz
+
+    @property
+    def gld_transactions(self) -> float:
+        """Warp-level global load transactions (coalescing-dependent)."""
+        return self.work.gld_bytes / (LINE_BYTES * max(self.work.coalescing, 0.125))
+
+    @property
+    def gst_transactions(self) -> float:
+        """Warp-level global store transactions."""
+        return self.work.gst_bytes / (LINE_BYTES * max(self.work.coalescing, 0.125))
+
+
+ValueFn = Callable[[RunContext], float]
+
+
+@dataclass(frozen=True)
+class Counter:
+    """One hardware performance counter."""
+
+    name: str
+    domain: CounterDomain
+    fn: ValueFn
+    #: Observation noise (coefficient of variation) the profiler applies.
+    noise_cv: float = 0.01
+
+    def evaluate(self, ctx: RunContext) -> float:
+        """Noise-free counter value for a run."""
+        return float(self.fn(ctx))
+
+
+# ----------------------------------------------------------------------
+# shared value helpers
+# ----------------------------------------------------------------------
+
+#: Maximum resident warps per SM (generation-typical; used for
+#: active_warps style counters).
+_MAX_WARPS = 48.0
+
+#: Sub-partition traffic weights: real boards never split perfectly evenly.
+_SUBP2 = (0.52, 0.48)
+_SUBP4 = (0.27, 0.25, 0.25, 0.23)
+#: Tahiti's L2/memory system is split across eight channels.
+_SUBP8 = (0.14, 0.13, 0.13, 0.125, 0.125, 0.12, 0.12, 0.11)
+
+
+def _inst_issued(ctx: RunContext) -> float:
+    replay = 0.04 + 0.35 * ctx.work.divergence
+    return ctx.work.inst_total * (1.0 + replay)
+
+
+def _active_warps(ctx: RunContext) -> float:
+    return ctx.elapsed_cycles * ctx.work.occupancy * _MAX_WARPS
+
+
+def _bank_conflicts(ctx: RunContext) -> float:
+    return 0.06 * (ctx.work.shared_loads + ctx.work.shared_stores)
+
+
+def _local_traffic(ctx: RunContext) -> float:
+    # Register-spill traffic: a small, occupancy-dependent slice.
+    return 0.008 * ctx.work.inst_total * (0.5 + 0.5 * ctx.work.occupancy)
+
+
+def _ldst_inst(ctx: RunContext) -> float:
+    return ctx.work.global_bytes / 8.0
+
+
+def _issue_slots(ctx: RunContext) -> float:
+    return _inst_issued(ctx) * 1.1
+
+
+def _stall(share_fn: Callable[[RunContext], float]) -> ValueFn:
+    def fn(ctx: RunContext) -> float:
+        return ctx.elapsed_cycles * min(1.0, max(0.0, share_fn(ctx)))
+
+    return fn
+
+
+def _read_share(ctx: RunContext) -> float:
+    total = ctx.work.global_bytes
+    return ctx.work.gld_bytes / total if total else 0.0
+
+
+def _split(total_fn: ValueFn, weight: float) -> ValueFn:
+    def fn(ctx: RunContext) -> float:
+        return total_fn(ctx) * weight
+
+    return fn
+
+
+def _l2_read_queries(ctx: RunContext) -> float:
+    return ctx.cache.l2_queries * _read_share(ctx)
+
+
+def _l2_write_queries(ctx: RunContext) -> float:
+    return ctx.cache.l2_queries * (1.0 - _read_share(ctx))
+
+
+def _l2_read_misses(ctx: RunContext) -> float:
+    return ctx.cache.l2_misses * _read_share(ctx)
+
+
+def _l2_write_misses(ctx: RunContext) -> float:
+    return ctx.cache.l2_misses * (1.0 - _read_share(ctx))
+
+
+def _l2_read_hits(ctx: RunContext) -> float:
+    return max(0.0, _l2_read_queries(ctx) - _l2_read_misses(ctx))
+
+
+def _fb_reads(ctx: RunContext) -> float:
+    return ctx.cache.dram_read_bytes / SECTOR_BYTES
+
+
+def _fb_writes(ctx: RunContext) -> float:
+    return ctx.cache.dram_write_bytes / SECTOR_BYTES
+
+
+def _tex_queries(ctx: RunContext) -> float:
+    return 0.02 * ctx.gld_transactions
+
+
+def _tex_misses(ctx: RunContext) -> float:
+    return 0.3 * _tex_queries(ctx)
+
+
+def _zero(_: RunContext) -> float:
+    return 0.0
+
+
+_CORE = CounterDomain.CORE
+_MEM = CounterDomain.MEMORY
+
+
+# ----------------------------------------------------------------------
+# GT200 / Tesla counter set (32 counters)
+# ----------------------------------------------------------------------
+
+def _tesla_counters() -> tuple[Counter, ...]:
+    w = lambda fn: fn  # readability alias
+    return (
+        # -- core events ------------------------------------------------
+        Counter("instructions", _CORE, lambda c: c.work.inst_total),
+        Counter("branch", _CORE, lambda c: c.work.branches),
+        Counter("divergent_branch", _CORE, lambda c: c.work.divergent_branches),
+        Counter(
+            "warp_serialize",
+            _CORE,
+            lambda c: 6.0 * c.work.divergent_branches + _bank_conflicts(c),
+        ),
+        Counter("sm_cta_launched", _CORE, lambda c: c.work.blocks),
+        Counter("cta_launched", _CORE, lambda c: c.work.blocks),
+        Counter("threads_launched", _CORE, lambda c: c.work.threads),
+        Counter("warps_launched", _CORE, lambda c: c.work.warps),
+        Counter("active_cycles", _CORE, lambda c: c.elapsed_cycles, noise_cv=0.02),
+        Counter("active_warps", _CORE, _active_warps, noise_cv=0.02),
+        Counter("shared_load", _CORE, lambda c: c.work.shared_loads),
+        Counter("shared_store", _CORE, lambda c: c.work.shared_stores),
+        Counter("instructions_fp", _CORE, lambda c: c.work.flops / 1.6),
+        Counter("instructions_int", _CORE, lambda c: c.work.int_ops),
+        Counter("instructions_sfu", _CORE, lambda c: c.work.sfu_ops),
+        Counter("grid_launches", _CORE, lambda c: c.work.launches),
+        Counter("prof_trigger_00", _CORE, _zero, noise_cv=0.0),
+        Counter("prof_trigger_01", _CORE, _zero, noise_cv=0.0),
+        # -- memory events ------------------------------------------------
+        Counter("gld_32b", _MEM, w(lambda c: 0.25 * c.gld_transactions)),
+        Counter("gld_64b", _MEM, w(lambda c: 0.35 * c.gld_transactions)),
+        Counter("gld_128b", _MEM, w(lambda c: 0.40 * c.gld_transactions)),
+        Counter("gst_32b", _MEM, w(lambda c: 0.25 * c.gst_transactions)),
+        Counter("gst_64b", _MEM, w(lambda c: 0.35 * c.gst_transactions)),
+        Counter("gst_128b", _MEM, w(lambda c: 0.40 * c.gst_transactions)),
+        Counter(
+            "gld_coherent",
+            _MEM,
+            lambda c: c.gld_transactions * c.work.coalescing,
+        ),
+        Counter(
+            "gld_incoherent",
+            _MEM,
+            lambda c: c.gld_transactions * (1.0 - c.work.coalescing),
+        ),
+        Counter(
+            "gst_coherent",
+            _MEM,
+            lambda c: c.gst_transactions * c.work.coalescing,
+        ),
+        Counter(
+            "gst_incoherent",
+            _MEM,
+            lambda c: c.gst_transactions * (1.0 - c.work.coalescing),
+        ),
+        Counter("local_load", _MEM, lambda c: 0.6 * _local_traffic(c)),
+        Counter("local_store", _MEM, lambda c: 0.4 * _local_traffic(c)),
+        Counter("tex_cache_hit", _MEM, lambda c: 0.7 * _tex_queries(c)),
+        Counter("tex_cache_miss", _MEM, _tex_misses),
+    )
+
+
+# ----------------------------------------------------------------------
+# GF1xx / Fermi counter set (74 counters)
+# ----------------------------------------------------------------------
+
+def _fermi_core() -> list[Counter]:
+    counters = [
+        Counter("inst_executed", _CORE, lambda c: c.work.inst_total),
+        Counter("inst_issued", _CORE, _inst_issued),
+        Counter("inst_issued1_0", _CORE, _split(_inst_issued, 0.33)),
+        Counter("inst_issued2_0", _CORE, _split(_inst_issued, 0.18)),
+        Counter("inst_issued1_1", _CORE, _split(_inst_issued, 0.31)),
+        Counter("inst_issued2_1", _CORE, _split(_inst_issued, 0.18)),
+        Counter(
+            "thread_inst_executed_0",
+            _CORE,
+            lambda c: 8.5 * c.work.inst_total,
+        ),
+        Counter(
+            "thread_inst_executed_1",
+            _CORE,
+            lambda c: 8.1 * c.work.inst_total,
+        ),
+        Counter(
+            "thread_inst_executed_2",
+            _CORE,
+            lambda c: 7.9 * c.work.inst_total,
+        ),
+        Counter(
+            "thread_inst_executed_3",
+            _CORE,
+            lambda c: 7.5 * c.work.inst_total,
+        ),
+        Counter("branch", _CORE, lambda c: c.work.branches),
+        Counter("divergent_branch", _CORE, lambda c: c.work.divergent_branches),
+        Counter("warps_launched", _CORE, lambda c: c.work.warps),
+        Counter("threads_launched", _CORE, lambda c: c.work.threads),
+        Counter("sm_cta_launched", _CORE, lambda c: c.work.blocks),
+        Counter("active_cycles", _CORE, lambda c: c.elapsed_cycles, noise_cv=0.02),
+        Counter("active_warps", _CORE, _active_warps, noise_cv=0.02),
+        Counter("shared_load", _CORE, lambda c: c.work.shared_loads),
+        Counter("shared_store", _CORE, lambda c: c.work.shared_stores),
+        Counter("l1_shared_bank_conflict", _CORE, _bank_conflicts),
+        Counter("inst_fp_32", _CORE, lambda c: c.work.flops / 1.6),
+        Counter("inst_fp_64", _CORE, lambda c: c.work.dp_flops / 1.3),
+        Counter("inst_int", _CORE, lambda c: c.work.int_ops),
+        Counter(
+            "inst_bit_convert", _CORE, lambda c: 0.05 * c.work.int_ops
+        ),
+        Counter("inst_control", _CORE, lambda c: c.work.branches),
+        Counter("inst_ldst", _CORE, _ldst_inst),
+        Counter("inst_misc", _CORE, lambda c: 0.04 * c.work.inst_total),
+        Counter("inst_special", _CORE, lambda c: c.work.sfu_ops),
+        Counter("issue_slots", _CORE, _issue_slots),
+        Counter(
+            "stall_inst_fetch",
+            _CORE,
+            _stall(lambda c: 0.02 + 0.05 * c.work.divergence),
+        ),
+        Counter(
+            "stall_exec_dependency",
+            _CORE,
+            _stall(lambda c: 0.25 * (1.0 - c.work.occupancy)),
+        ),
+        Counter(
+            "stall_memory_dependency",
+            _CORE,
+            _stall(lambda c: 0.8 * c.timing.memory_utilization),
+            noise_cv=0.03,
+        ),
+        Counter("stall_texture", _CORE, _stall(lambda c: 0.01)),
+        Counter(
+            "stall_sync",
+            _CORE,
+            _stall(
+                lambda c: 0.10
+                * (c.work.shared_loads + c.work.shared_stores)
+                / max(c.work.inst_total, 1.0)
+            ),
+        ),
+        Counter("stall_other", _CORE, _stall(lambda c: 0.03)),
+        Counter(
+            "achieved_occupancy", _CORE, lambda c: c.work.occupancy, noise_cv=0.005
+        ),
+        Counter(
+            "inst_replay_overhead",
+            _CORE,
+            lambda c: 0.04 + 0.35 * c.work.divergence,
+            noise_cv=0.005,
+        ),
+        Counter(
+            "shared_replay_overhead",
+            _CORE,
+            lambda c: _bank_conflicts(c) / max(c.work.inst_total, 1.0),
+            noise_cv=0.005,
+        ),
+        Counter("atom_count", _CORE, lambda c: c.work.atom_ops),
+        Counter("gred_count", _CORE, lambda c: 0.3 * c.work.atom_ops),
+        Counter("prof_trigger_00", _CORE, _zero, noise_cv=0.0),
+    ]
+    return counters
+
+
+def _fermi_memory() -> list[Counter]:
+    counters = [
+        Counter("gld_request", _MEM, lambda c: c.work.gld_bytes / 128.0),
+        Counter("gst_request", _MEM, lambda c: c.work.gst_bytes / 128.0),
+        Counter("l1_global_load_hit", _MEM, lambda c: c.cache.l1_load_hits),
+        Counter("l1_global_load_miss", _MEM, lambda c: c.cache.l1_load_misses),
+        Counter(
+            "l1_local_load_hit", _MEM, lambda c: 0.5 * _local_traffic(c)
+        ),
+        Counter(
+            "l1_local_load_miss", _MEM, lambda c: 0.1 * _local_traffic(c)
+        ),
+        Counter(
+            "l1_local_store_hit", _MEM, lambda c: 0.3 * _local_traffic(c)
+        ),
+        Counter(
+            "l1_local_store_miss", _MEM, lambda c: 0.1 * _local_traffic(c)
+        ),
+        Counter(
+            "uncached_global_load_transaction",
+            _MEM,
+            lambda c: c.gld_transactions * (1.0 - c.work.locality),
+        ),
+        Counter("global_store_transaction", _MEM, lambda c: c.gst_transactions),
+        Counter("local_load", _MEM, lambda c: 0.6 * _local_traffic(c)),
+        Counter("local_store", _MEM, lambda c: 0.4 * _local_traffic(c)),
+        Counter(
+            "global_cache_replay_overhead",
+            _MEM,
+            lambda c: 0.1 * (1.0 - c.work.coalescing),
+            noise_cv=0.005,
+        ),
+        Counter(
+            "local_cache_replay_overhead",
+            _MEM,
+            lambda c: 0.01,
+            noise_cv=0.005,
+        ),
+        Counter(
+            "dram_utilization",
+            _MEM,
+            lambda c: 10.0 * c.timing.memory_utilization,
+            noise_cv=0.02,
+        ),
+    ]
+    for i, weight in enumerate(_SUBP2):
+        counters.extend(
+            [
+                Counter(
+                    f"l2_subp{i}_read_sector_queries",
+                    _MEM,
+                    _split(_l2_read_queries, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_write_sector_queries",
+                    _MEM,
+                    _split(_l2_write_queries, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_read_sector_misses",
+                    _MEM,
+                    _split(_l2_read_misses, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_write_sector_misses",
+                    _MEM,
+                    _split(_l2_write_misses, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_read_hit_sectors",
+                    _MEM,
+                    _split(_l2_read_hits, weight),
+                ),
+                Counter(
+                    f"fb_subp{i}_read_sectors",
+                    _MEM,
+                    _split(_fb_reads, weight),
+                    noise_cv=0.02,
+                ),
+                Counter(
+                    f"fb_subp{i}_write_sectors",
+                    _MEM,
+                    _split(_fb_writes, weight),
+                    noise_cv=0.02,
+                ),
+                Counter(
+                    f"tex{i}_cache_sector_queries",
+                    _MEM,
+                    _split(_tex_queries, weight),
+                ),
+                Counter(
+                    f"tex{i}_cache_sector_misses",
+                    _MEM,
+                    _split(_tex_misses, weight),
+                ),
+            ]
+        )
+    return counters
+
+
+def _fermi_counters() -> tuple[Counter, ...]:
+    return tuple(_fermi_core() + _fermi_memory())
+
+
+# ----------------------------------------------------------------------
+# GK104 / Kepler counter set (108 counters)
+# ----------------------------------------------------------------------
+
+def _kepler_counters() -> tuple[Counter, ...]:
+    core = _fermi_core() + [
+        Counter("flops_sp", _CORE, lambda c: c.work.flops),
+        Counter("flops_sp_add", _CORE, lambda c: 0.15 * c.work.flops),
+        Counter("flops_sp_mul", _CORE, lambda c: 0.20 * c.work.flops),
+        Counter("flops_sp_fma", _CORE, lambda c: 0.65 * c.work.flops / 2.0),
+        Counter("flops_dp", _CORE, lambda c: c.work.dp_flops),
+        Counter(
+            "stall_pipe_busy",
+            _CORE,
+            _stall(lambda c: 0.10 * c.timing.core_utilization),
+        ),
+        Counter("stall_constant_memory_dependency", _CORE, _stall(lambda c: 0.01)),
+        Counter(
+            "stall_memory_throttle",
+            _CORE,
+            _stall(lambda c: 0.3 * c.timing.memory_utilization),
+            noise_cv=0.03,
+        ),
+        Counter(
+            "stall_not_selected",
+            _CORE,
+            _stall(lambda c: 0.15 * c.work.occupancy),
+        ),
+        Counter("shared_load_replay", _CORE, lambda c: 0.6 * _bank_conflicts(c)),
+        Counter("shared_store_replay", _CORE, lambda c: 0.4 * _bank_conflicts(c)),
+        Counter(
+            "issue_slot_utilization",
+            _CORE,
+            lambda c: min(
+                1.0, _issue_slots(c) / max(c.elapsed_cycles * 4.0, 1.0)
+            ),
+            noise_cv=0.005,
+        ),
+        Counter(
+            "eligible_warps_per_cycle",
+            _CORE,
+            lambda c: c.work.occupancy * _MAX_WARPS * 0.25,
+            noise_cv=0.005,
+        ),
+    ]
+    memory = _fermi_memory() + [
+        Counter("gld_transactions", _MEM, lambda c: c.gld_transactions),
+        Counter("gst_transactions", _MEM, lambda c: c.gst_transactions),
+        Counter(
+            "l1_cached_global_load_transaction",
+            _MEM,
+            lambda c: c.gld_transactions * c.work.locality,
+        ),
+        Counter("l2_tex_read_sector_queries", _MEM, _split(_tex_queries, 1.0)),
+        Counter("l2_tex_write_sector_queries", _MEM, _split(_tex_queries, 0.1)),
+        Counter(
+            "sysmem_read_transactions", _MEM, lambda c: 0.001 * c.gld_transactions
+        ),
+        Counter(
+            "sysmem_write_transactions", _MEM, lambda c: 0.001 * c.gst_transactions
+        ),
+    ]
+    # Kepler's L2/FB are split across four sub-partitions; the extra two
+    # partitions contribute additional counters beyond the Fermi pair.
+    for i in (2, 3):
+        weight = _SUBP4[i]
+        memory.extend(
+            [
+                Counter(
+                    f"l2_subp{i}_read_sector_queries",
+                    _MEM,
+                    _split(_l2_read_queries, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_write_sector_queries",
+                    _MEM,
+                    _split(_l2_write_queries, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_read_sector_misses",
+                    _MEM,
+                    _split(_l2_read_misses, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_write_sector_misses",
+                    _MEM,
+                    _split(_l2_write_misses, weight),
+                ),
+                Counter(
+                    f"l2_subp{i}_read_hit_sectors",
+                    _MEM,
+                    _split(_l2_read_hits, weight),
+                ),
+                Counter(
+                    f"fb_subp{i}_read_sectors",
+                    _MEM,
+                    _split(_fb_reads, weight),
+                    noise_cv=0.02,
+                ),
+                Counter(
+                    f"fb_subp{i}_write_sectors",
+                    _MEM,
+                    _split(_fb_writes, weight),
+                    noise_cv=0.02,
+                ),
+            ]
+        )
+    return tuple(core + memory)
+
+
+# ----------------------------------------------------------------------
+# Tahiti / GCN counter set (extension: the paper's Radeon future work)
+# ----------------------------------------------------------------------
+
+def _gcn_counters() -> tuple[Counter, ...]:
+    """AMD GCN (Tahiti) counters in CodeXL/GPUPerfAPI naming style.
+
+    Wavefronts are 64 threads wide on GCN (two NVIDIA warps), SALU/VALU
+    split replaces the scalar/vector mix, and the L2 (TCC) plus memory
+    controller are split across eight channels.
+    """
+    core = [
+        Counter("SQ_INSTS", _CORE, lambda c: c.work.inst_total),
+        Counter(
+            "SQ_INSTS_VALU",
+            _CORE,
+            lambda c: c.work.flops / 1.6 + c.work.int_ops,
+        ),
+        Counter("SQ_INSTS_SALU", _CORE, lambda c: 0.15 * c.work.inst_total),
+        Counter("SQ_INSTS_SMEM", _CORE, lambda c: 0.03 * c.work.inst_total),
+        Counter(
+            "SQ_INSTS_LDS",
+            _CORE,
+            lambda c: c.work.shared_loads + c.work.shared_stores,
+        ),
+        Counter("SQ_INSTS_GDS", _CORE, lambda c: c.work.atom_ops),
+        Counter("SQ_INSTS_BRANCH", _CORE, lambda c: c.work.branches),
+        Counter(
+            "SQ_INSTS_VSKIPPED",
+            _CORE,
+            lambda c: 10.0 * c.work.divergent_branches,
+        ),
+        Counter("SQ_WAVES", _CORE, lambda c: c.work.warps / 2.0),
+        Counter("SQ_BUSY_CYCLES", _CORE, lambda c: c.elapsed_cycles, noise_cv=0.02),
+        Counter(
+            "SQ_ACTIVE_INST_VALU",
+            _CORE,
+            lambda c: c.elapsed_cycles * c.timing.core_utilization,
+            noise_cv=0.02,
+        ),
+        Counter(
+            "SQ_WAIT_ANY",
+            _CORE,
+            _stall(lambda c: 0.5 * c.timing.memory_utilization),
+            noise_cv=0.03,
+        ),
+        Counter(
+            "SQ_WAIT_INST_LDS",
+            _CORE,
+            _stall(
+                lambda c: 0.08
+                * (c.work.shared_loads + c.work.shared_stores)
+                / max(c.work.inst_total, 1.0)
+            ),
+        ),
+        Counter("GRBM_GUI_ACTIVE", _CORE, lambda c: c.elapsed_cycles, noise_cv=0.02),
+        Counter("GRBM_COUNT", _CORE, lambda c: c.elapsed_cycles * 1.02, noise_cv=0.02),
+        Counter("SPI_CSN_BUSY", _CORE, lambda c: c.elapsed_cycles * 0.95, noise_cv=0.02),
+        Counter("SPI_CSN_WAVE", _CORE, lambda c: c.work.warps / 2.0),
+        Counter("SPI_CSN_NUM_THREADGROUPS", _CORE, lambda c: c.work.blocks),
+        Counter("TA_BUSY", _CORE, lambda c: c.elapsed_cycles * 0.4, noise_cv=0.02),
+        Counter("Wavefronts", _CORE, lambda c: c.work.warps / 2.0),
+        Counter(
+            "VALUInsts",
+            _CORE,
+            lambda c: (c.work.flops / 1.6 + c.work.int_ops)
+            / max(c.work.warps / 2.0, 1.0),
+        ),
+        Counter(
+            "SALUInsts",
+            _CORE,
+            lambda c: 0.15 * c.work.inst_total / max(c.work.warps / 2.0, 1.0),
+        ),
+        Counter(
+            "VALUUtilization",
+            _CORE,
+            lambda c: 100.0
+            / (1.0 + 2.0 * c.work.divergence * c.spec.traits.divergence_penalty),
+            noise_cv=0.005,
+        ),
+        Counter(
+            "VALUBusy",
+            _CORE,
+            lambda c: 100.0 * c.timing.core_utilization,
+            noise_cv=0.01,
+        ),
+        Counter(
+            "SALUBusy",
+            _CORE,
+            lambda c: 15.0 * c.timing.core_utilization,
+            noise_cv=0.01,
+        ),
+        Counter(
+            "LDSInsts",
+            _CORE,
+            lambda c: (c.work.shared_loads + c.work.shared_stores)
+            / max(c.work.warps / 2.0, 1.0),
+        ),
+        Counter("LDSBankConflict", _CORE, _bank_conflicts),
+        Counter("GDSInsts", _CORE, lambda c: c.work.atom_ops / max(c.work.warps / 2.0, 1.0)),
+        Counter("prof_trigger_00", _CORE, _zero, noise_cv=0.0),
+    ]
+    memory = [
+        Counter(
+            "TCP_TOTAL_CACHE_ACCESSES",
+            _MEM,
+            lambda c: c.gld_transactions + c.gst_transactions,
+        ),
+        Counter(
+            "TCP_TCC_READ_REQ",
+            _MEM,
+            lambda c: c.gld_transactions * (1.0 - 0.6 * c.work.locality),
+        ),
+        Counter("TCP_TCC_WRITE_REQ", _MEM, lambda c: c.gst_transactions),
+        Counter(
+            "TCP_TCR_TCC_STALL",
+            _MEM,
+            lambda c: 0.2 * c.cache.l2_queries * c.timing.memory_utilization,
+            noise_cv=0.03,
+        ),
+        Counter("TD_TD_BUSY", _MEM, lambda c: c.elapsed_cycles * 0.3, noise_cv=0.02),
+        Counter(
+            "MemUnitBusy",
+            _MEM,
+            lambda c: 100.0 * c.timing.memory_utilization,
+            noise_cv=0.02,
+        ),
+        Counter(
+            "MemUnitStalled",
+            _MEM,
+            lambda c: 20.0 * c.timing.memory_utilization * (1.0 - c.work.coalescing),
+            noise_cv=0.02,
+        ),
+        Counter(
+            "WriteUnitStalled",
+            _MEM,
+            lambda c: 5.0 * c.timing.memory_utilization,
+            noise_cv=0.02,
+        ),
+        Counter("FetchSize", _MEM, lambda c: c.cache.dram_read_bytes / 1024.0),
+        Counter("WriteSize", _MEM, lambda c: c.cache.dram_write_bytes / 1024.0),
+        Counter(
+            "VFetchInsts",
+            _MEM,
+            lambda c: (c.work.gld_bytes / 8.0) / max(c.work.warps / 2.0, 1.0),
+        ),
+        Counter(
+            "VWriteInsts",
+            _MEM,
+            lambda c: (c.work.gst_bytes / 8.0) / max(c.work.warps / 2.0, 1.0),
+        ),
+        Counter(
+            "CacheHit",
+            _MEM,
+            lambda c: 100.0 * c.spec.traits.cache_factor * c.work.locality,
+            noise_cv=0.01,
+        ),
+        Counter(
+            "L1CacheHit",
+            _MEM,
+            lambda c: 60.0 * c.spec.traits.cache_factor * c.work.locality,
+            noise_cv=0.01,
+        ),
+    ]
+    for i, weight in enumerate(_SUBP8):
+        memory.extend(
+            [
+                Counter(
+                    f"TCC_HIT_ch{i}",
+                    _MEM,
+                    _split(lambda c: c.cache.l2_queries - c.cache.l2_misses, weight),
+                ),
+                Counter(
+                    f"TCC_MISS_ch{i}",
+                    _MEM,
+                    _split(lambda c: c.cache.l2_misses, weight),
+                ),
+                Counter(
+                    f"TCC_EA_RDREQ_ch{i}",
+                    _MEM,
+                    _split(_fb_reads, weight),
+                    noise_cv=0.02,
+                ),
+                Counter(
+                    f"TCC_EA_WRREQ_ch{i}",
+                    _MEM,
+                    _split(_fb_writes, weight),
+                    noise_cv=0.02,
+                ),
+            ]
+        )
+    return tuple(core + memory)
+
+
+_COUNTER_SETS: dict[str, tuple[Counter, ...]] = {}
+
+
+def counter_set(name: str) -> tuple[Counter, ...]:
+    """Return the counter set of a generation (``tesla``/``fermi``/``kepler``)."""
+    if not _COUNTER_SETS:
+        _COUNTER_SETS["tesla"] = _tesla_counters()
+        _COUNTER_SETS["fermi"] = _fermi_counters()
+        _COUNTER_SETS["kepler"] = _kepler_counters()
+        _COUNTER_SETS["gcn"] = _gcn_counters()
+    try:
+        return _COUNTER_SETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown counter set {name!r}; available: tesla, fermi, kepler, gcn"
+        ) from None
+
+
+def counter_set_size(name: str) -> int:
+    """Number of counters in a generation's set (paper: 32 / 74 / 108)."""
+    return len(counter_set(name))

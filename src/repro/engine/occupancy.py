@@ -1,0 +1,48 @@
+"""Warp-scheduler efficiency model.
+
+Maps a kernel's occupancy and branch divergence, together with the
+generation's issue machinery, to the fraction of peak issue bandwidth the
+kernel actually achieves.  This is deliberately coarse — the paper's
+models never see these internals, only their consequences through the
+counters — but the *cross-generation ordering* matters: Tesla's scalar
+issue suffers most from divergence (its profiler exposes
+``warp_serialize`` for a reason), Kepler's quad scheduler least.
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import ArchTraits
+
+
+def occupancy_efficiency(occupancy: float) -> float:
+    """Issue efficiency attained at a given achieved occupancy.
+
+    Latency hiding saturates well below 100% occupancy (a handful of
+    resident warps already covers ALU latency), hence the concave shape.
+    """
+    if not 0.0 < occupancy <= 1.0:
+        raise ValueError(f"occupancy must be in (0, 1], got {occupancy}")
+    return occupancy**0.4
+
+
+def divergence_efficiency(divergence: float, traits: ArchTraits) -> float:
+    """Issue efficiency retained under branch divergence.
+
+    A warp that diverges serializes its paths; the per-generation
+    ``divergence_penalty`` scales how much of that serialization reaches
+    the issue stage.
+    """
+    if not 0.0 <= divergence <= 1.0:
+        raise ValueError(f"divergence must be in [0, 1], got {divergence}")
+    return 1.0 / (1.0 + 2.0 * divergence * traits.divergence_penalty)
+
+
+def scheduler_efficiency(
+    occupancy: float, divergence: float, traits: ArchTraits
+) -> float:
+    """Combined fraction of peak issue bandwidth achieved by a kernel."""
+    return (
+        traits.issue_efficiency
+        * occupancy_efficiency(occupancy)
+        * divergence_efficiency(divergence, traits)
+    )

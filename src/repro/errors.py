@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while standard ``ValueError`` /
+``KeyError`` semantics are preserved through multiple inheritance.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class UnknownGPUError(ReproError, KeyError):
+    """Requested GPU name is not in the registry."""
+
+
+class UnknownBenchmarkError(ReproError, KeyError):
+    """Requested benchmark name is not in the registry."""
+
+
+class InvalidOperatingPointError(ReproError, ValueError):
+    """A (core, memory) frequency pair is not configurable on this GPU.
+
+    Mirrors the blank cells of Table III: not every H/M/L combination is
+    exposed by the card's BIOS.
+    """
+
+
+class BIOSFormatError(ReproError, ValueError):
+    """A VBIOS image is malformed (bad magic, truncated, bad checksum)."""
+
+
+class ProfilerError(ReproError, RuntimeError):
+    """The (simulated) CUDA profiler failed to analyze a benchmark.
+
+    The paper reports this for mummergpu, backprop and pathfinder from
+    Rodinia and bfs from Parboil; those runs are excluded from the
+    modeling dataset.
+    """
+
+
+class ModelNotFittedError(ReproError, RuntimeError):
+    """A statistical model was queried before ``fit`` was called."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """The power-measurement protocol could not be completed."""

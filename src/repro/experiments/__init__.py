@@ -1,0 +1,11 @@
+"""One module per paper artifact (8 tables, 11 figures).
+
+Use :func:`repro.experiments.registry.get_experiment` /
+:func:`repro.experiments.registry.all_experiments` or the CLI
+(``python -m repro run fig4``).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_experiments, get_experiment, run
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment", "run"]

@@ -1,0 +1,38 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.format import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    ``paper_values`` holds the corresponding numbers from the paper for
+    side-by-side comparison in EXPERIMENTS.md; keys are free-form labels.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[object]]
+    notes: str = ""
+    paper_values: dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the result as a text report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.paper_values:
+            parts.append("")
+            parts.append("Paper reference values:")
+            for key, value in self.paper_values.items():
+                parts.append(f"  {key}: {value}")
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,83 @@
+"""Shared machinery for the per-benchmark clock figures (Figs. 1-3).
+
+Each of these figures plots, for all four GPUs, normalized performance
+and power efficiency against the processing-core frequency, one line per
+memory frequency.  We emit the series as rows: one row per
+(GPU, memory level, core level) with normalized performance and
+efficiency relative to the card's (H-H) default.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plot import line_chart
+from repro.arch.specs import all_gpus
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+from repro.kernels.suites import get_benchmark
+
+
+def run_clock_figure(
+    experiment_id: str,
+    benchmark_name: str,
+    paper_values: dict[str, object],
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Build the Fig. 1/2/3-style table for one benchmark."""
+    bench = get_benchmark(benchmark_name)
+    rows = []
+    best_summary: dict[str, str] = {}
+    charts: list[str] = []
+    for gpu in all_gpus():
+        table = context.sweep_table(gpu.name, seed)
+        pairs = table.measurements[bench.name]
+        default = pairs["H-H"]
+        best_key = min(pairs, key=lambda k: pairs[k].energy_j)
+        best = pairs[best_key]
+        improvement = (default.energy_j / best.energy_j - 1.0) * 100.0
+        loss = (best.exec_seconds / default.exec_seconds - 1.0) * 100.0
+        best_summary[gpu.name] = (
+            f"best ({best_key}): efficiency +{improvement:.1f}%, "
+            f"performance {-loss:+.1f}%"
+        )
+        efficiency_series: dict[str, list[tuple[float, float]]] = {}
+        for op in gpu.operating_points():
+            m = pairs[op.key]
+            rows.append(
+                [
+                    gpu.name,
+                    f"Mem-{op.mem_level.value}",
+                    f"{op.core_mhz:.0f}",
+                    default.exec_seconds / m.exec_seconds,
+                    default.energy_j / m.energy_j,
+                ]
+            )
+            efficiency_series.setdefault(
+                f"Mem-{op.mem_level.value}", []
+            ).append((op.core_mhz, default.energy_j / m.energy_j))
+        charts.append(
+            line_chart(
+                efficiency_series,
+                title=f"{gpu.name}: power efficiency vs core clock",
+                x_label="core MHz",
+                y_label="efficiency normalized to H-H",
+            )
+        )
+    notes = "\n".join(f"{k}: {v}" for k, v in best_summary.items())
+    notes += "\n\n" + "\n\n".join(charts)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Performance and power efficiency of {bench.name} "
+            "(normalized to the H-H default)"
+        ),
+        headers=[
+            "GPU",
+            "Mem level",
+            "Core MHz",
+            "Perf (norm)",
+            "Efficiency (norm)",
+        ],
+        rows=rows,
+        notes=notes,
+        paper_values=paper_values,
+    )

@@ -1,0 +1,51 @@
+"""Shared machinery for the error-distribution figures (Figs. 5, 6)."""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPU_NAMES
+from repro.experiments.base import ExperimentResult
+from repro.experiments.modeltables import model_reports
+
+
+def error_distribution_figure(
+    experiment_id: str,
+    title: str,
+    kind: str,
+    paper_values: dict[str, object],
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Per-benchmark mean error, sorted descending per GPU.
+
+    Mirrors the paper's presentation: the x-axis (rank) sorts benchmarks
+    independently for each GPU.
+    """
+    reports = model_reports(kind, seed)
+    sorted_errors = {
+        name: sorted(
+            reports[name][1].per_benchmark_pct_error().items(),
+            key=lambda kv: -kv[1],
+        )
+        for name in GPU_NAMES
+    }
+    n = max(len(v) for v in sorted_errors.values())
+    rows = []
+    for i in range(n):
+        row: list[object] = [i + 1]
+        for name in GPU_NAMES:
+            entries = sorted_errors[name]
+            if i < len(entries):
+                bench, err = entries[i]
+                row.extend([bench, round(err, 1)])
+            else:
+                row.extend(["-", "-"])
+        rows.append(row)
+    headers = ["Rank"]
+    for name in GPU_NAMES:
+        headers.extend([f"{name}", "err[%]"])
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        paper_values=paper_values,
+    )

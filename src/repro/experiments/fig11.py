@@ -1,0 +1,42 @@
+"""Fig. 11: selected explanatory variables and their influence."""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPU_NAMES
+from repro.core.evaluate import influence_breakdown
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Selected explanatory variables and their influence (Fig. 11)"
+
+PAPER_VALUES = {
+    "observation": (
+        "at most 10-15 variables really influence power and performance; "
+        "selecting that many at runtime is realistic for dynamic "
+        "prediction"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 11 influence breakdown."""
+    rows = []
+    for name in GPU_NAMES:
+        ds = context.dataset(name, seed)
+        for kind, model in (
+            ("power", context.power_model(name, seed)),
+            ("performance", context.performance_model(name, seed)),
+        ):
+            shares = influence_breakdown(model, ds)
+            for rank, (var, share) in enumerate(
+                sorted(shares.items(), key=lambda kv: -kv[1]), start=1
+            ):
+                rows.append([name, kind, rank, var, round(100 * share, 1)])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["GPU", "Model", "Rank", "Variable", "Influence [%]"],
+        rows=rows,
+        paper_values=PAPER_VALUES,
+    )

@@ -1,0 +1,23 @@
+"""Fig. 2: performance and power efficiency of Streamcluster."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.clockfigs import run_clock_figure
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Performance and power efficiency of Streamcluster (Fig. 2)"
+
+PAPER_VALUES = {
+    "GTX 680 best pair": "(M-H): efficiency +4.7%, performance -8.7%",
+    "other GPUs": "best at the (H-H) default",
+    "observation": (
+        "Mem-H performance improves with core frequency; Mem-M/Mem-L are "
+        "flat (memory-bound)"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Streamcluster clock figure."""
+    return run_clock_figure(EXPERIMENT_ID, "streamcluster", PAPER_VALUES, seed)

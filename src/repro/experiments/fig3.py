@@ -1,0 +1,22 @@
+"""Fig. 3: performance and power efficiency of Gaussian."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.clockfigs import run_clock_figure
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Performance and power efficiency of Gaussian (Fig. 3)"
+
+PAPER_VALUES = {
+    "observation": (
+        "Mixed compute/memory behaviour; the best configuration differs "
+        "even between the two Fermi cards (GTX 460 vs GTX 480), which "
+        "motivates statistical modeling"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Gaussian clock figure."""
+    return run_clock_figure(EXPERIMENT_ID, "gaussian", PAPER_VALUES, seed)

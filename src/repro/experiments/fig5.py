@@ -1,0 +1,23 @@
+"""Fig. 5: errors in prediction of the power model, per benchmark."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.errorfigs import error_distribution_figure
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Power-model prediction errors by benchmark (Fig. 5)"
+
+PAPER_VALUES = {
+    "observation": (
+        "more than half of the workloads exhibit errors below 20% on all "
+        "GPUs; averages are in Table VII"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 5 distribution."""
+    return error_distribution_figure(
+        EXPERIMENT_ID, TITLE, "power", PAPER_VALUES, seed
+    )

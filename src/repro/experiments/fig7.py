@@ -1,0 +1,23 @@
+"""Fig. 7: impact of the number of explanatory variables (power)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.varsweep import variable_sweep_figure
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Impact of explanatory variables on the power model (Fig. 7)"
+
+PAPER_VALUES = {
+    "observation": (
+        "R̄² barely improves beyond 10 variables; 10 gives reasonable "
+        "accuracy"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 7 sweep."""
+    return variable_sweep_figure(
+        EXPERIMENT_ID, TITLE, "power", PAPER_VALUES, seed
+    )

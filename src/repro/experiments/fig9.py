@@ -1,0 +1,22 @@
+"""Fig. 9: impact of GPU clocks on the power model (per-pair vs unified)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pairfigs import per_pair_figure
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Per-frequency-pair vs unified power models (Fig. 9)"
+
+PAPER_VALUES = {
+    "observation": (
+        "per-pair models are slightly more accurate, but the unified "
+        "model matches them closely while needing a single instance — "
+        "its key practical advantage"
+    ),
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 9 comparison."""
+    return per_pair_figure(EXPERIMENT_ID, TITLE, "power", PAPER_VALUES, seed)

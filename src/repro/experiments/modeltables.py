@@ -1,0 +1,53 @@
+"""Shared machinery for the model-quality tables (Tables V-VIII)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.specs import GPU_NAMES
+from repro.core.evaluate import ErrorReport, evaluate_model
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+
+
+def model_reports(
+    kind: str, seed: int | None = None
+) -> dict[str, tuple[float, ErrorReport]]:
+    """Fitted-model adjusted R² and error report per GPU.
+
+    ``kind`` is ``"power"`` or ``"performance"``.
+    """
+    if kind not in ("power", "performance"):
+        raise ValueError(f"kind must be 'power' or 'performance', got {kind!r}")
+    result = {}
+    for name in GPU_NAMES:
+        ds = context.dataset(name, seed)
+        model = (
+            context.power_model(name, seed)
+            if kind == "power"
+            else context.performance_model(name, seed)
+        )
+        result[name] = (model.adjusted_r2, evaluate_model(model, ds))
+    return result
+
+
+def r2_table(
+    experiment_id: str,
+    title: str,
+    kind: str,
+    paper_r2: dict[str, float],
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Build a Table V/VI-style R-bar-squared row."""
+    reports = model_reports(kind, seed)
+    rows = [
+        ["R̄² (ours)"] + [round(reports[n][0], 2) for n in GPU_NAMES],
+        ["R̄² (paper)"] + [paper_r2[n] for n in GPU_NAMES],
+    ]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["Metric"] + list(GPU_NAMES),
+        rows=rows,
+        paper_values={"R̄²": str(paper_r2)},
+    )

@@ -1,0 +1,50 @@
+"""Shared machinery for the unified-vs-per-pair figures (Figs. 9, 10)."""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPU_NAMES
+from repro.analysis.format import format_box
+from repro.baselines.per_pair import PerPairModelSuite
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+
+
+def per_pair_figure(
+    experiment_id: str,
+    title: str,
+    kind: str,
+    paper_values: dict[str, object],
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Box-and-whisker error summaries: one model per pair vs unified."""
+    model_cls = UnifiedPowerModel if kind == "power" else UnifiedPerformanceModel
+    rows = []
+    strips = []
+    for name in GPU_NAMES:
+        ds = context.dataset(name, seed)
+        suite = PerPairModelSuite(model_cls).fit(ds)
+        reports = suite.evaluate(ds)
+        for key, report in reports.items():
+            stats = report.box_stats()
+            rows.append(
+                [
+                    name,
+                    key,
+                    round(stats["q1"], 1),
+                    round(stats["median"], 1),
+                    round(stats["q3"], 1),
+                    round(stats["max"], 1),
+                    round(stats["mean"], 1),
+                ]
+            )
+            if key == "unified":
+                strips.append(f"{name} unified: {format_box(stats)}")
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["GPU", "Model", "Q1[%]", "Median[%]", "Q3[%]", "Max[%]", "Mean[%]"],
+        rows=rows,
+        notes="\n".join(strips),
+        paper_values=paper_values,
+    )

@@ -1,0 +1,104 @@
+"""Registry and runner for all paper artifacts."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ext_bootstrap,
+    ext_crossval,
+    ext_governor,
+    ext_methods,
+    ext_pareto,
+    ext_profiler,
+    ext_radeon,
+    ext_roofline,
+    ext_seeds,
+    ext_synthetic,
+    ext_thermal,
+    ext_transfer,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Paper artifacts in paper order, then the extensions of DESIGN.md §7.
+_MODULES = (
+    table1,
+    table2,
+    table3,
+    fig1,
+    fig2,
+    fig3,
+    table4,
+    fig4,
+    table5,
+    table6,
+    table7,
+    table8,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    ext_crossval,
+    ext_transfer,
+    ext_radeon,
+    ext_governor,
+    ext_bootstrap,
+    ext_methods,
+    ext_roofline,
+    ext_synthetic,
+    ext_thermal,
+    ext_seeds,
+    ext_profiler,
+    ext_pareto,
+)
+
+#: Experiment id -> (title, run callable), in paper order.
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    m.EXPERIMENT_ID: (m.TITLE, m.run) for m in _MODULES
+}
+
+
+def all_experiments() -> list[str]:
+    """All experiment ids in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(
+    experiment_id: str,
+) -> tuple[str, Callable[..., ExperimentResult]]:
+    """(title, run callable) of one experiment."""
+    try:
+        return EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run(experiment_id: str, seed: int | None = None) -> ExperimentResult:
+    """Run one experiment by id."""
+    _, runner = get_experiment(experiment_id)
+    return runner(seed=seed)

@@ -1,0 +1,36 @@
+"""Table I: specifications of the NVIDIA GPUs."""
+
+from __future__ import annotations
+
+from repro.arch.dvfs import ClockLevel
+from repro.arch.specs import all_gpus
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "table1"
+TITLE = "Specifications of the NVIDIA GPUs (Table I)"
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table I from the architecture registry."""
+    gpus = all_gpus()
+    levels = (ClockLevel.L, ClockLevel.M, ClockLevel.H)
+    rows = [
+        ["Architecture"] + [str(g.architecture) for g in gpus],
+        ["# of processing cores"] + [g.num_cores for g in gpus],
+        ["Peak performance (GFLOPS)"] + [g.peak_gflops for g in gpus],
+        ["Memory bandwidth (GB/sec)"] + [g.mem_bandwidth_gbs for g in gpus],
+        ["TDP (Watt)"] + [g.tdp_w for g in gpus],
+        ["Core frequency (MHz)"]
+        + [", ".join(f"{g.core_mhz[l]:.0f}" for l in levels) for g in gpus],
+        ["Memory frequency (MHz)"]
+        + [", ".join(f"{g.mem_mhz[l]:.0f}" for l in levels) for g in gpus],
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["GPU"] + [g.name for g in gpus],
+        rows=rows,
+        paper_values={
+            "source": "Table I of the paper (values reproduced verbatim)"
+        },
+    )

@@ -1,0 +1,41 @@
+"""Table III: configurable frequency combinations."""
+
+from __future__ import annotations
+
+from repro.arch.dvfs import ClockLevel
+from repro.arch.specs import all_gpus
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "table3"
+TITLE = "Configurable frequency combinations (Table III)"
+
+_ORDER = [
+    (ClockLevel.H, ClockLevel.H),
+    (ClockLevel.H, ClockLevel.M),
+    (ClockLevel.H, ClockLevel.L),
+    (ClockLevel.M, ClockLevel.H),
+    (ClockLevel.M, ClockLevel.M),
+    (ClockLevel.M, ClockLevel.L),
+    (ClockLevel.L, ClockLevel.H),
+    (ClockLevel.L, ClockLevel.M),
+    (ClockLevel.L, ClockLevel.L),
+]
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table III from each card's allowed-pair set."""
+    gpus = all_gpus()
+    rows = []
+    for core, mem in _ORDER:
+        label = f"Core-{core.value}, Mem-{mem.value}"
+        marks = [
+            "yes" if g.is_configurable(core, mem) else "-" for g in gpus
+        ]
+        rows.append([label] + marks)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Combination"] + [g.name for g in gpus],
+        rows=rows,
+        paper_values={"source": "Table III of the paper"},
+    )

@@ -1,0 +1,82 @@
+"""Table IV: the best frequency pairs for power efficiency."""
+
+from __future__ import annotations
+
+from repro.arch.specs import all_gpus
+from repro.characterize.efficiency import characterize_gpu
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paper_table4 import PAPER_TABLE4, agreement_stats
+from repro.kernels.suites import all_benchmarks
+
+EXPERIMENT_ID = "table4"
+TITLE = "Best frequency pairs for power efficiency (Table IV)"
+
+#: Paper's Table IV count of non-default best pairs per GPU.
+PAPER_NON_DEFAULT = {
+    "GTX 285": 9,
+    "GTX 460": 17,
+    "GTX 480": 20,
+    "GTX 680": 33,
+}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table IV from the full sweeps."""
+    per_gpu = {}
+    for gpu in all_gpus():
+        table = context.sweep_table(gpu.name, seed)
+        chars = characterize_gpu(gpu, table=table)
+        per_gpu[gpu.name] = {c.benchmark: c for c in chars}
+
+    rows = []
+    for bench in all_benchmarks():
+        row = [f"{bench.suite}/{bench.name}"]
+        for gpu in all_gpus():
+            c = per_gpu[gpu.name][bench.name]
+            mark = "" if c.is_default_best else " *"
+            row.append(f"({c.best_pair}){mark}")
+        rows.append(row)
+
+    non_default = {
+        name: sum(1 for c in chars.values() if not c.is_default_best)
+        for name, chars in per_gpu.items()
+    }
+    ours = {
+        name: {b: c.best_pair for b, c in chars.items()}
+        for name, chars in per_gpu.items()
+    }
+    agreement = agreement_stats(ours)
+    agreement_lines = [
+        f"{name}: exact {s['exact'] * 100:.0f}%, within one level "
+        f"{s['within_one'] * 100:.0f}% (mean distance "
+        f"{s['mean_distance']:.2f}, {s['cells']:.0f} cells)"
+        for name, s in agreement.items()
+    ]
+    notes = (
+        "Non-default best pairs per GPU (ours vs paper): "
+        + ", ".join(
+            f"{name}: {non_default[name]} (paper {PAPER_NON_DEFAULT[name]})"
+            for name in non_default
+        )
+        + "\n'*' marks benchmarks whose optimum deviates from the (H-H) "
+        "default; the paper's central observation is that this set grows "
+        "with every GPU generation."
+        + "\nCell-level agreement with the paper's Table IV "
+        f"({len(PAPER_TABLE4)} transcribed rows):\n  "
+        + "\n  ".join(agreement_lines)
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Benchmark"] + [g.name for g in all_gpus()],
+        rows=rows,
+        notes=notes,
+        paper_values={
+            "trend": (
+                "best pairs diversify with newer generations; on GTX 680 "
+                "nearly every benchmark prefers a non-default pair"
+            ),
+            "non-default count": str(PAPER_NON_DEFAULT),
+        },
+    )

@@ -1,0 +1,16 @@
+"""Table V: adjusted R² of the power model."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.modeltables import r2_table
+
+EXPERIMENT_ID = "table5"
+TITLE = "R̄² of the power model (Table V)"
+
+PAPER_R2 = {"GTX 285": 0.30, "GTX 460": 0.59, "GTX 480": 0.70, "GTX 680": 0.18}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table V."""
+    return r2_table(EXPERIMENT_ID, TITLE, "power", PAPER_R2, seed)

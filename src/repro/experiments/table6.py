@@ -1,0 +1,16 @@
+"""Table VI: adjusted R² of the performance model."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.modeltables import r2_table
+
+EXPERIMENT_ID = "table6"
+TITLE = "R̄² of the performance model (Table VI)"
+
+PAPER_R2 = {"GTX 285": 0.91, "GTX 460": 0.90, "GTX 480": 0.94, "GTX 680": 0.91}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table VI."""
+    return r2_table(EXPERIMENT_ID, TITLE, "performance", PAPER_R2, seed)

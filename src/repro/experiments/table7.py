@@ -1,0 +1,37 @@
+"""Table VII: average prediction error of the power model."""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPU_NAMES
+from repro.experiments.base import ExperimentResult
+from repro.experiments.modeltables import model_reports
+
+EXPERIMENT_ID = "table7"
+TITLE = "Average prediction error of the power model (Table VII)"
+
+PAPER_PCT = {"GTX 285": 15.0, "GTX 460": 14.0, "GTX 480": 18.2, "GTX 680": 23.5}
+PAPER_W = {"GTX 285": 20.1, "GTX 460": 15.2, "GTX 480": 24.4, "GTX 680": 23.7}
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table VII."""
+    reports = model_reports("power", seed)
+    rows = [
+        ["Error[%] (ours)"]
+        + [round(reports[n][1].mean_pct_error, 1) for n in GPU_NAMES],
+        ["Error[%] (paper)"] + [PAPER_PCT[n] for n in GPU_NAMES],
+        ["Error[W] (ours)"]
+        + [round(reports[n][1].mean_abs_error, 1) for n in GPU_NAMES],
+        ["Error[W] (paper)"] + [PAPER_W[n] for n in GPU_NAMES],
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Metric"] + list(GPU_NAMES),
+        rows=rows,
+        notes=(
+            "The paper's headline: despite low R̄², absolute errors stay "
+            "small because system power varies within a narrow band."
+        ),
+        paper_values={"Error[%]": str(PAPER_PCT), "Error[W]": str(PAPER_W)},
+    )

@@ -1,0 +1,72 @@
+"""Shared machinery for the variable-count sweeps (Figs. 7, 8).
+
+The paper evaluates its models with 5 to 20 explanatory variables and
+shows that accuracy saturates around 10.  Forward selection is greedy and
+incremental, so a single run capped at 20 yields every prefix model: the
+first *k* selected variables are exactly what a cap-*k* run would select.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.specs import GPU_NAMES
+from repro.core.models import (
+    UnifiedPerformanceModel,
+    UnifiedPowerModel,
+    _UnifiedModel,
+)
+from repro.core.regression import fit_ols
+from repro.experiments import context
+from repro.experiments.base import ExperimentResult
+
+#: Variable counts the paper sweeps.
+VARIABLE_COUNTS = (5, 10, 15, 20)
+
+
+def prefix_metrics(
+    model: _UnifiedModel, dataset, counts=VARIABLE_COUNTS
+) -> dict[int, tuple[float, float]]:
+    """(adjusted R², mean % error) for each selected-variable prefix."""
+    X, _ = model._features(dataset)
+    y = model._target(dataset)
+    selected = list(model.selection.selected)
+    out: dict[int, tuple[float, float]] = {}
+    for k in counts:
+        cols = selected[: min(k, len(selected))]
+        fit = fit_ols(X[:, cols], y)
+        predicted = fit.predict(X[:, cols])
+        pct = float(np.mean(100.0 * np.abs(predicted - y) / np.abs(y)))
+        out[k] = (fit.adjusted_r2, pct)
+    return out
+
+
+def variable_sweep_figure(
+    experiment_id: str,
+    title: str,
+    kind: str,
+    paper_values: dict[str, object],
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Build the Fig. 7/8-style sweep table."""
+    model_cls = UnifiedPowerModel if kind == "power" else UnifiedPerformanceModel
+    rows = []
+    for name in GPU_NAMES:
+        ds = context.dataset(name, seed)
+        model = model_cls(max_features=max(VARIABLE_COUNTS)).fit(ds)
+        metrics = prefix_metrics(model, ds)
+        for k in VARIABLE_COUNTS:
+            r2, pct = metrics[k]
+            rows.append([name, k, round(r2, 3), round(pct, 1)])
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["GPU", "# variables", "R̄²", "Error[%]"],
+        rows=rows,
+        notes=(
+            "Forward selection may stop before the cap when no variable "
+            "improves R̄²; prefixes beyond that point repeat the final "
+            "model, matching the paper's saturation beyond ~10 variables."
+        ),
+        paper_values=paper_values,
+    )

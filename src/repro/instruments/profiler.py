@@ -1,0 +1,128 @@
+"""CUDA-Profiler-like counter collection.
+
+Collects the generation's full counter set for one benchmark run, with
+per-counter observation noise.  Mirrors two properties of the real tool
+the paper depends on:
+
+* the *number and kinds* of counters depend on the architecture
+  (32 / 74 / 108 — Section IV), and
+* some benchmarks simply fail to be analyzed (the paper excludes
+  mummergpu, backprop, pathfinder and bfs from the modeling dataset for
+  this reason).
+"""
+
+from __future__ import annotations
+
+from repro.engine.counters import Counter, counter_set
+from repro.engine.noise import lognormal_factor
+from repro.engine.simulator import GPUSimulator, RunRecord
+from repro.errors import ProfilerError
+from repro.kernels.profile import KernelSpec
+from repro.rng import stream
+
+
+#: Per-generation observation-noise multiplier.  Tesla-era profilers
+#: sampled counters on a subset of TPC units and extrapolated to the whole
+#: chip, so observed values carried much larger error; Fermi widened the
+#: sampled set; Kepler counts chip-wide.
+OBSERVATION_NOISE_SCALE: dict[str, float] = {
+    "tesla": 6.0,
+    "fermi": 2.5,
+    "kepler": 1.0,
+    "gcn": 1.5,
+}
+
+#: Per-benchmark extrapolation bias (coefficient of variation).  The
+#: sampled-unit extrapolation depends on how evenly a benchmark spreads
+#: work across TPCs, so every counter of a benchmark carries a common,
+#: benchmark-specific scale error.  This is what breaks cross-benchmark
+#: comparability of old profiler data — and with it, the attainable
+#: accuracy of the paper's regressions on older GPUs.
+EXTRAPOLATION_BIAS_CV: dict[str, float] = {
+    "tesla": 0.25,
+    "fermi": 0.12,
+    "kepler": 0.05,
+    "gcn": 0.08,
+}
+
+
+class CudaProfiler:
+    """Collects hardware counters for benchmark runs.
+
+    Parameters
+    ----------
+    seed:
+        Optional override of the global noise seed (tests).
+    noise_scale:
+        Override of the generation's observation-noise multiplier
+        (``OBSERVATION_NOISE_SCALE``) — lets experiments ask "what if
+        this GPU had a better/worse profiler?".
+    bias_cv:
+        Override of the per-benchmark extrapolation bias
+        (``EXTRAPOLATION_BIAS_CV``).
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        noise_scale: float | None = None,
+        bias_cv: float | None = None,
+    ) -> None:
+        if noise_scale is not None and noise_scale < 0:
+            raise ValueError(f"noise_scale must be >= 0, got {noise_scale}")
+        if bias_cv is not None and bias_cv < 0:
+            raise ValueError(f"bias_cv must be >= 0, got {bias_cv}")
+        self._seed = seed
+        self._noise_scale = noise_scale
+        self._bias_cv = bias_cv
+
+    def counters_for(self, sim: GPUSimulator) -> tuple[Counter, ...]:
+        """The counter set the profiler exposes on this card."""
+        return counter_set(sim.spec.traits.counter_set)
+
+    def profile(
+        self, sim: GPUSimulator, kernel: KernelSpec, scale: float = 1.0
+    ) -> dict[str, float]:
+        """Run a benchmark under the profiler and return counter totals.
+
+        Raises
+        ------
+        ProfilerError
+            For the benchmarks the real tool failed to analyze.
+        """
+        if not kernel.profiler_ok:
+            raise ProfilerError(
+                f"CUDA Profiler failed to analyze {kernel.name!r} "
+                f"(as reported in the paper, Section IV-A)"
+            )
+        record: RunRecord = sim.run(kernel, scale)
+        ctx = record.context
+        counter_set_name = sim.spec.traits.counter_set
+        noise_scale = (
+            self._noise_scale
+            if self._noise_scale is not None
+            else OBSERVATION_NOISE_SCALE[counter_set_name]
+        )
+        bias_cv = (
+            self._bias_cv
+            if self._bias_cv is not None
+            else EXTRAPOLATION_BIAS_CV[counter_set_name]
+        )
+        bias_rng = stream(
+            "counter-bench-scale", sim.spec.name, kernel.name, seed=self._seed
+        )
+        bias = lognormal_factor(bias_rng, bias_cv)
+        values: dict[str, float] = {}
+        for counter in self.counters_for(sim):
+            rng = stream(
+                "counter-noise",
+                sim.spec.name,
+                kernel.name,
+                scale,
+                counter.name,
+                seed=self._seed,
+            )
+            value = counter.evaluate(ctx)
+            cv = counter.noise_cv * noise_scale
+            values[counter.name] = value * bias * lognormal_factor(rng, cv)
+        return values

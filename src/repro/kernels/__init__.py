@@ -1,0 +1,28 @@
+"""Workload substrate: the 37 benchmarks of Table II.
+
+Each benchmark is described by a :class:`~repro.kernels.profile.KernelSpec`
+capturing its instruction mix, memory intensity, locality, divergence and
+input-size scaling.  The simulator and the profiler only ever observe a
+kernel through the :class:`~repro.kernels.profile.WorkProfile` it produces
+for a given input scale, which is exactly the visibility the paper's
+statistical models have through performance counters.
+"""
+
+from repro.kernels.profile import KernelSpec, WorkProfile
+from repro.kernels.suites import (
+    BENCHMARK_SUITES,
+    all_benchmarks,
+    benchmarks_of_suite,
+    get_benchmark,
+    modeling_benchmarks,
+)
+
+__all__ = [
+    "KernelSpec",
+    "WorkProfile",
+    "BENCHMARK_SUITES",
+    "all_benchmarks",
+    "benchmarks_of_suite",
+    "get_benchmark",
+    "modeling_benchmarks",
+]

@@ -1,0 +1,89 @@
+"""CUDA SDK code samples (6 kernels of Table II)."""
+
+from __future__ import annotations
+
+from repro.kernels.profile import KernelSpec
+
+SUITE = "CUDA SDK"
+
+_S4 = (0.00375, 0.02, 0.075, 0.25)
+_S3 = (0.0075, 0.05, 0.25)
+
+BENCHMARKS: tuple[KernelSpec, ...] = (
+    KernelSpec(
+        name="binomialOptions",
+        suite=SUITE,
+        description="Binomial option pricing; iterative in-register/shared compute",
+        gflops_total=2600.0,
+        gbytes_total=32.0,
+        locality=0.70,
+        occupancy=0.90,
+        shared_fraction=0.18,
+        modeling_sizes=_S3,
+    ),
+    KernelSpec(
+        name="BlackScholes",
+        suite=SUITE,
+        description="Black-Scholes pricing; transcendental streaming over large arrays",
+        gflops_total=1400.0,
+        gbytes_total=400.0,
+        locality=0.20,
+        coalescing=1.0,
+        occupancy=0.95,
+        sfu_fraction=0.10,
+        modeling_sizes=_S4,
+    ),
+    KernelSpec(
+        name="concurrentKernels",
+        suite=SUITE,
+        description="Many tiny concurrent kernels; launch-latency dominated",
+        gflops_total=20.0,
+        gbytes_total=12.0,
+        locality=0.50,
+        occupancy=0.20,
+        launches=30000.0,
+        threads_total=2e6,
+        host_seconds=0.20,
+        modeling_sizes=_S3,
+    ),
+    KernelSpec(
+        name="histogram64",
+        suite=SUITE,
+        description="64-bin histogram; shared-memory accumulation",
+        gflops_total=160.0,
+        gbytes_total=440.0,
+        locality=0.40,
+        coalescing=0.85,
+        occupancy=0.70,
+        shared_fraction=0.25,
+        int_fraction=0.70,
+        atom_fraction=0.02,
+        modeling_sizes=_S3,
+    ),
+    KernelSpec(
+        name="histogram256",
+        suite=SUITE,
+        description="256-bin histogram; shared atomics with bank conflicts",
+        gflops_total=200.0,
+        gbytes_total=480.0,
+        locality=0.40,
+        coalescing=0.85,
+        occupancy=0.65,
+        shared_fraction=0.30,
+        int_fraction=0.70,
+        atom_fraction=0.03,
+        modeling_sizes=_S3,
+    ),
+    KernelSpec(
+        name="MersenneTwister",
+        suite=SUITE,
+        description="Mersenne-Twister RNG; integer-heavy streaming generation",
+        gflops_total=1120.0,
+        gbytes_total=240.0,
+        locality=0.15,
+        coalescing=1.0,
+        occupancy=0.90,
+        int_fraction=0.90,
+        modeling_sizes=_S3,
+    ),
+)

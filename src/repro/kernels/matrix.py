@@ -1,0 +1,53 @@
+"""Basic matrix-operation programs with large inputs (Table II, bottom)."""
+
+from __future__ import annotations
+
+from repro.kernels.profile import KernelSpec
+
+SUITE = "Matrix"
+
+_S4 = (0.00375, 0.02, 0.075, 0.25)
+_S3 = (0.0075, 0.05, 0.25)
+
+BENCHMARKS: tuple[KernelSpec, ...] = (
+    KernelSpec(
+        name="MAdd",
+        suite=SUITE,
+        description="Element-wise matrix addition; pure streaming bandwidth",
+        gflops_total=48.0,
+        gbytes_total=480.0,
+        locality=0.05,
+        coalescing=1.0,
+        occupancy=0.95,
+        int_fraction=0.10,
+        branch_fraction=0.02,
+        modeling_sizes=_S4,
+    ),
+    KernelSpec(
+        name="MMul",
+        suite=SUITE,
+        description="Dense matrix multiply; tiled with strong cache/shared reuse",
+        gflops_total=4000.0,
+        gbytes_total=360.0,
+        locality=0.80,
+        coalescing=0.95,
+        occupancy=0.85,
+        shared_fraction=0.20,
+        work_exponent=1.5,
+        modeling_sizes=_S4,
+    ),
+    KernelSpec(
+        name="MTranspose",
+        suite=SUITE,
+        description="Matrix transpose; bandwidth-bound with partially-coalesced stores",
+        gflops_total=20.0,
+        gbytes_total=400.0,
+        locality=0.30,
+        coalescing=0.60,
+        occupancy=0.90,
+        int_fraction=0.20,
+        branch_fraction=0.02,
+        read_fraction=0.5,
+        modeling_sizes=_S3,
+    ),
+)

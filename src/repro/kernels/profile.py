@@ -1,0 +1,229 @@
+"""Kernel specifications and the work profiles they generate.
+
+A :class:`KernelSpec` is the synthetic stand-in for a CUDA benchmark: a
+set of per-run totals (floating-point work, memory traffic, launches) plus
+behavioural characteristics (locality, coalescing, divergence, occupancy)
+and an input-size scaling law.  Calling :meth:`KernelSpec.work` yields a
+:class:`WorkProfile` — the ground-truth activity record from which the
+engine derives timing, power and every performance counter.
+
+The numbers are calibrated per benchmark so that the *relative* behaviour
+matches what the paper reports: Backprop is the compute-intensive
+showcase of Fig. 1, Streamcluster the most memory-intensive workload of
+Fig. 2, Gaussian the frequency-sensitive mixed case of Fig. 3, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Ground-truth activity totals of one benchmark run.
+
+    All counts are totals over the whole run (the paper's performance
+    model uses totals; its power model divides by runtime to get
+    per-second rates).
+    """
+
+    #: Single-precision floating point operations.
+    flops: float
+    #: Double-precision operations (tiny on these consumer cards).
+    dp_flops: float
+    #: Integer ALU operations.
+    int_ops: float
+    #: Special-function-unit operations (transcendentals).
+    sfu_ops: float
+    #: Total dynamic instructions issued (all classes).
+    inst_total: float
+    #: Branch instructions.
+    branches: float
+    #: Branches that actually diverged within a warp.
+    divergent_branches: float
+    #: Shared-memory load instructions.
+    shared_loads: float
+    #: Shared-memory store instructions.
+    shared_stores: float
+    #: Global-memory bytes requested by loads.
+    gld_bytes: float
+    #: Global-memory bytes requested by stores.
+    gst_bytes: float
+    #: Atomic operations.
+    atom_ops: float
+    #: Total launched threads.
+    threads: float
+    #: Total launched warps.
+    warps: float
+    #: Total launched thread blocks (CTAs).
+    blocks: float
+    #: Number of kernel launches in the run.
+    launches: float
+    #: Host-device PCIe transfer bytes (both directions).
+    pcie_bytes: float
+    #: Fraction of global traffic that an ideal cache could filter (0-1).
+    locality: float
+    #: DRAM access efficiency of the access pattern (0-1).
+    coalescing: float
+    #: Achieved occupancy (0-1).
+    occupancy: float
+    #: Fraction of branch instructions that diverge (0-1).
+    divergence: float
+    #: Host-side (CPU) time of the run, seconds.
+    host_seconds: float
+
+    @property
+    def global_bytes(self) -> float:
+        """Total requested global-memory traffic in bytes."""
+        return self.gld_bytes + self.gst_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per requested global byte."""
+        if self.global_bytes == 0:
+            return float("inf")
+        return (self.flops + self.dp_flops) / self.global_bytes
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Synthetic specification of one Table II benchmark.
+
+    Scale-1.0 totals correspond to the paper's "maximum feasible input
+    data size"; :meth:`work` applies the scaling law for smaller inputs
+    used when building the 114-sample modeling dataset.
+    """
+
+    name: str
+    suite: str
+    description: str
+    #: GFLOP of single-precision work at scale 1.0.
+    gflops_total: float
+    #: GB of requested global-memory traffic at scale 1.0.
+    gbytes_total: float
+    #: Cache-filterable fraction of the traffic (0-1).
+    locality: float
+    #: DRAM access-pattern efficiency (0-1).
+    coalescing: float = 0.85
+    #: Fraction of branches that diverge (0-1).
+    divergence: float = 0.10
+    #: Achieved occupancy (0-1).
+    occupancy: float = 0.75
+    #: Shared-memory instructions per FLOP.
+    shared_fraction: float = 0.05
+    #: SFU operations per FLOP (transcendental-heavy kernels).
+    sfu_fraction: float = 0.01
+    #: Double-precision share of floating-point work.
+    dp_fraction: float = 0.0
+    #: Integer operations per FLOP.
+    int_fraction: float = 0.30
+    #: Branch instructions as a fraction of total instructions.
+    branch_fraction: float = 0.08
+    #: Atomic operations per instruction.
+    atom_fraction: float = 0.0
+    #: Fraction of global traffic that is loads (rest is stores).
+    read_fraction: float = 0.70
+    #: Kernel launches at scale 1.0.
+    launches: float = 50.0
+    #: Launched threads at scale 1.0.
+    threads_total: float = 50e6
+    #: Threads per block.
+    block_size: float = 256.0
+    #: Host-side seconds at scale 1.0.
+    host_seconds: float = 0.05
+    #: Host-device transfer volume at scale 1.0 (GB, both directions).
+    #: Defaults to a fraction of the device traffic (input + output
+    #: arrays cross the bus once; intermediate traffic does not).
+    pcie_gbytes: float | None = None
+    #: Exponent of the work scaling law (totals scale as ``s**exp``).
+    work_exponent: float = 1.0
+    #: Relative input scales used to build the modeling dataset.
+    modeling_sizes: tuple[float, ...] = (0.25, 0.5, 1.0)
+    #: Whether the (simulated) CUDA profiler can analyze this benchmark.
+    #: False for the four benchmarks the paper reports as failing.
+    profiler_ok: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gflops_total <= 0 or self.gbytes_total <= 0:
+            raise ValueError(f"{self.name}: work totals must be positive")
+        for attr in ("locality", "coalescing", "divergence", "occupancy"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr}={value} outside [0, 1]")
+        if not self.modeling_sizes or any(s <= 0 for s in self.modeling_sizes):
+            raise ValueError(f"{self.name}: modeling sizes must be positive")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte at scale 1.0 — the roofline coordinate."""
+        return self.gflops_total / self.gbytes_total
+
+    @property
+    def effective_pcie_gbytes(self) -> float:
+        """Bus traffic at scale 1.0, defaulted from the device traffic."""
+        if self.pcie_gbytes is not None:
+            return self.pcie_gbytes
+        return min(4.0, 0.15 * self.gbytes_total + 0.05)
+
+    def work(self, scale: float = 1.0) -> WorkProfile:
+        """Ground-truth activity totals for a run at the given input scale.
+
+        Parameters
+        ----------
+        scale:
+            Relative input size; 1.0 is the paper's "maximum feasible"
+            input.  Totals scale as ``scale ** work_exponent``; launch
+            count and host time scale sublinearly (driver overheads are
+            per-launch, not per-element).
+        """
+        if scale <= 0:
+            raise ValueError(f"input scale must be positive, got {scale}")
+        s = scale**self.work_exponent
+        flops_all = self.gflops_total * 1e9 * s
+        dp_flops = flops_all * self.dp_fraction
+        flops = flops_all - dp_flops
+        gbytes = self.gbytes_total * 1e9 * s
+        gld = gbytes * self.read_fraction
+        gst = gbytes - gld
+        int_ops = flops_all * self.int_fraction
+        sfu_ops = flops_all * self.sfu_fraction
+        shared_ops = flops_all * self.shared_fraction
+        shared_loads = shared_ops * 0.6
+        shared_stores = shared_ops * 0.4
+        # Instruction accounting: FMA retires 2 FLOPs per instruction; a
+        # memory instruction moves ~8 bytes per thread on average.
+        ls_inst = gbytes / 8.0
+        base_inst = flops_all / 1.6 + int_ops + sfu_ops + shared_ops + ls_inst
+        inst_total = base_inst / (1.0 - self.branch_fraction)
+        branches = inst_total * self.branch_fraction
+        divergent = branches * self.divergence
+        atom_ops = inst_total * self.atom_fraction
+        threads = self.threads_total * s
+        launches = max(1.0, self.launches * scale**0.5)
+        return WorkProfile(
+            flops=flops,
+            dp_flops=dp_flops,
+            int_ops=int_ops,
+            sfu_ops=sfu_ops,
+            inst_total=inst_total,
+            branches=branches,
+            divergent_branches=divergent,
+            shared_loads=shared_loads,
+            shared_stores=shared_stores,
+            gld_bytes=gld,
+            gst_bytes=gst,
+            atom_ops=atom_ops,
+            threads=threads,
+            warps=threads / 32.0,
+            blocks=threads / self.block_size,
+            launches=launches,
+            pcie_bytes=self.effective_pcie_gbytes * 1e9 * s,
+            locality=self.locality,
+            coalescing=self.coalescing,
+            occupancy=self.occupancy,
+            divergence=self.divergence,
+            host_seconds=self.host_seconds * scale**0.5,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.suite}/{self.name}"

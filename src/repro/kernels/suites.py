@@ -1,0 +1,58 @@
+"""Benchmark registry across the four suites of Table II."""
+
+from __future__ import annotations
+
+from repro.errors import UnknownBenchmarkError
+from repro.kernels import cuda_sdk, matrix, parboil, rodinia
+from repro.kernels.profile import KernelSpec
+
+#: Suites in the paper's Table II order.
+BENCHMARK_SUITES: dict[str, tuple[KernelSpec, ...]] = {
+    rodinia.SUITE: rodinia.BENCHMARKS,
+    parboil.SUITE: parboil.BENCHMARKS,
+    cuda_sdk.SUITE: cuda_sdk.BENCHMARKS,
+    matrix.SUITE: matrix.BENCHMARKS,
+}
+
+_BY_NAME: dict[str, KernelSpec] = {}
+for _suite_benchmarks in BENCHMARK_SUITES.values():
+    for _bench in _suite_benchmarks:
+        key = _bench.name.lower()
+        if key in _BY_NAME:
+            raise RuntimeError(f"duplicate benchmark name {_bench.name!r}")
+        _BY_NAME[key] = _bench
+
+
+def all_benchmarks() -> list[KernelSpec]:
+    """All 37 benchmarks in Table II order."""
+    return [b for suite in BENCHMARK_SUITES.values() for b in suite]
+
+
+def benchmarks_of_suite(suite: str) -> list[KernelSpec]:
+    """Benchmarks of one suite (case-insensitive suite name)."""
+    for name, benchmarks in BENCHMARK_SUITES.items():
+        if name.lower() == suite.strip().lower():
+            return list(benchmarks)
+    raise UnknownBenchmarkError(
+        f"unknown suite {suite!r}; available: {', '.join(BENCHMARK_SUITES)}"
+    )
+
+
+def get_benchmark(name: str) -> KernelSpec:
+    """Look up one benchmark by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise UnknownBenchmarkError(
+            f"unknown benchmark {name!r}; see repro.kernels.all_benchmarks()"
+        ) from None
+
+
+def modeling_benchmarks() -> list[KernelSpec]:
+    """The benchmarks usable for model construction.
+
+    Excludes the four the paper's profiler failed on; the remaining 33
+    benchmarks with their per-benchmark input scales yield the paper's
+    114 modeling samples.
+    """
+    return [b for b in all_benchmarks() if b.profiler_ok]

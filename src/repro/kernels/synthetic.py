@@ -1,0 +1,76 @@
+"""Synthetic workload generator.
+
+Draws random but physically-coherent :class:`KernelSpec` instances from
+the parameter distributions spanned by the Table II suite.  Two uses:
+
+* stress-testing — property-based tests can exercise the engine on
+  arbitrary corners of the workload space;
+* validation — the ``ext_synthetic`` experiment trains the unified
+  models on the paper's benchmarks and evaluates them on workloads drawn
+  from the *space*, a stronger generalization probe than leave-one-out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.profile import KernelSpec
+from repro.rng import stream
+
+SUITE = "Synthetic"
+
+
+def generate_kernel(index: int, seed: int | None = None) -> KernelSpec:
+    """Draw one synthetic kernel, deterministic in ``index``.
+
+    Work totals are log-uniform across the suite's range; behavioural
+    parameters are correlated the way real kernels are (irregular access
+    patterns come with divergence; heavy shared-memory use comes with
+    blocked compute).
+    """
+    rng = stream("synthetic-kernel", index, seed=seed)
+    gflops = float(np.exp(rng.uniform(np.log(20.0), np.log(4000.0))))
+    # Arithmetic intensity spans the suite's range (0.05 .. 80 flop/byte).
+    intensity = float(np.exp(rng.uniform(np.log(0.05), np.log(80.0))))
+    gbytes = gflops / intensity
+    coalescing = float(rng.uniform(0.3, 1.0))
+    # Scattered access tends to come with control divergence.
+    divergence = float(
+        np.clip(rng.uniform(0.0, 0.3) + 0.4 * (1.0 - coalescing), 0.0, 0.7)
+    )
+    locality = float(rng.uniform(0.05, 0.9))
+    blocked = intensity > 5.0 and rng.uniform() < 0.6
+    shared_fraction = float(rng.uniform(0.1, 0.25)) if blocked else float(
+        rng.uniform(0.0, 0.08)
+    )
+    return KernelSpec(
+        name=f"synth{index:03d}",
+        suite=SUITE,
+        description=f"synthetic workload #{index} (AI {intensity:.2g})",
+        gflops_total=gflops,
+        gbytes_total=gbytes,
+        locality=locality,
+        coalescing=coalescing,
+        divergence=divergence,
+        occupancy=float(rng.uniform(0.35, 0.95)),
+        shared_fraction=shared_fraction,
+        sfu_fraction=float(rng.uniform(0.0, 0.08)),
+        int_fraction=float(rng.uniform(0.1, 0.8)),
+        branch_fraction=float(rng.uniform(0.02, 0.18)),
+        launches=float(np.exp(rng.uniform(np.log(10.0), np.log(5000.0)))),
+        host_seconds=float(rng.uniform(0.02, 0.3)),
+        work_exponent=float(rng.uniform(1.0, 1.4)),
+        modeling_sizes=(0.0075, 0.05, 0.25),
+        profiler_ok=True,
+    )
+
+
+def generate_suite(
+    count: int, seed: int | None = None
+) -> list[KernelSpec]:
+    """Draw a suite of distinct synthetic kernels."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [generate_kernel(i, seed=seed) for i in range(count)]

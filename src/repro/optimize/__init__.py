@@ -1,0 +1,30 @@
+"""Model-driven DVFS management — the paper's motivating application.
+
+The conclusion of the paper argues that its unified models "would be a
+strong basis for the dynamic runtime management of power and performance
+for GPU-accelerated systems".  This package closes that loop: a
+:class:`~repro.optimize.governor.ModelGovernor` picks the frequency pair
+that minimizes *predicted* energy (optionally under a performance
+constraint), and :mod:`repro.optimize.oracle` provides the exhaustive-
+measurement optimum to score it against.
+"""
+
+from repro.optimize.governor import GovernorDecision, ModelGovernor
+from repro.optimize.oracle import OracleResult, exhaustive_oracle, score_governor
+from repro.optimize.scheduler import DVFSScheduler, Job, ScheduleOutcome
+from repro.optimize.pareto import ParetoPoint, frontier_pairs, knee_point, pareto_frontier
+
+__all__ = [
+    "GovernorDecision",
+    "ModelGovernor",
+    "OracleResult",
+    "exhaustive_oracle",
+    "score_governor",
+    "DVFSScheduler",
+    "Job",
+    "ScheduleOutcome",
+    "ParetoPoint",
+    "pareto_frontier",
+    "frontier_pairs",
+    "knee_point",
+]

@@ -1,0 +1,85 @@
+"""Exhaustive-measurement oracle and governor scoring.
+
+The oracle measures a workload at every configurable pair and reports the
+true energy-minimal choice; :func:`score_governor` compares a model-driven
+decision against it (energy regret, top-k hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.characterize.sweep import FrequencySweep
+from repro.instruments.testbed import Measurement
+from repro.kernels.profile import KernelSpec
+from repro.optimize.governor import GovernorDecision
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Ground-truth energy landscape of one workload."""
+
+    #: Measured energy per pair key (J).
+    energy_j: dict[str, float]
+    #: Energy-minimal pair key.
+    best_pair: str
+
+    @property
+    def best_energy_j(self) -> float:
+        """Energy at the true optimum."""
+        return self.energy_j[self.best_pair]
+
+    def regret(self, pair_key: str) -> float:
+        """Relative extra energy of choosing ``pair_key`` over the optimum."""
+        return self.energy_j[pair_key] / self.best_energy_j - 1.0
+
+    def rank(self, pair_key: str) -> int:
+        """1-based rank of a pair in the true energy ordering."""
+        ordered = sorted(self.energy_j, key=self.energy_j.get)
+        return ordered.index(pair_key) + 1
+
+
+def exhaustive_oracle(
+    gpu: GPUSpec,
+    kernel: KernelSpec,
+    scale: float = 1.0,
+    seed: int | None = None,
+    measurements: dict[str, Measurement] | None = None,
+) -> OracleResult:
+    """Measure every pair (or reuse a sweep) and return the true optimum."""
+    if measurements is None:
+        measurements = FrequencySweep(gpu, seed=seed).run_benchmark(kernel, scale)
+    energy = {key: m.energy_j for key, m in measurements.items()}
+    best = min(energy, key=energy.get)
+    return OracleResult(energy_j=energy, best_pair=best)
+
+
+@dataclass(frozen=True)
+class GovernorScore:
+    """How well a governor decision did against the oracle."""
+
+    chosen_pair: str
+    oracle_pair: str
+    #: Relative extra energy vs. the optimum (0.0 = optimal).
+    energy_regret: float
+    #: 1-based rank of the chosen pair in the true ordering.
+    rank: int
+    #: Energy saved vs. the (H-H) default, in percent (can be negative).
+    saving_vs_default_pct: float
+
+
+def score_governor(
+    decision: GovernorDecision, oracle: OracleResult
+) -> GovernorScore:
+    """Score a governor's choice against ground truth."""
+    chosen = decision.op.key
+    default_energy = oracle.energy_j["H-H"]
+    chosen_energy = oracle.energy_j[chosen]
+    return GovernorScore(
+        chosen_pair=chosen,
+        oracle_pair=oracle.best_pair,
+        energy_regret=oracle.regret(chosen),
+        rank=oracle.rank(chosen),
+        saving_vs_default_pct=(default_energy / chosen_energy - 1.0) * 100.0,
+    )

@@ -1,0 +1,72 @@
+"""Energy/performance Pareto analysis of the frequency-pair space.
+
+The paper optimizes pure energy (power efficiency), but its Fig. 1-3
+discussion constantly weighs energy against performance loss.  The
+Pareto frontier makes that trade-off explicit: a pair is dominated if
+another pair is both faster *and* cheaper; only the frontier is worth a
+runtime manager's consideration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.instruments.testbed import Measurement
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frequency pair in (time, energy) space."""
+
+    pair: str
+    exec_seconds: float
+    energy_j: float
+    #: Whether no other pair is both faster and cheaper.
+    optimal: bool
+
+
+def pareto_frontier(
+    measurements: Mapping[str, Measurement],
+) -> list[ParetoPoint]:
+    """Classify every measured pair; frontier members first.
+
+    A pair is Pareto-optimal iff no other pair has both strictly lower
+    time and strictly lower energy (weak dominance with ties broken in
+    favour of the candidate).
+    """
+    if not measurements:
+        raise ValueError("no measurements given")
+    items = [
+        (key, m.exec_seconds, m.energy_j) for key, m in measurements.items()
+    ]
+    points = []
+    for key, t, e in items:
+        dominated = any(
+            (t2 < t and e2 <= e) or (t2 <= t and e2 < e)
+            for k2, t2, e2 in items
+            if k2 != key
+        )
+        points.append(
+            ParetoPoint(
+                pair=key, exec_seconds=t, energy_j=e, optimal=not dominated
+            )
+        )
+    points.sort(key=lambda p: (not p.optimal, p.exec_seconds))
+    return points
+
+
+def frontier_pairs(measurements: Mapping[str, Measurement]) -> list[str]:
+    """Just the Pareto-optimal pair keys, fastest first."""
+    return [p.pair for p in pareto_frontier(measurements) if p.optimal]
+
+
+def knee_point(measurements: Mapping[str, Measurement]) -> ParetoPoint:
+    """The frontier point with the best energy-delay product.
+
+    EDP is the standard scalarization when neither pure speed nor pure
+    energy is the goal; the knee is where a runtime manager without an
+    explicit constraint should sit.
+    """
+    frontier = [p for p in pareto_frontier(measurements) if p.optimal]
+    return min(frontier, key=lambda p: p.exec_seconds * p.energy_j)

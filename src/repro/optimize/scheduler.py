@@ -1,0 +1,170 @@
+"""Online DVFS scheduling over a job stream, with reconfiguration costs.
+
+The paper's BIOS-patching method makes a frequency change *expensive*:
+the card must be reflashed and rebooted.  A runtime manager therefore
+faces a real trade-off — reconfigure for every job, or amortize one
+setting over many.  This module simulates that loop over a stream of
+jobs and compares policies:
+
+* ``static-hh`` — never reconfigure (the default everything runs at);
+* ``governor`` — reconfigure to the model-chosen pair per job when the
+  predicted saving exceeds the switching energy;
+* ``oracle`` — per-job true-optimal pair with the same switching costs
+  (the lower bound any online policy can approach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.specs import GPUSpec
+from repro.core.dataset import ModelingDataset
+from repro.instruments.testbed import Testbed
+from repro.kernels.profile import KernelSpec
+from repro.kernels.suites import get_benchmark
+from repro.optimize.governor import ModelGovernor
+
+#: Cost of one VBIOS reflash + reboot: the card is unusable for this long
+#: while the system still burns idle power.
+RECONFIGURE_SECONDS = 8.0
+RECONFIGURE_POWER_W = 95.0
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work in the stream."""
+
+    benchmark: str
+    scale: float
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Aggregate result of running a job stream under one policy."""
+
+    policy: str
+    total_energy_j: float
+    total_seconds: float
+    reconfigurations: int
+
+    @property
+    def switch_energy_j(self) -> float:
+        """Energy spent reflashing."""
+        return self.reconfigurations * RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
+
+
+class DVFSScheduler:
+    """Runs a job stream on a testbed under a reconfiguration policy.
+
+    Parameters
+    ----------
+    gpu:
+        Card to schedule on.
+    governor:
+        Fitted model governor (used by the ``governor`` policy).
+    dataset:
+        Modeling dataset supplying the profiled counters the governor
+        needs (one profile per workload, as in deployment).
+    seed:
+        Noise-seed override.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        governor: ModelGovernor | None = None,
+        dataset: ModelingDataset | None = None,
+        seed: int | None = None,
+        amortization_horizon: int = 10,
+    ) -> None:
+        if amortization_horizon < 1:
+            raise ValueError(
+                f"amortization_horizon must be >= 1, got {amortization_horizon}"
+            )
+        self.gpu = gpu
+        self.governor = governor
+        self.dataset = dataset
+        self.seed = seed
+        #: How many upcoming jobs a reconfiguration is assumed to serve.
+        #: Batch queues with long homogeneous phases justify a large
+        #: horizon; fully mixed streams should use 1 (myopic).
+        self.amortization_horizon = amortization_horizon
+
+    # ------------------------------------------------------------------
+
+    def _measure(self, testbed: Testbed, job: Job):
+        return testbed.measure(get_benchmark(job.benchmark), job.scale)
+
+    def _target_pair(self, job: Job, policy: str, testbed: Testbed) -> str:
+        if policy == "static-hh":
+            return "H-H"
+        if policy == "governor":
+            if self.governor is None or self.dataset is None:
+                raise ValueError("governor policy needs a governor + dataset")
+            decision = self.governor.decide(
+                self.dataset, job.benchmark, job.scale
+            )
+            # Only move if the predicted saving beats the switch cost.
+            current = testbed.sim.operating_point.key
+            if decision.op.key == current:
+                return current
+            predicted = decision.predicted_energy_j
+            saving = predicted.get(current, float("inf")) - predicted[
+                decision.op.key
+            ]
+            switch = (
+                RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
+                / self.amortization_horizon
+            )
+            return decision.op.key if saving > switch else current
+        if policy == "oracle":
+            best_key, best_energy = None, float("inf")
+            current = testbed.sim.operating_point.key
+            probe = Testbed(self.gpu, seed=self.seed)
+            energies = {}
+            for op in self.gpu.operating_points():
+                probe.set_clocks(op.core_level, op.mem_level)
+                energies[op.key] = self._measure(probe, job).energy_j
+            switch = (
+                RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
+                / self.amortization_horizon
+            )
+            for key, energy in energies.items():
+                cost = energy + (switch if key != current else 0.0)
+                if cost < best_energy:
+                    best_key, best_energy = key, cost
+            assert best_key is not None
+            return best_key
+        raise ValueError(f"unknown policy {policy!r}")
+
+    def run(self, jobs: Sequence[Job], policy: str) -> ScheduleOutcome:
+        """Execute the stream under a policy and account everything."""
+        testbed = Testbed(self.gpu, seed=self.seed)
+        total_energy = 0.0
+        total_seconds = 0.0
+        reconfigurations = 0
+        for job in jobs:
+            target = self._target_pair(job, policy, testbed)
+            if target != testbed.sim.operating_point.key:
+                testbed.set_clocks(*target.split("-"))
+                reconfigurations += 1
+                total_energy += RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
+                total_seconds += RECONFIGURE_SECONDS
+            m = self._measure(testbed, job)
+            total_energy += m.energy_j
+            total_seconds += m.exec_seconds
+        return ScheduleOutcome(
+            policy=policy,
+            total_energy_j=total_energy,
+            total_seconds=total_seconds,
+            reconfigurations=reconfigurations,
+        )
+
+    def compare(
+        self, jobs: Sequence[Job], policies: Sequence[str] = (
+            "static-hh", "governor", "oracle",
+        )
+    ) -> dict[str, ScheduleOutcome]:
+        """Run the same stream under several policies."""
+        return {p: self.run(jobs, p) for p in policies}

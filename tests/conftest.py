@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+Expensive artefacts (datasets, sweeps, fitted models) are memoized by
+``repro.experiments.context``; session-scoped fixtures below simply
+delegate there so every test file shares one instance per GPU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import GPU_NAMES, all_gpus, get_gpu
+
+
+@pytest.fixture(scope="session", params=GPU_NAMES)
+def gpu(request):
+    """Each of the four evaluated GPUs."""
+    return get_gpu(request.param)
+
+
+@pytest.fixture(scope="session")
+def gtx480():
+    """The Fermi card used as the single-GPU workhorse in fast tests."""
+    return get_gpu("GTX 480")
+
+
+@pytest.fixture(scope="session")
+def gtx680():
+    """The Kepler flagship."""
+    return get_gpu("GTX 680")
+
+
+@pytest.fixture(scope="session")
+def gtx285():
+    """The Tesla-generation card."""
+    return get_gpu("GTX 285")
+
+
+@pytest.fixture(scope="session")
+def dataset480():
+    """Shared modeling dataset for GTX 480."""
+    from repro.experiments import context
+
+    return context.dataset("GTX 480")
+
+
+@pytest.fixture(scope="session")
+def power_model480(dataset480):
+    """Shared fitted power model for GTX 480."""
+    from repro.experiments import context
+
+    return context.power_model("GTX 480")
+
+
+@pytest.fixture(scope="session")
+def perf_model480(dataset480):
+    """Shared fitted performance model for GTX 480."""
+    from repro.experiments import context
+
+    return context.performance_model("GTX 480")

@@ -1,0 +1,89 @@
+"""Text formatting and statistics helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.format import format_box, format_series, format_table
+from repro.analysis.stats import box_summary, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xxx", 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[12345.6], [0.000123], [0]])
+        assert "12,346" in text
+        assert "0.000123" in text
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(st.integers(-1000, 1000), st.text(max_size=5)),
+                min_size=2,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_never_crashes(self, rows):
+        text = format_table(["x", "y"], rows)
+        lines = text.splitlines()
+        # Header + rule always present; rows of empty strings may render
+        # as blank lines that trailing-newline handling can drop.
+        assert len(lines) >= 2
+        assert lines[0].startswith("x")
+
+
+class TestFormatSeries:
+    def test_renders_points(self):
+        text = format_series("t", {"s": [(1.0, 2.0), (3.0, 4.0)]})
+        assert "s:" in text
+        assert "(1, 2)" in text
+
+
+class TestFormatBox:
+    def test_renders_strip(self):
+        stats = {"min": 0.0, "q1": 1.0, "median": 2.0, "q3": 3.0, "max": 4.0}
+        text = format_box(stats)
+        assert "#" in text
+        assert "med=2.0" in text
+
+    def test_degenerate_distribution(self):
+        stats = {"min": 5.0, "q1": 5.0, "median": 5.0, "q3": 5.0, "max": 5.0}
+        assert "med=5.0" in format_box(stats)
+
+
+class TestStats:
+    def test_box_summary_ordering(self):
+        stats = box_summary([3.0, 1.0, 2.0, 10.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 10.0
+        assert stats["q1"] <= stats["median"] <= stats["q3"]
+
+    def test_box_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_summary([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1))
+    def test_geometric_le_arithmetic(self, values):
+        gm = geometric_mean(values)
+        assert gm <= sum(values) / len(values) + 1e-9

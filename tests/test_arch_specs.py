@@ -1,0 +1,220 @@
+"""Architecture registry and Table I/III data tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.architecture import Architecture, traits_of
+from repro.arch.dvfs import ClockLevel, parse_pair_key
+from repro.arch.specs import (
+    GPU_NAMES,
+    GPUSpec,
+    PowerCoefficients,
+    all_gpus,
+    get_gpu,
+)
+from repro.arch.voltage import VoltageTable
+from repro.errors import InvalidOperatingPointError, UnknownGPUError
+
+
+class TestRegistry:
+    def test_four_gpus_in_paper_order(self):
+        names = [g.name for g in all_gpus()]
+        assert names == ["GTX 285", "GTX 460", "GTX 480", "GTX 680"]
+
+    @pytest.mark.parametrize(
+        "query", ["GTX 480", "gtx480", "gtx 480", "480", " GTX 480 "]
+    )
+    def test_lookup_is_forgiving(self, query):
+        assert get_gpu(query).name == "GTX 480"
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(UnknownGPUError):
+            get_gpu("GTX 1080")
+
+    def test_generations(self):
+        archs = [g.architecture for g in all_gpus()]
+        assert archs == [
+            Architecture.TESLA,
+            Architecture.FERMI,
+            Architecture.FERMI,
+            Architecture.KEPLER,
+        ]
+
+
+class TestTableI:
+    """The registry must carry Table I verbatim."""
+
+    def test_core_counts(self):
+        cores = {g.name: g.num_cores for g in all_gpus()}
+        assert cores == {
+            "GTX 285": 240,
+            "GTX 460": 336,
+            "GTX 480": 480,
+            "GTX 680": 1536,
+        }
+
+    def test_peak_gflops(self):
+        peak = {g.name: g.peak_gflops for g in all_gpus()}
+        assert peak == {
+            "GTX 285": 933.0,
+            "GTX 460": 907.0,
+            "GTX 480": 1350.0,
+            "GTX 680": 3090.0,
+        }
+
+    def test_tdp(self):
+        tdp = {g.name: g.tdp_w for g in all_gpus()}
+        assert tdp == {
+            "GTX 285": 183.0,
+            "GTX 460": 160.0,
+            "GTX 480": 250.0,
+            "GTX 680": 195.0,
+        }
+
+    def test_gtx285_clock_levels(self):
+        g = get_gpu("GTX 285")
+        assert [g.core_mhz[l] for l in (ClockLevel.L, ClockLevel.M, ClockLevel.H)] == [
+            600.0,
+            800.0,
+            1296.0,
+        ]
+        assert [g.mem_mhz[l] for l in (ClockLevel.L, ClockLevel.M, ClockLevel.H)] == [
+            100.0,
+            300.0,
+            1284.0,
+        ]
+
+    def test_gtx680_clock_levels(self):
+        g = get_gpu("GTX 680")
+        assert g.core_mhz[ClockLevel.H] == 1411.0
+        assert g.mem_mhz[ClockLevel.H] == 3004.0
+
+
+class TestTableIII:
+    """Configurable pair sets must match Table III exactly."""
+
+    COMMON = {"H-H", "H-M", "H-L", "M-H", "M-M", "M-L"}
+
+    def _pairs(self, name: str) -> set[str]:
+        g = get_gpu(name)
+        return {f"{c.value}-{m.value}" for c, m in g.allowed_pairs}
+
+    def test_gtx285(self):
+        assert self._pairs("GTX 285") == self.COMMON | {"L-H", "L-M"}
+
+    @pytest.mark.parametrize("name", ["GTX 460", "GTX 480"])
+    def test_fermi(self, name):
+        assert self._pairs(name) == self.COMMON | {"L-L"}
+
+    def test_gtx680(self):
+        assert self._pairs("GTX 680") == self.COMMON | {"L-H"}
+
+    def test_total_pair_counts(self):
+        counts = {g.name: len(g.allowed_pairs) for g in all_gpus()}
+        assert counts == {
+            "GTX 285": 8,
+            "GTX 460": 7,
+            "GTX 480": 7,
+            "GTX 680": 7,
+        }
+
+
+class TestOperatingPoints:
+    def test_resolves_levels_and_voltage(self, gtx680):
+        op = gtx680.operating_point(ClockLevel.M, ClockLevel.L)
+        assert op.key == "M-L"
+        assert op.core_mhz == 1080.0
+        assert op.mem_mhz == 324.0
+        assert op.core_voltage == gtx680.core_vdd.medium
+        assert op.mem_voltage == gtx680.mem_vdd.low
+
+    def test_string_key_form(self, gtx680):
+        assert gtx680.operating_point("H-L").key == "H-L"
+
+    def test_illegal_pair_rejected(self, gtx680):
+        with pytest.raises(InvalidOperatingPointError):
+            gtx680.operating_point(ClockLevel.L, ClockLevel.L)
+
+    def test_default_is_hh(self, gpu):
+        assert gpu.default_point().key == "H-H"
+
+    def test_operating_points_cover_allowed(self, gpu):
+        keys = {op.key for op in gpu.operating_points()}
+        expected = {f"{c.value}-{m.value}" for c, m in gpu.allowed_pairs}
+        assert keys == expected
+
+    def test_peak_scales_with_clock(self, gpu):
+        hh = gpu.default_point()
+        assert gpu.peak_flops(hh) == pytest.approx(gpu.peak_gflops * 1e9)
+        assert gpu.peak_bandwidth(hh) == pytest.approx(
+            gpu.mem_bandwidth_gbs * 1e9
+        )
+        for op in gpu.operating_points():
+            ratio = gpu.peak_flops(op) / gpu.peak_flops(hh)
+            assert ratio == pytest.approx(op.core_mhz / hh.core_mhz)
+
+
+class TestValidation:
+    def _spec_kwargs(self):
+        g = get_gpu("GTX 480")
+        return dict(
+            name="X",
+            architecture=g.architecture,
+            num_cores=1,
+            num_sms=1,
+            peak_gflops=1.0,
+            mem_bandwidth_gbs=1.0,
+            tdp_w=1.0,
+            core_mhz=dict(g.core_mhz),
+            mem_mhz=dict(g.mem_mhz),
+            core_vdd=g.core_vdd,
+            mem_vdd=g.mem_vdd,
+            allowed_pairs=g.allowed_pairs,
+            power=g.power,
+        )
+
+    def test_rejects_unordered_clocks(self):
+        kwargs = self._spec_kwargs()
+        kwargs["core_mhz"][ClockLevel.L] = 99999.0
+        with pytest.raises(ValueError, match="ordered"):
+            GPUSpec(**kwargs)
+
+    def test_rejects_missing_default_pair(self):
+        kwargs = self._spec_kwargs()
+        kwargs["allowed_pairs"] = frozenset({parse_pair_key("M-M")})
+        with pytest.raises(ValueError, match="H-H"):
+            GPUSpec(**kwargs)
+
+    def test_voltage_table_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            VoltageTable(low=1.2, medium=1.0, high=1.1).validate()
+
+    def test_voltage_table_relative(self):
+        table = VoltageTable(low=0.9, medium=1.0, high=1.2)
+        assert table.relative(ClockLevel.H) == 1.0
+        assert table.relative(ClockLevel.L) == pytest.approx(0.75)
+
+
+class TestTraits:
+    def test_tesla_has_no_cache(self):
+        assert traits_of(Architecture.TESLA).cache_factor == 0.0
+
+    def test_cache_grows_by_generation(self):
+        t = traits_of(Architecture.TESLA).cache_factor
+        f = traits_of(Architecture.FERMI).cache_factor
+        k = traits_of(Architecture.KEPLER).cache_factor
+        assert t < f < k
+
+    def test_counter_set_names(self):
+        assert traits_of(Architecture.TESLA).counter_set == "tesla"
+        assert traits_of(Architecture.FERMI).counter_set == "fermi"
+        assert traits_of(Architecture.KEPLER).counter_set == "kepler"
+
+    def test_kepler_voltage_curve_steepest(self):
+        """The mechanism behind the 75% headline: Kepler's top state
+        carries disproportionate voltage."""
+        ratios = {}
+        for g in all_gpus():
+            ratios[g.name] = g.core_vdd.medium / g.core_vdd.high
+        assert ratios["GTX 680"] < ratios["GTX 460"] < ratios["GTX 285"]

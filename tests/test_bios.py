@@ -1,0 +1,140 @@
+"""VBIOS image format, parser and patcher tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.bios import (
+    BiosImage,
+    ClockEntry,
+    build_image,
+    parse_image,
+    patch_boot_levels,
+)
+from repro.arch.dvfs import ClockDomain, ClockLevel
+from repro.arch.specs import all_gpus, get_gpu
+from repro.errors import BIOSFormatError, InvalidOperatingPointError
+
+
+class TestBuildParse:
+    def test_roundtrip_default(self, gpu):
+        image = parse_image(build_image(gpu))
+        assert image.gpu_name == gpu.name
+        assert image.boot_core_level is ClockLevel.H
+        assert image.boot_mem_level is ClockLevel.H
+        assert len(image.entries) == 6  # 2 domains x 3 levels
+
+    def test_clock_table_matches_spec(self, gpu):
+        image = parse_image(build_image(gpu))
+        for level in ClockLevel:
+            assert image.clock_khz(ClockDomain.CORE, level) == round(
+                gpu.core_mhz[level] * 1000
+            )
+            assert image.clock_khz(ClockDomain.MEMORY, level) == round(
+                gpu.mem_mhz[level] * 1000
+            )
+
+    def test_voltage_table_matches_spec(self, gtx680):
+        image = parse_image(build_image(gtx680))
+        assert image.voltage_mv(ClockDomain.CORE, ClockLevel.H) == round(
+            gtx680.core_vdd.high * 1000
+        )
+
+    def test_boot_point_resolution(self, gtx480):
+        raw = build_image(gtx480, ClockLevel.M, ClockLevel.L)
+        op = parse_image(raw).boot_point(gtx480)
+        assert op.key == "M-L"
+
+    def test_build_rejects_illegal_boot_pair(self, gtx680):
+        with pytest.raises(InvalidOperatingPointError):
+            build_image(gtx680, ClockLevel.L, ClockLevel.L)
+
+    def test_boot_point_rejects_wrong_card(self, gtx480, gtx680):
+        raw = build_image(gtx480)
+        with pytest.raises(BIOSFormatError, match="image is for"):
+            parse_image(raw).boot_point(gtx680)
+
+
+class TestCorruption:
+    def test_checksum_valid(self, gpu):
+        raw = build_image(gpu)
+        assert sum(raw) % 256 == 0
+
+    def test_truncated_rejected(self, gtx480):
+        raw = build_image(gtx480)
+        with pytest.raises(BIOSFormatError):
+            parse_image(raw[:10])
+
+    def test_bad_magic_rejected(self, gtx480):
+        raw = bytearray(build_image(gtx480))
+        old = raw[0]
+        raw[0] ^= 0xFF
+        # Compensate the checksum so only the magic is wrong.
+        raw[-1] = (raw[-1] - (raw[0] - old)) % 256
+        with pytest.raises(BIOSFormatError, match="magic"):
+            parse_image(bytes(raw))
+
+    @given(st.data())
+    def test_any_single_byte_flip_detected(self, data):
+        """Flipping any byte breaks the checksum (or the format)."""
+        gpu = get_gpu("GTX 480")
+        raw = bytearray(build_image(gpu))
+        index = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        raw[index] = (raw[index] + flip) % 256
+        with pytest.raises(BIOSFormatError):
+            parse_image(bytes(raw))
+
+    def test_length_mismatch_rejected(self, gtx480):
+        raw = bytearray(build_image(gtx480))
+        # Append two bytes that keep the total sum at 0 mod 256.
+        raw += bytes([1, 255])
+        with pytest.raises(BIOSFormatError, match="length"):
+            parse_image(bytes(raw))
+
+
+class TestPatcher:
+    def test_patch_changes_only_boot_levels(self, gtx480):
+        original = build_image(gtx480)
+        patched = patch_boot_levels(original, gtx480, ClockLevel.M, ClockLevel.M)
+        image = parse_image(patched)
+        assert image.boot_core_level is ClockLevel.M
+        assert image.boot_mem_level is ClockLevel.M
+        # The clock table is untouched.
+        assert image.entries == parse_image(original).entries
+
+    def test_patch_recomputes_checksum(self, gtx480):
+        patched = patch_boot_levels(
+            build_image(gtx480), gtx480, ClockLevel.M, ClockLevel.L
+        )
+        assert sum(patched) % 256 == 0
+
+    def test_patch_rejects_illegal_pair(self, gtx680):
+        with pytest.raises(InvalidOperatingPointError):
+            patch_boot_levels(
+                build_image(gtx680), gtx680, ClockLevel.L, ClockLevel.L
+            )
+
+    def test_patch_rejects_wrong_card_image(self, gtx480, gtx680):
+        with pytest.raises(BIOSFormatError):
+            patch_boot_levels(
+                build_image(gtx480), gtx680, ClockLevel.M, ClockLevel.M
+            )
+
+    def test_patch_every_legal_pair(self, gpu):
+        raw = build_image(gpu)
+        for core, mem in gpu.allowed_pairs:
+            image = parse_image(patch_boot_levels(raw, gpu, core, mem))
+            assert image.boot_point(gpu).levels == (core, mem)
+
+
+class TestClockEntry:
+    def test_pack_unpack_roundtrip(self):
+        entry = ClockEntry(ClockDomain.MEMORY, ClockLevel.M, 324_000, 1450)
+        assert ClockEntry.unpack(entry.pack()) == entry
+
+    def test_unpack_rejects_garbage_domain(self):
+        raw = bytes([9, 0, 0, 0, 0, 0, 0, 0])
+        with pytest.raises(BIOSFormatError):
+            ClockEntry.unpack(raw)

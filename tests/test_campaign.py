@@ -1,0 +1,69 @@
+"""Campaign orchestration and persistence tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.errors import UnknownGPUError
+
+
+@pytest.fixture()
+def campaign(tmp_path):
+    return Campaign(tmp_path / "camp", gpus=["GTX 460"])
+
+
+class TestCampaign:
+    def test_run_archives_everything(self, campaign):
+        summaries = campaign.run()
+        assert len(summaries) == 1
+        assert campaign.is_complete
+        assert campaign.dataset_path("GTX 460").exists()
+        assert campaign.model_path("GTX 460", "power").exists()
+        assert campaign.model_path("GTX 460", "performance").exists()
+        assert campaign.manifest_path.exists()
+
+    def test_manifest_contents(self, campaign):
+        campaign.run()
+        manifest = json.loads(campaign.manifest_path.read_text())
+        assert manifest["format"] == "repro.campaign"
+        assert manifest["gpus"] == ["GTX 460"]
+        assert len(manifest["summaries"]) == 1
+        summary = manifest["summaries"][0]
+        assert 0.0 < summary["power_r2"] < 1.0
+
+    def test_resume_reuses_archive(self, campaign):
+        first = campaign.run()
+        # Corrupting nothing: the second run must load, not re-measure.
+        mtime = campaign.dataset_path("GTX 460").stat().st_mtime_ns
+        second = campaign.run()
+        assert campaign.dataset_path("GTX 460").stat().st_mtime_ns == mtime
+        assert first[0].power_r2 == pytest.approx(second[0].power_r2)
+
+    def test_refresh_rebuilds(self, campaign):
+        campaign.run()
+        dataset_before = campaign.dataset("GTX 460")
+        campaign.run(refresh=True)
+        dataset_after = campaign.dataset("GTX 460")
+        # Deterministic simulation: refreshed data equals archived data.
+        assert dataset_after.n_observations == dataset_before.n_observations
+
+    def test_loaded_model_predicts(self, campaign):
+        campaign.run()
+        ds = campaign.dataset("GTX 460")
+        model = campaign.load_model("GTX 460", "power")
+        predictions = model.predict(ds)
+        assert predictions.shape == (ds.n_observations,)
+
+    def test_missing_model_raises(self, campaign):
+        with pytest.raises(FileNotFoundError):
+            campaign.load_model("GTX 460", "power")
+
+    def test_unknown_gpu_rejected_eagerly(self, tmp_path):
+        with pytest.raises(UnknownGPUError):
+            Campaign(tmp_path, gpus=["GTX 9999"])
+
+    def test_incomplete_before_run(self, campaign):
+        assert not campaign.is_complete

@@ -1,0 +1,81 @@
+"""Characterization sweep and efficiency tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterize.efficiency import (
+    best_operating_point,
+    characterize_benchmark,
+    characterize_gpu,
+    efficiency_improvement,
+)
+from repro.characterize.sweep import FrequencySweep
+from repro.experiments import context
+from repro.kernels.suites import all_benchmarks, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def sweep480():
+    return context.sweep_table("GTX 480")
+
+
+class TestSweep:
+    def test_runs_every_pair(self, gtx480):
+        sweep = FrequencySweep(gtx480)
+        results = sweep.run_benchmark(get_benchmark("hotspot"))
+        assert set(results) == {op.key for op in gtx480.operating_points()}
+
+    def test_full_sweep_covers_benchmarks(self, sweep480):
+        assert len(sweep480.benchmark_names) == 37
+
+    def test_default_accessor(self, sweep480):
+        m = sweep480.default("hotspot")
+        assert m.op.key == "H-H"
+
+    def test_subset_run(self, gtx480):
+        benches = [get_benchmark("nn"), get_benchmark("MAdd")]
+        table = FrequencySweep(gtx480).run(benches, scale=0.25)
+        assert table.benchmark_names == ("nn", "MAdd")
+
+
+class TestEfficiency:
+    def test_best_operating_point(self, sweep480):
+        key, m = best_operating_point(sweep480.measurements["backprop"])
+        assert m.energy_j == min(
+            x.energy_j for x in sweep480.measurements["backprop"].values()
+        )
+
+    def test_best_pair_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_operating_point({})
+
+    def test_efficiency_improvement_definition(self, sweep480):
+        default = sweep480.default("backprop")
+        best_key, best = best_operating_point(sweep480.measurements["backprop"])
+        imp = efficiency_improvement(default, best)
+        assert imp == pytest.approx(
+            (default.energy_j / best.energy_j - 1.0) * 100.0
+        )
+        assert imp >= 0.0
+
+    def test_characterize_benchmark_record(self, sweep480):
+        record = characterize_benchmark(sweep480, "backprop")
+        assert record.benchmark == "backprop"
+        assert record.best_energy_j <= record.default_energy_j
+        assert record.improvement_pct >= 0.0
+
+    def test_characterize_gpu_covers_all(self, gtx480, sweep480):
+        records = characterize_gpu(gtx480, table=sweep480)
+        assert len(records) == 37
+        assert {r.benchmark for r in records} == {
+            b.name for b in all_benchmarks()
+        }
+
+    def test_default_best_flag(self, sweep480):
+        records = {
+            r.benchmark: r
+            for r in characterize_gpu(None, table=sweep480)  # type: ignore[arg-type]
+        }
+        assert records["streamcluster"].is_default_best
+        assert not records["backprop"].is_default_best

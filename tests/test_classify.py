@@ -1,0 +1,94 @@
+"""Counter-based workload classification tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roofline import roofline_point
+from repro.arch.specs import all_gpus, get_gpu
+from repro.core.classify import (
+    Classification,
+    WorkloadClass,
+    classify_counters,
+    recommended_bias,
+)
+from repro.engine.simulator import GPUSimulator
+from repro.instruments.profiler import CudaProfiler
+from repro.kernels.suites import get_benchmark, modeling_benchmarks
+
+
+def _classify(gpu, bench_name, scale=0.05):
+    sim = GPUSimulator(gpu)
+    counters = CudaProfiler().profile(sim, get_benchmark(bench_name), scale)
+    return classify_counters(counters, gpu)
+
+
+class TestShowcaseWorkloads:
+    def test_backprop_like_compute_bound(self, gtx480):
+        """Backprop itself fails the profiler (as in the paper), so use
+        the next most compute-intense profiler-visible kernels."""
+        for name in ("binomialOptions", "mri-q", "cutcp"):
+            result = _classify(gtx480, name)
+            assert result.workload_class is WorkloadClass.COMPUTE_BOUND, name
+
+    def test_streaming_kernels_memory_bound(self, gtx480):
+        for name in ("streamcluster", "MAdd", "MTranspose", "lbm"):
+            result = _classify(gtx480, name)
+            assert result.workload_class is WorkloadClass.MEMORY_BOUND, name
+
+    def test_pressure_in_unit_interval(self, gpu):
+        for name in ("sgemm", "spmv", "nn"):
+            result = _classify(gpu, name)
+            assert 0.0 <= result.memory_pressure <= 1.0
+
+    def test_works_on_every_generation(self):
+        """The classifier adapts to each architecture's counter names,
+        including the GCN extension."""
+        for gpu in all_gpus(include_extensions=True):
+            result = _classify(gpu, "streamcluster")
+            assert result.workload_class is WorkloadClass.MEMORY_BOUND, gpu.name
+
+
+class TestAgreementWithRoofline:
+    def test_majority_agreement_on_fermi(self, gtx480):
+        """Counter-only classification should agree with the roofline
+        ground truth for the clear majority of classifiable kernels."""
+        agree = total = 0
+        for bench in modeling_benchmarks():
+            result = _classify(gtx480, bench.name)
+            if result.workload_class is WorkloadClass.BALANCED:
+                continue  # abstention is allowed
+            truth = roofline_point(bench, gtx480, gtx480.default_point())
+            predicted_compute = (
+                result.workload_class is WorkloadClass.COMPUTE_BOUND
+            )
+            total += 1
+            agree += predicted_compute == truth.compute_bound
+        assert total >= 15
+        assert agree / total >= 0.7
+
+
+class TestAPI:
+    def test_evidence_is_auditable(self, gtx480):
+        result = _classify(gtx480, "sgemm")
+        assert set(result.evidence) == {
+            "instructions",
+            "dram_bytes",
+            "t_compute_proxy",
+            "t_memory_proxy",
+        }
+
+    def test_recommended_bias_strings(self):
+        for cls in WorkloadClass:
+            c = Classification(cls, 0.5, {})
+            assert recommended_bias(c)
+
+    def test_empty_profile_rejected(self, gtx480):
+        with pytest.raises(ValueError):
+            classify_counters({}, gtx480)
+
+    def test_bad_band_rejected(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        counters = CudaProfiler().profile(sim, get_benchmark("nn"), 0.05)
+        with pytest.raises(ValueError):
+            classify_counters(counters, gtx480, balanced_band=(0.8, 0.2))

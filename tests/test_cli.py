@@ -1,0 +1,41 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "fig11" in out
+
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 680" in out
+        assert "1536" in out
+
+    def test_run_model_table(self, capsys):
+        assert main(["run", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "R̄² (paper)" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "GTX 680", "backprop"]) == 0
+        out = capsys.readouterr().out
+        assert "H-H" in out
+        assert "energy" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,62 @@
+"""Extended CLI tests: campaign and report subcommands."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCampaignCommand:
+    def test_campaign_single_gpu(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main(["campaign", str(out), "--gpu", "GTX 460"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "GTX 460" in stdout
+        assert (out / "campaign.json").exists()
+        manifest = json.loads((out / "campaign.json").read_text())
+        assert manifest["gpus"] == ["GTX 460"]
+
+    def test_campaign_resume_message(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        main(["campaign", str(out), "--gpu", "GTX 460"])
+        capsys.readouterr()
+        # Second invocation reloads the archive; still succeeds.
+        assert main(["campaign", str(out), "--gpu", "GTX 460"]) == 0
+
+
+class TestReportCommand:
+    def test_report_paper_artifacts_only(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        code = main(["report", str(out), "--no-extensions"])
+        assert code == 0
+        files = sorted(p.name for p in out.glob("*.txt"))
+        assert "INDEX.txt" in files
+        assert "table5.txt" in files
+        assert "fig11.txt" in files
+        assert not any(name.startswith("ext_") for name in files)
+        stdout = capsys.readouterr().out
+        assert "19 experiments rendered" in stdout
+
+    def test_report_file_contents(self, tmp_path):
+        out = tmp_path / "report"
+        main(["report", str(out), "--no-extensions"])
+        text = (out / "table8.txt").read_text()
+        assert "Error[%] (paper)" in text
+
+
+class TestSweepCommand:
+    def test_sweep_radeon_extension(self, capsys):
+        assert main(["sweep", "hd7970", "sgemm"]) == 0
+        out = capsys.readouterr().out
+        assert "Radeon HD 7970" in out
+
+    def test_sweep_unknown_gpu(self):
+        from repro.errors import UnknownGPUError
+
+        with pytest.raises(UnknownGPUError):
+            main(["sweep", "GTX 9999", "sgemm"])

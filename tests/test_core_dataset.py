@@ -1,0 +1,135 @@
+"""Modeling dataset and feature-construction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import get_gpu
+from repro.core.dataset import build_dataset
+from repro.core.features import performance_feature_matrix, power_feature_matrix
+from repro.engine.counters import CounterDomain
+from repro.kernels.suites import get_benchmark
+
+
+class TestBuildDataset:
+    def test_sample_count_matches_paper(self, dataset480):
+        assert dataset480.n_samples == 114
+
+    def test_observations_cover_all_pairs(self, dataset480):
+        assert set(dataset480.pair_keys) == {
+            "H-H", "H-M", "H-L", "M-H", "M-M", "M-L", "L-L",
+        }
+
+    def test_observation_count(self, dataset480):
+        assert dataset480.n_observations == 114 * 7
+
+    def test_counter_names_match_architecture(self, dataset480):
+        assert len(dataset480.counter_names) == 74
+
+    def test_profiler_failures_absent(self, dataset480):
+        assert "backprop" not in dataset480.benchmarks
+        assert "mummergpu" not in dataset480.benchmarks
+
+    def test_counters_shared_within_sample(self, dataset480):
+        """Counter totals come from one profiling run per (bench, size),
+        so they must be identical across pairs of the same sample."""
+        sample = [
+            o
+            for o in dataset480.observations
+            if o.benchmark == "kmeans" and o.scale == 0.25
+        ]
+        assert len(sample) == 7
+        first = sample[0].counters
+        assert all(o.counters == first for o in sample)
+
+    def test_measured_values_vary_across_pairs(self, dataset480):
+        sample = [
+            o
+            for o in dataset480.observations
+            if o.benchmark == "kmeans" and o.scale == 0.25
+        ]
+        times = {o.exec_seconds for o in sample}
+        assert len(times) == len(sample)
+
+    def test_subset_by_pair(self, dataset480):
+        sub = dataset480.for_pair("H-L")
+        assert sub.n_observations == 114
+        assert all(o.op.key == "H-L" for o in sub.observations)
+
+    def test_subset_by_benchmark(self, dataset480):
+        only = dataset480.only_benchmark("kmeans")
+        without = dataset480.without_benchmark("kmeans")
+        assert only.n_observations + without.n_observations == (
+            dataset480.n_observations
+        )
+
+    def test_restricted_pairs_argument(self):
+        gpu = get_gpu("GTX 460")
+        ds = build_dataset(
+            gpu,
+            benchmarks=[get_benchmark("kmeans")],
+            pairs=["H-H", "M-M"],
+        )
+        assert set(ds.pair_keys) == {"H-H", "M-M"}
+
+    def test_invalid_pairs_argument(self):
+        gpu = get_gpu("GTX 460")
+        with pytest.raises(ValueError):
+            build_dataset(gpu, benchmarks=[get_benchmark("kmeans")], pairs=["X-Y"])
+
+    def test_deterministic(self):
+        gpu = get_gpu("GTX 460")
+        kwargs = dict(benchmarks=[get_benchmark("nn")], pairs=["H-H"])
+        a = build_dataset(gpu, **kwargs)
+        b = build_dataset(gpu, **kwargs)
+        assert a.exec_seconds().tolist() == b.exec_seconds().tolist()
+
+
+class TestFeatureMatrices:
+    def test_power_features_shape(self, dataset480):
+        X, names = power_feature_matrix(dataset480)
+        assert X.shape == (dataset480.n_observations, 74)
+        assert len(names) == 74
+        assert all(n.endswith("*freq") for n in names)
+
+    def test_performance_features_shape(self, dataset480):
+        X, names = performance_feature_matrix(dataset480)
+        assert X.shape == (dataset480.n_observations, 74)
+        assert all(n.endswith("/freq") for n in names)
+
+    def test_power_feature_formula(self, dataset480):
+        """Eq. 1: rate x domain frequency, spot-checked on one cell."""
+        X, _ = power_feature_matrix(dataset480)
+        i = 0
+        obs = dataset480.observations[i]
+        name = dataset480.counter_names[3]
+        j = 3
+        domain = dataset480.counter_domains[name]
+        freq = (
+            obs.op.core_mhz
+            if domain is CounterDomain.CORE
+            else obs.op.mem_mhz
+        )
+        expected = obs.counters[name] / obs.exec_seconds * freq
+        assert X[i, j] == pytest.approx(expected)
+
+    def test_performance_feature_formula(self, dataset480):
+        """Eq. 2: total / domain frequency."""
+        X, _ = performance_feature_matrix(dataset480)
+        i = 5
+        j = 10
+        obs = dataset480.observations[i]
+        name = dataset480.counter_names[j]
+        domain = dataset480.counter_domains[name]
+        freq = (
+            obs.op.core_mhz
+            if domain is CounterDomain.CORE
+            else obs.op.mem_mhz
+        )
+        assert X[i, j] == pytest.approx(obs.counters[name] / freq)
+
+    def test_features_finite(self, dataset480):
+        for matrix_fn in (power_feature_matrix, performance_feature_matrix):
+            X, _ = matrix_fn(dataset480)
+            assert np.all(np.isfinite(X))

@@ -1,0 +1,129 @@
+"""Performance-counter set tests (Section IV cardinalities and values)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import simulate_cache
+from repro.engine.counters import (
+    CounterDomain,
+    RunContext,
+    counter_set,
+    counter_set_size,
+)
+from repro.engine.timing import simulate_timing
+from repro.kernels.suites import get_benchmark
+
+
+def _context(gpu, bench_name="kmeans", pair="H-H", scale=1.0) -> RunContext:
+    bench = get_benchmark(bench_name)
+    work = bench.work(scale)
+    cache = simulate_cache(work, gpu)
+    op = gpu.operating_point(pair)
+    timing = simulate_timing(work, cache, gpu, op)
+    return RunContext(work=work, cache=cache, timing=timing, spec=gpu, op=op)
+
+
+class TestCardinalities:
+    """Section IV: '32 counters for GTX 285, 74 counters for GTX 460 and
+    GTX 480, and 108 counters for GTX 680.'"""
+
+    def test_tesla_has_32(self):
+        assert counter_set_size("tesla") == 32
+
+    def test_fermi_has_74(self):
+        assert counter_set_size("fermi") == 74
+
+    def test_kepler_has_108(self):
+        assert counter_set_size("kepler") == 108
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(KeyError):
+            counter_set("maxwell")
+
+    def test_names_unique_within_set(self):
+        for name in ("tesla", "fermi", "kepler"):
+            names = [c.name for c in counter_set(name)]
+            assert len(names) == len(set(names)), name
+
+    def test_both_domains_present(self):
+        for name in ("tesla", "fermi", "kepler"):
+            domains = {c.domain for c in counter_set(name)}
+            assert domains == {CounterDomain.CORE, CounterDomain.MEMORY}
+
+    def test_kepler_supersets_fermi_core_names(self):
+        fermi = {c.name for c in counter_set("fermi")}
+        kepler = {c.name for c in counter_set("kepler")}
+        assert fermi <= kepler
+
+
+class TestValues:
+    def test_all_counters_finite_nonnegative(self, gpu):
+        ctx = _context(gpu)
+        for counter in counter_set(gpu.traits.counter_set):
+            value = counter.evaluate(ctx)
+            assert value >= 0.0, counter.name
+            assert value == value  # not NaN
+
+    def test_inst_executed_matches_work(self, gtx480):
+        ctx = _context(gtx480)
+        by_name = {c.name: c for c in counter_set("fermi")}
+        assert by_name["inst_executed"].evaluate(ctx) == pytest.approx(
+            ctx.work.inst_total
+        )
+
+    def test_branch_counters(self, gtx480):
+        ctx = _context(gtx480, "mummergpu")
+        by_name = {c.name: c for c in counter_set("fermi")}
+        branch = by_name["branch"].evaluate(ctx)
+        divergent = by_name["divergent_branch"].evaluate(ctx)
+        assert 0 < divergent < branch
+
+    def test_l2_subpartitions_sum_to_totals(self, gtx480):
+        ctx = _context(gtx480, "streamcluster")
+        by_name = {c.name: c for c in counter_set("fermi")}
+        subp = sum(
+            by_name[f"l2_subp{i}_read_sector_queries"].evaluate(ctx)
+            for i in (0, 1)
+        )
+        read_share = ctx.work.gld_bytes / ctx.work.global_bytes
+        assert subp == pytest.approx(ctx.cache.l2_queries * read_share)
+
+    def test_fb_sectors_reflect_dram_traffic(self, gtx480):
+        ctx = _context(gtx480, "lbm")
+        by_name = {c.name: c for c in counter_set("fermi")}
+        reads = sum(
+            by_name[f"fb_subp{i}_read_sectors"].evaluate(ctx) for i in (0, 1)
+        )
+        assert reads == pytest.approx(ctx.cache.dram_read_bytes / 32.0)
+
+    def test_active_cycles_scale_with_core_clock(self, gtx480):
+        """active_cycles is the one counter that depends on frequency."""
+        hh = _context(gtx480, "kmeans", "H-H")
+        mh = _context(gtx480, "kmeans", "M-H")
+        by_name = {c.name: c for c in counter_set("fermi")}
+        cy_hh = by_name["active_cycles"].evaluate(hh)
+        cy_mh = by_name["active_cycles"].evaluate(mh)
+        # Lower clock -> longer time but fewer cycles/second; for a
+        # compute-bound kernel the cycle count is nearly constant.
+        assert cy_mh == pytest.approx(cy_hh, rel=0.35)
+
+    def test_prof_triggers_are_zero(self, gtx285):
+        ctx = _context(gtx285)
+        by_name = {c.name: c for c in counter_set("tesla")}
+        assert by_name["prof_trigger_00"].evaluate(ctx) == 0.0
+
+    def test_ratio_counters_bounded(self, gtx680):
+        ctx = _context(gtx680)
+        by_name = {c.name: c for c in counter_set("kepler")}
+        occ = by_name["achieved_occupancy"].evaluate(ctx)
+        assert 0.0 <= occ <= 1.0
+        util = by_name["issue_slot_utilization"].evaluate(ctx)
+        assert 0.0 <= util <= 1.0
+
+    def test_memory_events_track_traffic_not_compute(self, gtx480):
+        heavy = _context(gtx480, "streamcluster")
+        light = _context(gtx480, "backprop")
+        by_name = {c.name: c for c in counter_set("fermi")}
+        gld = by_name["gld_request"]
+        assert gld.evaluate(heavy) > gld.evaluate(light)

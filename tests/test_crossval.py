@@ -1,0 +1,51 @@
+"""Leave-one-benchmark-out cross-validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import get_gpu
+from repro.core.crossval import leave_one_benchmark_out
+from repro.core.dataset import build_dataset
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.kernels.suites import modeling_benchmarks
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A reduced dataset (8 benchmarks) to keep LOBO refits fast."""
+    return build_dataset(
+        get_gpu("GTX 460"), benchmarks=modeling_benchmarks()[:8]
+    )
+
+
+class TestLOBO:
+    def test_covers_every_benchmark(self, small_dataset):
+        cv = leave_one_benchmark_out(UnifiedPerformanceModel, small_dataset)
+        assert set(cv.per_benchmark) == set(small_dataset.benchmarks)
+
+    def test_heldout_reports_only_heldout_observations(self, small_dataset):
+        cv = leave_one_benchmark_out(UnifiedPowerModel, small_dataset)
+        for name, report in cv.per_benchmark.items():
+            assert set(report.benchmarks) == {name}
+            expected = small_dataset.only_benchmark(name).n_observations
+            assert len(report.benchmarks) == expected
+
+    def test_heldout_error_at_least_in_sample(self, small_dataset):
+        """Generalization gap is non-negative (up to small noise)."""
+        cv = leave_one_benchmark_out(UnifiedPerformanceModel, small_dataset)
+        assert cv.mean_pct_error > cv.in_sample.mean_pct_error * 0.8
+        assert cv.generalization_gap_pct == pytest.approx(
+            cv.mean_pct_error - cv.in_sample.mean_pct_error
+        )
+
+    def test_worst_benchmarks_sorted(self, small_dataset):
+        cv = leave_one_benchmark_out(UnifiedPowerModel, small_dataset)
+        worst = cv.worst_benchmarks(3)
+        assert len(worst) == 3
+        errors = [e for _, e in worst]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_mean_abs_error_positive(self, small_dataset):
+        cv = leave_one_benchmark_out(UnifiedPowerModel, small_dataset)
+        assert cv.mean_abs_error > 0

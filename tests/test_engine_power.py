@@ -1,0 +1,101 @@
+"""Power model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import simulate_cache
+from repro.engine.power import idle_gpu_power, simulate_power
+from repro.engine.timing import simulate_timing
+from repro.kernels.suites import get_benchmark
+
+
+def _power(gpu, bench_name, pair, scale=1.0):
+    bench = get_benchmark(bench_name)
+    work = bench.work(scale)
+    cache = simulate_cache(work, gpu)
+    op = gpu.operating_point(pair)
+    timing = simulate_timing(work, cache, gpu, op)
+    return simulate_power(cache, timing, gpu, op)
+
+
+class TestPowerBreakdown:
+    def test_total_is_sum_of_components(self, gtx480):
+        p = _power(gtx480, "backprop", "H-H")
+        assert p.total == pytest.approx(
+            p.static_w + p.core_dynamic_w + p.mem_background_w + p.dram_access_w
+        )
+
+    def test_all_components_positive(self, gpu):
+        p = _power(gpu, "kmeans", "H-H")
+        assert p.static_w > 0
+        assert p.core_dynamic_w > 0
+        assert p.mem_background_w > 0
+        assert p.dram_access_w >= 0
+
+    def test_full_load_near_budget(self, gpu):
+        """A fully compute-bound kernel at (H-H) should draw on the order
+        of the card's calibrated budget (static + core + mem background)."""
+        p = _power(gpu, "backprop", "H-H")
+        budget = (
+            gpu.power.board_static_w
+            + gpu.power.core_dyn_w
+            + gpu.power.mem_background_w
+        )
+        assert 0.5 * budget < p.total < 1.25 * budget
+
+    def test_core_dvfs_saves_superlinearly_on_kepler(self, gtx680):
+        """V^2 * f scaling: stepping 680's core H->M cuts core dynamic
+        power by much more than the frequency ratio alone."""
+        hh = _power(gtx680, "backprop", "H-H")
+        mh = _power(gtx680, "backprop", "M-H")
+        freq_ratio = 1080.0 / 1411.0
+        assert mh.core_dynamic_w / hh.core_dynamic_w < freq_ratio * 0.75
+
+    def test_core_dvfs_nearly_linear_on_tesla(self, gtx285):
+        """Tesla's flat V-f curve: core power tracks frequency almost
+        linearly, which is why down-clocking saves it little energy."""
+        hh = _power(gtx285, "backprop", "H-H")
+        mh = _power(gtx285, "backprop", "M-H")
+        freq_ratio = 800.0 / 1296.0
+        ratio = mh.core_dynamic_w / hh.core_dynamic_w
+        assert ratio == pytest.approx(freq_ratio, rel=0.15)
+
+    def test_mem_background_scales_with_mem_clock(self, gtx480):
+        hh = _power(gtx480, "backprop", "H-H")
+        hl = _power(gtx480, "backprop", "H-L")
+        assert hl.mem_background_w < 0.2 * hh.mem_background_w
+
+    def test_memory_bound_kernel_low_core_utilization_power(self, gtx480):
+        compute = _power(gtx480, "backprop", "H-H")
+        memory = _power(gtx480, "streamcluster", "H-H")
+        assert memory.core_dynamic_w < compute.core_dynamic_w
+
+    def test_static_power_drops_with_voltage(self, gtx680):
+        hh = _power(gtx680, "backprop", "H-H")
+        mh = _power(gtx680, "backprop", "M-H")
+        assert mh.static_w < hh.static_w
+
+
+class TestIdlePower:
+    def test_idle_below_active(self, gpu):
+        op = gpu.default_point()
+        active = _power(gpu, "backprop", "H-H").total
+        assert idle_gpu_power(gpu, op) < active
+
+    def test_idle_nearly_pair_independent(self, gpu):
+        """Clock gating: idle power varies far less across pairs than
+        active power does (otherwise idle phases would distort the
+        Section III energy comparisons)."""
+        idles = [idle_gpu_power(gpu, op) for op in gpu.operating_points()]
+        actives = [
+            _power(gpu, "backprop", op.key).total
+            for op in gpu.operating_points()
+        ]
+        idle_spread = max(idles) - min(idles)
+        active_spread = max(actives) - min(actives)
+        assert idle_spread < 0.5 * active_spread
+
+    def test_idle_positive(self, gpu):
+        for op in gpu.operating_points():
+            assert idle_gpu_power(gpu, op) > 0

@@ -1,0 +1,117 @@
+"""Property-based engine invariants over the whole workload space.
+
+Uses the synthetic kernel generator to probe arbitrary corners of the
+parameter space — the physics invariants must hold for *any* coherent
+workload, not just the 37 curated ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dvfs import ClockLevel
+from repro.arch.specs import all_gpus, get_gpu
+from repro.engine.cache import simulate_cache
+from repro.engine.power import idle_gpu_power, simulate_power
+from repro.engine.simulator import GPUSimulator
+from repro.engine.timing import simulate_timing
+from repro.instruments.testbed import Testbed
+from repro.kernels.synthetic import generate_kernel
+
+_GPU_NAMES = [g.name for g in all_gpus()]
+
+kernel_indices = st.integers(min_value=0, max_value=200)
+gpu_names = st.sampled_from(_GPU_NAMES)
+
+
+def _run(gpu_name, index, pair="H-H", scale=0.05):
+    gpu = get_gpu(gpu_name)
+    kernel = generate_kernel(index)
+    work = kernel.work(scale)
+    cache = simulate_cache(work, gpu)
+    op = gpu.operating_point(pair)
+    timing = simulate_timing(work, cache, gpu, op)
+    power = simulate_power(cache, timing, gpu, op)
+    return gpu, op, work, cache, timing, power
+
+
+class TestTimingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_all_times_positive_and_ordered(self, gpu_name, index):
+        _, _, _, _, timing, _ = _run(gpu_name, index)
+        assert timing.t_compute > 0
+        assert timing.t_memory > 0
+        assert timing.t_kernel >= max(timing.t_compute, timing.t_memory) - 1e-15
+        assert timing.total >= timing.t_kernel
+
+    @settings(max_examples=25, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_downclocking_core_never_speeds_up(self, gpu_name, index):
+        gpu = get_gpu(gpu_name)
+        if not gpu.is_configurable(ClockLevel.M, ClockLevel.H):
+            pytest.skip("no M-H pair")
+        _, _, _, _, t_hh, _ = _run(gpu_name, index, "H-H")
+        _, _, _, _, t_mh, _ = _run(gpu_name, index, "M-H")
+        assert t_mh.t_kernel >= t_hh.t_kernel * 0.999
+
+    @settings(max_examples=25, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_downclocking_memory_never_speeds_up(self, gpu_name, index):
+        _, _, _, _, t_hh, _ = _run(gpu_name, index, "H-H")
+        _, _, _, _, t_hm, _ = _run(gpu_name, index, "H-M")
+        assert t_hm.t_kernel >= t_hh.t_kernel * 0.999
+
+
+class TestPowerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_power_positive_and_bounded(self, gpu_name, index):
+        gpu, op, _, _, _, power = _run(gpu_name, index)
+        assert 0 < power.total < 2.5 * gpu.tdp_w
+
+    @settings(max_examples=25, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_downclocking_never_raises_power(self, gpu_name, index):
+        _, _, _, _, _, p_hh = _run(gpu_name, index, "H-H")
+        _, _, _, _, _, p_mh = _run(gpu_name, index, "M-H")
+        _, _, _, _, _, p_hm = _run(gpu_name, index, "H-M")
+        assert p_mh.total <= p_hh.total * 1.001
+        assert p_hm.total <= p_hh.total * 1.001
+
+    @settings(max_examples=25, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_idle_below_active(self, gpu_name, index):
+        gpu, op, _, _, _, power = _run(gpu_name, index)
+        assert idle_gpu_power(gpu, op) < power.total
+
+
+class TestMeasurementInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_energy_consistent_with_time_and_power(self, gpu_name, index):
+        """Energy per run ~= average power x single-run time, up to the
+        idle/busy weighting the meter applies."""
+        testbed = Testbed(get_gpu(gpu_name))
+        m = testbed.measure(generate_kernel(index), 0.05)
+        assert m.energy_j == pytest.approx(
+            m.avg_power_w * m.trace.duration_s / m.repeats, rel=0.02
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_meter_window_long_enough(self, gpu_name, index):
+        testbed = Testbed(get_gpu(gpu_name))
+        m = testbed.measure(generate_kernel(index), 0.05)
+        assert m.trace.num_samples >= 9
+
+    @settings(max_examples=10, deadline=None)
+    @given(gpu_names, kernel_indices)
+    def test_counters_nonnegative_for_any_workload(self, gpu_name, index):
+        gpu = get_gpu(gpu_name)
+        sim = GPUSimulator(gpu)
+        from repro.instruments.profiler import CudaProfiler
+
+        values = CudaProfiler().profile(sim, generate_kernel(index), 0.05)
+        assert all(v >= 0.0 for v in values.values())

@@ -1,0 +1,164 @@
+"""Timing, occupancy and cache model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.architecture import Architecture, traits_of
+from repro.arch.dvfs import ClockLevel
+from repro.engine.cache import simulate_cache
+from repro.engine.occupancy import (
+    divergence_efficiency,
+    occupancy_efficiency,
+    scheduler_efficiency,
+)
+from repro.engine.timing import compute_work_ops, simulate_timing
+from repro.kernels.suites import all_benchmarks, get_benchmark
+
+
+def _timing(gpu, bench_name, pair, scale=1.0):
+    bench = get_benchmark(bench_name)
+    work = bench.work(scale)
+    cache = simulate_cache(work, gpu)
+    return simulate_timing(work, cache, gpu, gpu.operating_point(pair))
+
+
+class TestOccupancy:
+    def test_full_occupancy_is_unity(self):
+        assert occupancy_efficiency(1.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_occupancy_efficiency_bounded(self, occ):
+        eff = occupancy_efficiency(occ)
+        assert 0.0 < eff <= 1.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_occupancy_efficiency_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert occupancy_efficiency(lo) <= occupancy_efficiency(hi)
+
+    def test_divergence_penalty_strongest_on_tesla(self):
+        tesla = divergence_efficiency(0.5, traits_of(Architecture.TESLA))
+        kepler = divergence_efficiency(0.5, traits_of(Architecture.KEPLER))
+        assert tesla < kepler
+
+    def test_no_divergence_no_penalty(self):
+        assert divergence_efficiency(0.0, traits_of(Architecture.FERMI)) == 1.0
+
+    def test_scheduler_efficiency_in_unit_interval(self):
+        for arch in Architecture:
+            eff = scheduler_efficiency(0.8, 0.2, traits_of(arch))
+            assert 0.0 < eff < 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_efficiency(0.0)
+        with pytest.raises(ValueError):
+            divergence_efficiency(1.5, traits_of(Architecture.FERMI))
+
+
+class TestCache:
+    def test_tesla_filters_nothing(self, gtx285):
+        work = get_benchmark("hotspot").work(1.0)
+        outcome = simulate_cache(work, gtx285)
+        assert outcome.l1_hit_bytes == 0.0
+        assert outcome.l2_hit_bytes == 0.0
+        assert outcome.dram_bytes >= work.global_bytes  # only overfetch
+
+    def test_fermi_filters_local_traffic(self, gtx480):
+        work = get_benchmark("hotspot").work(1.0)  # locality 0.8
+        outcome = simulate_cache(work, gtx480)
+        assert outcome.dram_fraction < 0.7
+
+    def test_kepler_filters_more_than_fermi(self, gtx480, gtx680):
+        work = get_benchmark("hotspot").work(1.0)
+        assert (
+            simulate_cache(work, gtx680).dram_bytes
+            < simulate_cache(work, gtx480).dram_bytes
+        )
+
+    def test_uncoalesced_overfetch(self, gtx480):
+        work = get_benchmark("spmv").work(1.0)  # coalescing 0.4
+        outcome = simulate_cache(work, gtx480)
+        filtered = work.global_bytes * (
+            1 - gtx480.traits.cache_factor * work.locality
+        )
+        assert outcome.dram_bytes == pytest.approx(filtered / work.coalescing)
+
+    def test_byte_conservation(self, gpu):
+        for bench in all_benchmarks()[:10]:
+            work = bench.work(0.5)
+            o = simulate_cache(work, gpu)
+            assert o.l1_hit_bytes + o.l2_hit_bytes <= o.requested_bytes + 1e-6
+            assert o.dram_read_bytes + o.dram_write_bytes == pytest.approx(
+                o.dram_bytes
+            )
+
+
+class TestTiming:
+    def test_compute_bound_scales_with_core_clock(self, gtx480):
+        hh = _timing(gtx480, "backprop", "H-H")
+        mh = _timing(gtx480, "backprop", "M-H")
+        expected = gtx480.core_freq(ClockLevel.H) / gtx480.core_freq(ClockLevel.M)
+        assert mh.t_compute / hh.t_compute == pytest.approx(expected)
+        assert mh.t_kernel > hh.t_kernel
+
+    def test_memory_bound_scales_with_mem_clock(self, gtx480):
+        hh = _timing(gtx480, "streamcluster", "H-H")
+        hm = _timing(gtx480, "streamcluster", "H-M")
+        assert hm.t_memory > hh.t_memory
+        assert hm.t_kernel > hh.t_kernel
+
+    def test_combined_time_bounds(self, gpu):
+        """Generalized-mean combination lies between max and sum."""
+        for bench in ("backprop", "streamcluster", "gaussian"):
+            t = _timing(gpu, bench, "H-H")
+            assert t.t_kernel >= max(t.t_compute, t.t_memory) - 1e-12
+            assert t.t_kernel <= t.t_compute + t.t_memory + 1e-12
+
+    def test_utilizations_bounded(self, gpu):
+        for bench in all_benchmarks()[:8]:
+            work = bench.work(1.0)
+            cache = simulate_cache(work, gpu)
+            t = simulate_timing(work, cache, gpu, gpu.default_point())
+            assert 0.0 < t.core_utilization <= 1.0
+            assert 0.0 < t.memory_utilization <= 1.0
+
+    def test_issue_limit_binds_memory_bound_at_low_core(self, gtx680):
+        """Fig. 2 mechanism: memory-bound kernels slow down when the core
+        clock drops, because the SMs cannot keep the DRAM saturated."""
+        hh = _timing(gtx680, "streamcluster", "H-H")
+        lh = _timing(gtx680, "streamcluster", "L-H")
+        assert lh.t_memory > hh.t_memory * 1.3
+
+    def test_transfer_time_independent_of_clocks(self, gtx680):
+        hh = _timing(gtx680, "lbm", "H-H")
+        ml = _timing(gtx680, "lbm", "M-L")
+        assert hh.t_transfer == pytest.approx(ml.t_transfer)
+        assert hh.t_transfer > 0
+
+    def test_launch_overhead_scales_with_launches(self, gtx480):
+        many = _timing(gtx480, "concurrentKernels", "H-H")
+        few = _timing(gtx480, "nn", "H-H")
+        assert many.t_launch > few.t_launch
+
+    def test_total_is_sum_of_phases(self, gtx480):
+        t = _timing(gtx480, "kmeans", "H-H")
+        assert t.total == pytest.approx(
+            t.t_kernel + t.t_launch + t.t_transfer + t.t_host
+        )
+
+    def test_compute_work_ops_weights(self):
+        work = get_benchmark("mri-q").work(1.0)  # SFU heavy
+        ops = compute_work_ops(work)
+        assert ops > work.flops  # weights add work beyond raw FLOPs
+
+    def test_backprop_faster_on_newer_gpus(self, gtx285, gtx480, gtx680):
+        t285 = _timing(gtx285, "backprop", "H-H").t_kernel
+        t480 = _timing(gtx480, "backprop", "H-H").t_kernel
+        t680 = _timing(gtx680, "backprop", "H-H").t_kernel
+        assert t680 < t480 < t285

@@ -1,0 +1,135 @@
+"""Experiment registry and per-artifact smoke/shape tests.
+
+These run every table and figure of the paper once (shared caches make
+this affordable) and check structural properties of each output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import GPU_NAMES
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, all_experiments, get_experiment, run
+
+
+class TestRegistry:
+    def test_all_19_paper_artifacts_present(self):
+        ids = all_experiments()
+        paper = [i for i in ids if not i.startswith("ext_")]
+        assert len(paper) == 19
+        assert {f"table{i}" for i in range(1, 9)} <= set(ids)
+        assert {f"fig{i}" for i in range(1, 12)} <= set(ids)
+
+    def test_lookup_case_insensitive(self):
+        title, _ = get_experiment("TABLE5")
+        assert "power model" in title
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every *paper* artifact once, sharing the context caches.
+
+    The heavier extension experiments are covered by
+    ``tests/test_ext_experiments.py`` and the benchmark harness.
+    """
+    return {
+        experiment_id: run(experiment_id)
+        for experiment_id in EXPERIMENTS
+        if not experiment_id.startswith("ext_")
+    }
+
+
+class TestArtifacts:
+    def test_every_result_renders(self, results):
+        for experiment_id, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            text = result.to_text()
+            assert experiment_id in text
+            assert len(text.splitlines()) >= 3
+
+    def test_table1_matches_registry(self, results):
+        rows = {r[0]: r[1:] for r in results["table1"].rows}
+        assert rows["# of processing cores"] == [240, 336, 480, 1536]
+
+    def test_table2_counts(self, results):
+        counts = {r[0]: r[1] for r in results["table2"].rows}
+        assert counts == {
+            "Rodinia": 18,
+            "Parboil": 10,
+            "CUDA SDK": 6,
+            "Matrix": 3,
+        }
+
+    def test_table3_marks(self, results):
+        rows = {r[0]: r[1:] for r in results["table3"].rows}
+        assert rows["Core-H, Mem-H"] == ["yes"] * 4
+        assert rows["Core-L, Mem-L"] == ["-", "yes", "yes", "-"]
+
+    def test_fig1_normalized_to_default(self, results):
+        for row in results["fig1"].rows:
+            gpu, mem, core, perf, eff = row
+            if mem == "Mem-H" and core in ("1296", "1350", "1400", "1411"):
+                assert perf == pytest.approx(1.0)
+                assert eff == pytest.approx(1.0)
+
+    def test_table4_has_all_benchmarks(self, results):
+        assert len(results["table4"].rows) == 37
+
+    def test_fig4_average_row(self, results):
+        last = results["fig4"].rows[-1]
+        assert last[0] == "AVERAGE"
+        averages = last[1:]
+        # Paper ordering: Tesla tiny, Kepler largest.
+        assert averages[0] < averages[1]
+        assert averages[3] == max(averages)
+
+    def test_table5_r2_values(self, results):
+        ours = results["table5"].rows[0][1:]
+        assert all(0.0 < v < 1.0 for v in ours)
+
+    def test_table6_r2_high(self, results):
+        ours = results["table6"].rows[0][1:]
+        assert all(v > 0.85 for v in ours)
+
+    def test_table7_watt_errors_small(self, results):
+        watt_row = [r for r in results["table7"].rows if r[0] == "Error[W] (ours)"][0]
+        assert all(v < 30.0 for v in watt_row[1:])
+
+    def test_table8_errors_decrease_by_generation(self, results):
+        ours = [r for r in results["table8"].rows if r[0] == "Error[%] (ours)"][0][1:]
+        assert ours[0] == max(ours)  # Tesla worst
+        assert ours[3] <= ours[1]  # Kepler better than Fermi-460
+
+    def test_fig5_and_fig6_cover_modeled_benchmarks(self, results):
+        for experiment_id in ("fig5", "fig6"):
+            assert len(results[experiment_id].rows) == 33
+
+    def test_fig7_fig8_sweep_counts(self, results):
+        for experiment_id in ("fig7", "fig8"):
+            rows = results[experiment_id].rows
+            assert len(rows) == 4 * 4  # 4 GPUs x 4 variable counts
+            # R̄² never decreases when allowing more variables.
+            for name in GPU_NAMES:
+                r2s = [r[2] for r in rows if r[0] == name]
+                assert r2s == sorted(r2s)
+
+    def test_fig9_fig10_have_unified_rows(self, results):
+        for experiment_id in ("fig9", "fig10"):
+            models = {(r[0], r[1]) for r in results[experiment_id].rows}
+            for name in GPU_NAMES:
+                assert (name, "unified") in models
+
+    def test_fig11_influences_normalized(self, results):
+        rows = results["fig11"].rows
+        for name in GPU_NAMES:
+            for kind in ("power", "performance"):
+                shares = [
+                    r[4] for r in rows if r[0] == name and r[1] == kind
+                ]
+                assert sum(shares) == pytest.approx(100.0, abs=1.0)
+                assert len(shares) <= 10

@@ -1,0 +1,65 @@
+"""Extension-experiment registry and shape tests.
+
+The heavier extension experiments (crossval over 33 benchmarks x 4 GPUs,
+bootstrap with refits) are exercised end-to-end by the benchmark harness;
+here we verify registration and run the cheaper ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, all_experiments, run
+
+
+class TestRegistration:
+    def test_extensions_registered(self):
+        ids = all_experiments()
+        for ext in (
+            "ext_crossval",
+            "ext_transfer",
+            "ext_radeon",
+            "ext_governor",
+            "ext_bootstrap",
+            "ext_methods",
+            "ext_roofline",
+            "ext_synthetic",
+            "ext_thermal",
+            "ext_seeds",
+            "ext_profiler",
+            "ext_pareto",
+        ):
+            assert ext in ids
+
+    def test_total_count(self):
+        assert len(EXPERIMENTS) == 31  # 19 paper artifacts + 12 extensions
+
+    def test_paper_artifacts_come_first(self):
+        ids = all_experiments()
+        first_ext = next(i for i, x in enumerate(ids) if x.startswith("ext_"))
+        assert all(not x.startswith("ext_") for x in ids[:first_ext])
+
+
+class TestExtensionRuns:
+    def test_transfer_experiment(self):
+        result = run("ext_transfer")
+        assert len(result.rows) == 8  # 4 transfer pairs x 2 model families
+        # Within-generation Fermi transfers share all 74 counters.
+        fermi_rows = [r for r in result.rows if "460" in r[0] and "480" in r[0]]
+        assert all(r[2] == 74 for r in fermi_rows)
+        # Ported models always degrade.
+        assert all(r[5] >= 1.0 for r in result.rows)
+
+    def test_radeon_experiment(self):
+        result = run("ext_radeon")
+        values = {r[0]: r[1] for r in result.rows}
+        assert values["counter set size"] == 75
+        assert values["modeling samples"] == 114
+        assert values["performance model R̄²"] > 0.85
+
+    def test_governor_experiment(self):
+        result = run("ext_governor")
+        assert len(result.rows) == 4
+        for row in result.rows:
+            mean_rank = row[2]
+            assert mean_rank < 4.5  # never worse than random

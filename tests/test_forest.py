@@ -1,0 +1,133 @@
+"""Random-forest baseline tests (trees, ensemble, dataset wrapper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.specs import get_gpu
+from repro.baselines.forest import (
+    ForestModel,
+    RandomForest,
+    RegressionTree,
+    forest_features,
+)
+from repro.core.dataset import build_dataset
+from repro.errors import ModelNotFittedError
+from repro.kernels.suites import modeling_benchmarks
+from repro.rng import stream
+
+
+def _step_problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.5, 10.0, 2.0) + rng.normal(0, 0.1, n)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self):
+        X, y = _step_problem()
+        tree = RegressionTree(max_depth=3).fit(X, y, stream("t"))
+        pred = tree.predict(X)
+        assert np.mean(np.abs(pred - y)) < 0.5
+
+    def test_respects_depth_cap(self):
+        X, y = _step_problem()
+        tree = RegressionTree(max_depth=2).fit(X, y, stream("t"))
+        assert tree.depth() <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.full(50, 7.0)
+        tree = RegressionTree().fit(X, y, stream("t"))
+        assert tree.depth() == 0
+        assert np.all(tree.predict(X) == 7.0)
+
+    def test_min_samples_leaf(self):
+        X, y = _step_problem(n=20)
+        tree = RegressionTree(min_samples_leaf=10).fit(X, y, stream("t"))
+        # With 20 samples and 10 per leaf, at most one split is possible.
+        assert tree.depth() <= 1
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_predictions_within_target_range(self, seed):
+        """Tree predictions are averages of training targets, so they
+        can never leave the training range."""
+        X, y = _step_problem(seed=seed)
+        tree = RegressionTree(max_depth=6).fit(X, y, stream("t", seed))
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestRandomForest:
+    def test_fits_better_than_mean(self):
+        X, y = _step_problem()
+        forest = RandomForest(n_trees=10, max_depth=4).fit(X, y)
+        pred = forest.predict(X)
+        baseline = np.mean(np.abs(y - y.mean()))
+        assert np.mean(np.abs(pred - y)) < baseline / 2
+
+    def test_deterministic(self):
+        X, y = _step_problem()
+        a = RandomForest(n_trees=5).fit(X, y).predict(X)
+        b = RandomForest(n_trees=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_label_changes_ensemble(self):
+        X, y = _step_problem()
+        a = RandomForest(n_trees=5, seed_label="a").fit(X, y).predict(X)
+        b = RandomForest(n_trees=5, seed_label="b").fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            RandomForest().predict(np.zeros((2, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomForest(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForest(feature_fraction=0.0)
+
+
+class TestForestModel:
+    @pytest.fixture(scope="class")
+    def small_dataset(self):
+        return build_dataset(
+            get_gpu("GTX 460"), benchmarks=modeling_benchmarks()[:6]
+        )
+
+    def test_feature_matrix_includes_frequencies(self, small_dataset):
+        X, names = forest_features(small_dataset, per_second=False)
+        assert names[-2:] == ("corefreq", "memfreq")
+        assert X.shape[1] == len(small_dataset.counter_names) + 2
+
+    def test_power_model_fits_tight(self, small_dataset):
+        model = ForestModel("power", n_trees=15).fit(small_dataset)
+        assert model.mean_pct_error(small_dataset) < 15.0
+
+    def test_performance_model_fits(self, small_dataset):
+        model = ForestModel("performance", n_trees=15).fit(small_dataset)
+        assert model.mean_pct_error(small_dataset) < 40.0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            ForestModel("thermal")

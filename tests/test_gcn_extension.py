@@ -1,0 +1,94 @@
+"""GCN / Radeon HD 7970 extension tests (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.architecture import Architecture, traits_of
+from repro.arch.specs import (
+    EXTENSION_GPU_NAMES,
+    GPU_NAMES,
+    all_gpus,
+    get_gpu,
+)
+from repro.core.dataset import build_dataset
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.engine.counters import CounterDomain, counter_set
+from repro.instruments.testbed import Testbed
+from repro.kernels.suites import get_benchmark, modeling_benchmarks
+
+
+@pytest.fixture(scope="module")
+def radeon():
+    return get_gpu("Radeon HD 7970")
+
+
+class TestRegistrySeparation:
+    def test_paper_gpu_list_unchanged(self):
+        """The extension card must not leak into the paper's evaluation."""
+        assert GPU_NAMES == ("GTX 285", "GTX 460", "GTX 480", "GTX 680")
+        assert [g.name for g in all_gpus()] == list(GPU_NAMES)
+
+    def test_extensions_available_on_request(self):
+        names = [g.name for g in all_gpus(include_extensions=True)]
+        assert names == list(GPU_NAMES) + list(EXTENSION_GPU_NAMES)
+
+    @pytest.mark.parametrize("query", ["Radeon HD 7970", "hd7970", "7970"])
+    def test_lookup(self, query, radeon):
+        assert get_gpu(query) is radeon
+
+    def test_generation(self, radeon):
+        assert radeon.architecture is Architecture.GCN
+        assert str(radeon.architecture) == "GCN"
+
+
+class TestGCNCounters:
+    def test_set_has_75_counters(self):
+        assert len(counter_set("gcn")) == 75
+
+    def test_both_domains(self):
+        domains = {c.domain for c in counter_set("gcn")}
+        assert domains == {CounterDomain.CORE, CounterDomain.MEMORY}
+
+    def test_names_are_gcn_style(self):
+        names = {c.name for c in counter_set("gcn")}
+        assert "SQ_INSTS_VALU" in names
+        assert "TCC_HIT_ch0" in names
+        assert "MemUnitBusy" in names
+        # NVIDIA-style names must not appear.
+        assert "inst_executed" not in names
+
+    def test_names_unique(self):
+        names = [c.name for c in counter_set("gcn")]
+        assert len(names) == len(set(names))
+
+
+class TestRadeonPipeline:
+    def test_measurement_works(self, radeon):
+        tb = Testbed(radeon)
+        m = tb.measure(get_benchmark("backprop"))
+        assert m.exec_seconds > 0
+        assert m.avg_power_w > 100.0
+
+    def test_dvfs_behaviour_between_fermi_and_kepler(self, radeon):
+        """GCN's voltage curve sits between Fermi's and Kepler's, so
+        core down-clocking should pay off on compute-bound kernels."""
+        tb = Testbed(radeon)
+        results = {}
+        for op in radeon.operating_points():
+            tb.set_clocks(op.core_level, op.mem_level)
+            results[op.key] = tb.measure(get_benchmark("backprop")).energy_j
+        best = min(results, key=results.get)
+        assert best != "H-H"
+        assert results["H-H"] / results[best] > 1.1
+
+    def test_models_fit_with_gcn_counters(self, radeon):
+        ds = build_dataset(radeon, benchmarks=modeling_benchmarks()[:8])
+        assert len(ds.counter_names) == 75
+        power = UnifiedPowerModel().fit(ds)
+        perf = UnifiedPerformanceModel().fit(ds)
+        assert perf.adjusted_r2 > 0.8
+        assert 0.0 < power.adjusted_r2 < 1.0
+        # Selected features use GCN counter names.
+        assert any("SQ_" in n or "TCC_" in n or n[0].isupper()
+                   for n in perf.selected_counters)

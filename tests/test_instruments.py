@@ -1,0 +1,151 @@
+"""Instrument tests: host, power meter, profiler, testbed protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.counters import counter_set_size
+from repro.engine.simulator import GPUSimulator
+from repro.errors import MeasurementError, ProfilerError
+from repro.instruments.host import HostSystem
+from repro.instruments.powermeter import PowerMeter, PowerPhase
+from repro.instruments.profiler import CudaProfiler
+from repro.instruments.testbed import MIN_MEASURE_WINDOW_S, Testbed
+from repro.kernels.suites import get_benchmark
+from repro.rng import stream
+
+
+class TestHostSystem:
+    def test_wall_power_applies_psu_loss(self):
+        host = HostSystem(psu_efficiency=0.8)
+        assert host.wall_power(80.0) == pytest.approx(100.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            HostSystem(psu_efficiency=1.5)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            HostSystem().wall_power(-1.0)
+
+    def test_rejects_active_below_idle(self):
+        with pytest.raises(ValueError):
+            HostSystem(idle_power_w=50.0, active_power_w=40.0)
+
+
+class TestPowerMeter:
+    def test_sample_count_matches_duration(self):
+        meter = PowerMeter(adc_noise_cv=0.0)
+        trace = meter.record([PowerPhase(1.0, 100.0)], stream("t"))
+        assert trace.num_samples == 20  # 1 s / 50 ms
+
+    def test_energy_accumulation(self):
+        meter = PowerMeter(adc_noise_cv=0.0)
+        trace = meter.record([PowerPhase(2.0, 150.0)], stream("t"))
+        assert trace.energy_j == pytest.approx(300.0, rel=1e-9)
+
+    def test_average_of_two_phases_weighted(self):
+        meter = PowerMeter(adc_noise_cv=0.0)
+        phases = [PowerPhase(0.5, 100.0), PowerPhase(1.5, 200.0)]
+        trace = meter.record(phases, stream("t"))
+        assert trace.average_power_w == pytest.approx(175.0, rel=0.02)
+
+    def test_too_short_profile_raises(self):
+        meter = PowerMeter()
+        with pytest.raises(MeasurementError):
+            meter.record([PowerPhase(0.01, 100.0)], stream("t"))
+
+    def test_adc_noise_is_small_and_deterministic(self):
+        meter = PowerMeter()
+        a = meter.record([PowerPhase(1.0, 100.0)], stream("x"))
+        b = meter.record([PowerPhase(1.0, 100.0)], stream("x"))
+        np.testing.assert_array_equal(a.samples, b.samples)
+        assert abs(a.average_power_w - 100.0) < 2.0
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ValueError):
+            PowerPhase(-1.0, 100.0)
+
+
+class TestProfiler:
+    def test_returns_full_counter_set(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        values = CudaProfiler().profile(sim, get_benchmark("kmeans"), 0.25)
+        assert len(values) == counter_set_size("fermi")
+
+    def test_fails_on_paper_benchmarks(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        profiler = CudaProfiler()
+        for name in ("backprop", "mummergpu", "pathfinder", "bfs"):
+            with pytest.raises(ProfilerError):
+                profiler.profile(sim, get_benchmark(name))
+
+    def test_deterministic(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        a = CudaProfiler().profile(sim, get_benchmark("kmeans"), 0.25)
+        b = CudaProfiler().profile(sim, get_benchmark("kmeans"), 0.25)
+        assert a == b
+
+    def test_observation_noise_larger_on_tesla(self, gtx285, gtx680):
+        """Tesla's sampled-TPC extrapolation makes its counters noisier."""
+        noise = {}
+        for gpu in (gtx285, gtx680):
+            sim = GPUSimulator(gpu)
+            profiler = CudaProfiler()
+            observed = profiler.profile(sim, get_benchmark("kmeans"), 0.25)
+            rec = sim.run(get_benchmark("kmeans"), 0.25)
+            ctx = rec.context
+            rels = []
+            for counter in profiler.counters_for(sim):
+                truth = counter.evaluate(ctx)
+                if truth > 0:
+                    rels.append(abs(observed[counter.name] / truth - 1.0))
+            noise[gpu.name] = float(np.mean(rels))
+        assert noise["GTX 285"] > noise["GTX 680"]
+
+
+class TestTestbedProtocol:
+    def test_measurement_fields(self, gtx480):
+        tb = Testbed(gtx480)
+        m = tb.measure(get_benchmark("kmeans"), 0.5)
+        assert m.exec_seconds > 0
+        assert m.avg_power_w > 50.0  # at least host idle through PSU
+        assert m.energy_j > 0
+        assert m.power_efficiency == pytest.approx(1.0 / m.energy_j)
+
+    def test_short_runs_are_repeated(self, gtx680):
+        """The paper's rule: repeat kernels until the meter window is at
+        least 500 ms (>= 10 samples at 50 ms)."""
+        tb = Testbed(gtx680)
+        m = tb.measure(get_benchmark("nn"), 0.0075)
+        assert m.repeats > 1
+        assert m.trace.duration_s >= MIN_MEASURE_WINDOW_S * 0.9
+        assert m.trace.num_samples >= 9
+
+    def test_long_runs_single_shot(self, gtx285):
+        tb = Testbed(gtx285)
+        m = tb.measure(get_benchmark("lbm"), 1.0)
+        assert m.repeats == 1
+
+    def test_energy_is_per_single_run(self, gtx680):
+        tb = Testbed(gtx680)
+        m = tb.measure(get_benchmark("nn"), 0.0075)
+        # Per-run energy must be the window total divided by repeats.
+        assert m.energy_j == pytest.approx(m.trace.energy_j / m.repeats)
+
+    def test_set_clocks_changes_measurement(self, gtx480):
+        tb = Testbed(gtx480)
+        hh = tb.measure(get_benchmark("backprop"), 1.0)
+        tb.set_clocks("M", "H")
+        mh = tb.measure(get_benchmark("backprop"), 1.0)
+        assert mh.exec_seconds > hh.exec_seconds
+        assert mh.avg_power_w < hh.avg_power_w
+
+    def test_wall_power_exceeds_dc_components(self, gtx480):
+        """The meter sits at the outlet: PSU loss is visible."""
+        tb = Testbed(gtx480)
+        m = tb.measure(get_benchmark("backprop"), 1.0)
+        rec = tb.sim.run(get_benchmark("backprop"), 1.0)
+        dc_floor = tb.host.idle_power_w + rec.gpu_active_power_w
+        assert m.avg_power_w < dc_floor / tb.host.psu_efficiency * 1.05

@@ -1,0 +1,80 @@
+"""CSV export tests."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.arch.specs import get_gpu
+from repro.characterize.sweep import FrequencySweep
+from repro.core.dataset import build_dataset
+from repro.instruments.testbed import Testbed
+from repro.io import (
+    dataset_to_csv,
+    measurements_to_csv,
+    sweep_to_csv,
+    write_csv,
+)
+from repro.kernels.suites import get_benchmark, modeling_benchmarks
+
+
+def _parse(text: str) -> list[dict[str, str]]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestMeasurementsCSV:
+    @pytest.fixture(scope="class")
+    def rows(self, gtx480):
+        tb = Testbed(gtx480)
+        ms = [tb.measure(get_benchmark(n), 0.25) for n in ("nn", "sgemm")]
+        return _parse(measurements_to_csv(ms))
+
+    def test_row_per_measurement(self, rows):
+        assert len(rows) == 2
+        assert {r["benchmark"] for r in rows} == {"nn", "sgemm"}
+
+    def test_columns_present(self, rows):
+        assert set(rows[0]) >= {
+            "gpu", "pair", "core_mhz", "exec_seconds", "avg_power_w",
+            "energy_j",
+        }
+
+    def test_values_parse_as_floats(self, rows):
+        for row in rows:
+            assert float(row["energy_j"]) > 0
+            assert float(row["exec_seconds"]) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measurements_to_csv([])
+
+
+class TestSweepAndDatasetCSV:
+    def test_sweep_csv_covers_all_pairs(self, gtx480):
+        sweep = FrequencySweep(gtx480).run([get_benchmark("nn")], scale=0.25)
+        rows = _parse(sweep_to_csv(sweep))
+        assert len(rows) == len(gtx480.operating_points())
+        assert {r["pair"] for r in rows} == {
+            op.key for op in gtx480.operating_points()
+        }
+
+    def test_dataset_csv_has_counter_columns(self):
+        ds = build_dataset(
+            get_gpu("GTX 460"),
+            benchmarks=modeling_benchmarks()[:2],
+            pairs=["H-H"],
+        )
+        rows = _parse(dataset_to_csv(ds))
+        assert len(rows) == ds.n_observations
+        for name in ds.counter_names[:5]:
+            assert name in rows[0]
+            assert float(rows[0][name]) >= 0
+
+    def test_write_csv_creates_parents(self, tmp_path, gtx480):
+        tb = Testbed(gtx480)
+        text = measurements_to_csv([tb.measure(get_benchmark("nn"), 0.25)])
+        target = write_csv(text, tmp_path / "deep" / "nested" / "out.csv")
+        assert target.exists()
+        assert target.read_text().startswith("gpu,")

@@ -1,0 +1,173 @@
+"""Workload substrate tests: Table II inventory and scaling laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnknownBenchmarkError
+from repro.kernels.profile import KernelSpec, WorkProfile
+from repro.kernels.suites import (
+    BENCHMARK_SUITES,
+    all_benchmarks,
+    benchmarks_of_suite,
+    get_benchmark,
+    modeling_benchmarks,
+)
+
+
+class TestTableII:
+    def test_suite_inventory(self):
+        counts = {s: len(b) for s, b in BENCHMARK_SUITES.items()}
+        assert counts == {
+            "Rodinia": 18,
+            "Parboil": 10,
+            "CUDA SDK": 6,
+            "Matrix": 3,
+        }
+
+    def test_37_benchmarks_total(self):
+        assert len(all_benchmarks()) == 37
+
+    def test_unique_names(self):
+        names = [b.name.lower() for b in all_benchmarks()]
+        assert len(names) == len(set(names))
+
+    def test_profiler_failures_match_paper(self):
+        failed = {b.name for b in all_benchmarks() if not b.profiler_ok}
+        assert failed == {"mummergpu", "backprop", "pathfinder", "bfs"}
+
+    def test_modeling_set_has_33_benchmarks(self):
+        assert len(modeling_benchmarks()) == 33
+
+    def test_modeling_set_yields_114_samples(self):
+        """Section IV-A: 'We finally obtain 114 samples in total.'"""
+        total = sum(len(b.modeling_sizes) for b in modeling_benchmarks())
+        assert total == 114
+
+    def test_lookup(self):
+        assert get_benchmark("Backprop").suite == "Rodinia"
+        assert get_benchmark("sgemm").suite == "Parboil"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_benchmark("doom3")
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(UnknownBenchmarkError):
+            benchmarks_of_suite("SPEC")
+
+    def test_suite_lookup_case_insensitive(self):
+        assert len(benchmarks_of_suite("rodinia")) == 18
+
+
+class TestRoles:
+    """Benchmarks the paper singles out must have the right character."""
+
+    def test_backprop_is_most_compute_intensive_showcase(self):
+        bp = get_benchmark("backprop")
+        others = [b for b in all_benchmarks() if b.name != "backprop"]
+        assert bp.arithmetic_intensity > max(
+            b.arithmetic_intensity for b in others
+        ) * 0.8  # among the very top
+
+    def test_streamcluster_is_most_memory_intensive(self):
+        sc = get_benchmark("streamcluster")
+        assert sc.gbytes_total == max(b.gbytes_total for b in all_benchmarks())
+        assert sc.arithmetic_intensity < 0.2
+
+    def test_mummergpu_is_most_divergent_class(self):
+        assert get_benchmark("mummergpu").divergence >= 0.6
+
+
+class TestWorkProfile:
+    def test_totals_positive(self):
+        work = get_benchmark("sgemm").work(1.0)
+        assert work.flops > 0
+        assert work.inst_total > 0
+        assert work.global_bytes > 0
+        assert work.threads > 0
+
+    def test_instruction_accounting_consistent(self):
+        work = get_benchmark("hotspot").work(1.0)
+        parts = (
+            work.flops / 1.6
+            + work.int_ops
+            + work.sfu_ops
+            + work.shared_loads
+            + work.shared_stores
+            + work.global_bytes / 8.0
+        )
+        assert work.inst_total == pytest.approx(
+            parts / (1.0 - 0.08), rel=1e-6
+        )
+
+    def test_branches_and_divergence(self):
+        bench = get_benchmark("mummergpu")
+        work = bench.work(1.0)
+        assert work.divergent_branches == pytest.approx(
+            work.branches * bench.divergence
+        )
+
+    def test_warp_and_block_derivation(self):
+        work = get_benchmark("nn").work(1.0)
+        assert work.warps == pytest.approx(work.threads / 32.0)
+        assert work.blocks == pytest.approx(work.threads / 256.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_benchmark("nn").work(0.0)
+
+    @given(st.sampled_from([b.name for b in all_benchmarks()]),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_scaling_monotone(self, name, scale):
+        """Work totals grow monotonically with input scale."""
+        bench = get_benchmark(name)
+        small = bench.work(scale)
+        big = bench.work(min(1.0, scale * 2))
+        assert big.flops >= small.flops
+        assert big.global_bytes >= small.global_bytes
+        assert big.launches >= small.launches
+
+    @given(st.sampled_from([b.name for b in all_benchmarks()]))
+    def test_scaling_law_exponent(self, name):
+        """Totals scale exactly as scale**work_exponent."""
+        bench = get_benchmark(name)
+        w1 = bench.work(1.0)
+        w2 = bench.work(0.5)
+        expected = 0.5**bench.work_exponent
+        assert w2.flops / w1.flops == pytest.approx(expected, rel=1e-9)
+
+    def test_arithmetic_intensity_independent_of_scale(self):
+        bench = get_benchmark("lbm")
+        assert bench.work(0.1).arithmetic_intensity == pytest.approx(
+            bench.work(1.0).arithmetic_intensity
+        )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="x", suite="s", description="d",
+                gflops_total=0.0, gbytes_total=1.0, locality=0.5,
+            )
+
+    def test_rejects_out_of_range_locality(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="x", suite="s", description="d",
+                gflops_total=1.0, gbytes_total=1.0, locality=1.5,
+            )
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="x", suite="s", description="d",
+                gflops_total=1.0, gbytes_total=1.0, locality=0.5,
+                modeling_sizes=(),
+            )
+
+    def test_pcie_default_is_capped(self):
+        big = get_benchmark("streamcluster")
+        assert big.effective_pcie_gbytes <= 4.0

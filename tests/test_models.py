@@ -1,0 +1,100 @@
+"""Unified model fit/predict/evaluate tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import ErrorReport, evaluate_model, influence_breakdown
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.errors import ModelNotFittedError
+
+
+class TestFitting:
+    def test_unfitted_model_raises(self):
+        model = UnifiedPowerModel()
+        with pytest.raises(ModelNotFittedError):
+            _ = model.selection
+        with pytest.raises(ModelNotFittedError):
+            _ = model.adjusted_r2
+
+    def test_power_model_fits(self, dataset480, power_model480):
+        assert power_model480.is_fitted
+        assert 0.0 < power_model480.adjusted_r2 < 1.0
+        assert 1 <= len(power_model480.selected_counters) <= 10
+
+    def test_performance_model_fits(self, dataset480, perf_model480):
+        assert perf_model480.adjusted_r2 > 0.85
+        assert len(perf_model480.selected_counters) <= 10
+
+    def test_variable_cap_respected(self, dataset480):
+        model = UnifiedPowerModel(max_features=3).fit(dataset480)
+        assert len(model.selected_counters) <= 3
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            UnifiedPowerModel(max_features=0)
+
+    def test_feature_suffixes(self, power_model480, perf_model480):
+        assert all(n.endswith("*freq") for n in power_model480.selected_counters)
+        assert all(n.endswith("/freq") for n in perf_model480.selected_counters)
+
+    def test_fit_returns_self(self, dataset480):
+        model = UnifiedPerformanceModel(max_features=2)
+        assert model.fit(dataset480) is model
+
+    def test_predictions_have_right_shape(self, dataset480, perf_model480):
+        pred = perf_model480.predict(dataset480)
+        assert pred.shape == (dataset480.n_observations,)
+
+    def test_predictions_track_targets(self, dataset480, perf_model480):
+        """Predicted times correlate strongly with measured times."""
+        pred = perf_model480.predict(dataset480)
+        actual = dataset480.exec_seconds()
+        corr = np.corrcoef(pred, actual)[0, 1]
+        assert corr > 0.9
+
+    def test_repr_mentions_state(self, dataset480):
+        model = UnifiedPowerModel()
+        assert "unfitted" in repr(model)
+        model.fit(dataset480)
+        assert "fitted" in repr(model)
+
+
+class TestEvaluation:
+    def test_error_report_metrics(self, dataset480, power_model480):
+        report = evaluate_model(power_model480, dataset480)
+        assert report.mean_pct_error > 0
+        assert report.mean_abs_error > 0
+        assert report.median_pct_error <= report.mean_pct_error * 2
+
+    def test_per_benchmark_covers_all(self, dataset480, perf_model480):
+        report = evaluate_model(perf_model480, dataset480)
+        per = report.per_benchmark_pct_error()
+        assert set(per) == set(dataset480.benchmarks)
+
+    def test_box_stats_ordered(self, dataset480, power_model480):
+        stats = evaluate_model(power_model480, dataset480).box_stats()
+        assert (
+            stats["min"]
+            <= stats["q1"]
+            <= stats["median"]
+            <= stats["q3"]
+            <= stats["max"]
+        )
+
+    def test_error_report_consistency(self):
+        report = ErrorReport(
+            benchmarks=("a", "a", "b"),
+            actual=np.array([10.0, 20.0, 5.0]),
+            predicted=np.array([11.0, 18.0, 5.0]),
+        )
+        assert report.mean_abs_error == pytest.approx(1.0)
+        assert report.pct_errors.tolist() == pytest.approx([10.0, 10.0, 0.0])
+        assert report.per_benchmark_pct_error() == {"a": 10.0, "b": 0.0}
+
+    def test_influence_breakdown_sums_to_one(self, dataset480, power_model480):
+        shares = influence_breakdown(power_model480, dataset480)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == set(power_model480.selected_counters)
+        assert all(v >= 0 for v in shares.values())

@@ -1,0 +1,99 @@
+"""DVFS governor and oracle tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelNotFittedError
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.experiments import context
+from repro.kernels.suites import get_benchmark
+from repro.optimize.governor import ModelGovernor
+from repro.optimize.oracle import exhaustive_oracle, score_governor
+
+
+@pytest.fixture(scope="module")
+def governor480(dataset480, power_model480, perf_model480):
+    return ModelGovernor(power_model480, perf_model480)
+
+
+class TestGovernor:
+    def test_requires_fitted_models(self):
+        with pytest.raises(ModelNotFittedError):
+            ModelGovernor(UnifiedPowerModel(), UnifiedPerformanceModel())
+
+    def test_rejects_bad_slowdown(self, power_model480, perf_model480):
+        with pytest.raises(ValueError):
+            ModelGovernor(power_model480, perf_model480, max_slowdown=0.5)
+
+    def test_decision_structure(self, governor480, dataset480):
+        decision = governor480.decide(dataset480, "kmeans", 0.25)
+        assert decision.op.key in {
+            op.key for op in dataset480.gpu.operating_points()
+        }
+        assert decision.predicted_seconds > 0
+        assert decision.predicted_power_w > 0
+        assert len(decision.predicted_energy_j) == 7
+        assert decision.predicted_energy == min(
+            decision.predicted_energy_j.values()
+        )
+
+    def test_unknown_workload_raises(self, governor480, dataset480):
+        with pytest.raises(KeyError):
+            governor480.decide(dataset480, "no-such-bench", 1.0)
+
+    def test_slowdown_constraint_binds(
+        self, dataset480, power_model480, perf_model480
+    ):
+        tight = ModelGovernor(power_model480, perf_model480, max_slowdown=1.0)
+        free = ModelGovernor(power_model480, perf_model480)
+        d_tight = tight.decide(dataset480, "kmeans", 0.25)
+        d_free = free.decide(dataset480, "kmeans", 0.25)
+        # With zero allowed slowdown, the chosen pair is the fastest one.
+        preds = {
+            k: v for k, v in d_tight.predicted_energy_j.items()
+        }
+        assert d_tight.predicted_seconds <= d_free.predicted_seconds + 1e-9
+
+
+class TestOracle:
+    def test_oracle_identifies_minimum(self, gtx480):
+        oracle = exhaustive_oracle(gtx480, get_benchmark("backprop"))
+        assert oracle.best_energy_j == min(oracle.energy_j.values())
+        assert oracle.regret(oracle.best_pair) == 0.0
+        assert oracle.rank(oracle.best_pair) == 1
+
+    def test_oracle_reuses_sweep(self, gtx480):
+        sweep = context.sweep_table("GTX 480")
+        oracle = exhaustive_oracle(
+            gtx480,
+            get_benchmark("backprop"),
+            measurements=dict(sweep.measurements["backprop"]),
+        )
+        assert oracle.best_pair == "H-L"
+
+    def test_score_governor(self, governor480, dataset480, gtx480):
+        sweep = context.sweep_table("GTX 480")
+        # Score at the characterization scale present in the sweep.
+        decision = governor480.decide(dataset480, "kmeans", 0.25)
+        oracle = exhaustive_oracle(
+            gtx480,
+            get_benchmark("kmeans"),
+            scale=0.25,
+        )
+        score = score_governor(decision, oracle)
+        assert score.energy_regret >= 0.0
+        assert 1 <= score.rank <= 7
+        assert score.chosen_pair == decision.op.key
+
+    def test_governor_beats_random_on_average(
+        self, governor480, dataset480, gtx480
+    ):
+        """The model-driven choice should rank in the upper half of the
+        true energy ordering for most workloads."""
+        ranks = []
+        for name in ("kmeans", "hotspot", "lbm", "sgemm", "nn", "MAdd"):
+            decision = governor480.decide(dataset480, name, 0.25)
+            oracle = exhaustive_oracle(gtx480, get_benchmark(name), scale=0.25)
+            ranks.append(oracle.rank(decision.op.key))
+        assert sum(ranks) / len(ranks) < 4.0  # random would average 4.0

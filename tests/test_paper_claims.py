@@ -1,0 +1,186 @@
+"""Integration tests: the paper's headline claims must hold end-to-end.
+
+These are the acceptance criteria of the reproduction (DESIGN.md §5):
+not absolute numbers, but the *shape* of every finding — who wins, by
+roughly what factor, and how trends move across GPU generations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import GPU_NAMES, all_gpus
+from repro.characterize.efficiency import characterize_benchmark, characterize_gpu
+from repro.core.evaluate import evaluate_model
+from repro.experiments import context
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {name: context.sweep_table(name) for name in GPU_NAMES}
+
+
+@pytest.fixture(scope="module")
+def models():
+    out = {}
+    for name in GPU_NAMES:
+        ds = context.dataset(name)
+        out[name] = (
+            ds,
+            context.power_model(name),
+            context.performance_model(name),
+        )
+    return out
+
+
+class TestFig1Backprop:
+    """Fig. 1: the compute-intensive showcase."""
+
+    def test_best_pairs_lower_memory_clock(self, sweeps):
+        """On every card, Backprop's optimum lowers the memory clock;
+        on Kepler it lowers the core clock too (paper: M-L)."""
+        for name in GPU_NAMES:
+            record = characterize_benchmark(sweeps[name], "backprop")
+            core, mem = record.best_pair.split("-")
+            assert mem in ("M", "L"), name
+        kepler = characterize_benchmark(sweeps["GTX 680"], "backprop")
+        assert kepler.best_pair.startswith("M")
+
+    def test_improvement_ordering(self, sweeps):
+        """13% / 39% / 40% / 75% in the paper: Tesla << Fermi << Kepler."""
+        imps = {
+            name: characterize_benchmark(sweeps[name], "backprop").improvement_pct
+            for name in GPU_NAMES
+        }
+        assert imps["GTX 285"] < imps["GTX 460"]
+        assert imps["GTX 285"] < imps["GTX 480"]
+        assert imps["GTX 680"] > imps["GTX 460"]
+        assert imps["GTX 680"] > imps["GTX 480"]
+        assert 5.0 < imps["GTX 285"] < 25.0
+        assert 25.0 < imps["GTX 460"] < 60.0
+        assert 25.0 < imps["GTX 480"] < 60.0
+        assert imps["GTX 680"] > 45.0
+
+    def test_fermi_performance_loss_negligible(self, sweeps):
+        for name in ("GTX 460", "GTX 480"):
+            record = characterize_benchmark(sweeps[name], "backprop")
+            assert abs(record.performance_loss_pct) < 8.0
+
+
+class TestFig2Streamcluster:
+    """Fig. 2: the memory-intensive showcase."""
+
+    def test_default_best_except_kepler(self, sweeps):
+        for name in ("GTX 285", "GTX 460", "GTX 480"):
+            record = characterize_benchmark(sweeps[name], "streamcluster")
+            assert record.is_default_best, name
+
+    def test_kepler_prefers_lower_core(self, sweeps):
+        record = characterize_benchmark(sweeps["GTX 680"], "streamcluster")
+        assert record.best_pair == "M-H"
+        assert 0.0 < record.improvement_pct < 25.0
+
+
+class TestTableIVFig4:
+    """Best-pair diversity grows with generation; Fig. 4 averages."""
+
+    def test_non_default_count_grows(self, sweeps):
+        counts = {}
+        for gpu in all_gpus():
+            records = characterize_gpu(gpu, table=sweeps[gpu.name])
+            counts[gpu.name] = sum(1 for r in records if not r.is_default_best)
+        assert counts["GTX 285"] < counts["GTX 680"]
+        assert counts["GTX 680"] >= 30  # "besides the default" for almost all
+
+    def test_average_improvement_ordering(self, sweeps):
+        avgs = {}
+        for gpu in all_gpus():
+            records = characterize_gpu(gpu, table=sweeps[gpu.name])
+            avgs[gpu.name] = float(
+                np.mean([r.improvement_pct for r in records])
+            )
+        assert avgs["GTX 285"] < 6.0  # paper: 0.8%
+        assert avgs["GTX 680"] > 15.0  # paper: 24.4%
+        assert avgs["GTX 285"] < avgs["GTX 460"]
+        assert avgs["GTX 285"] < avgs["GTX 480"]
+        assert avgs["GTX 680"] == max(avgs.values())
+
+    def test_improvements_never_negative(self, sweeps):
+        for gpu in all_gpus():
+            for record in characterize_gpu(gpu, table=sweeps[gpu.name]):
+                assert record.improvement_pct >= 0.0
+
+    def test_cell_agreement_with_paper_table4(self, sweeps):
+        """The transcribed Table IV must be matched within one clock
+        level for the clear majority of cells on every GPU."""
+        from repro.experiments.paper_table4 import agreement_stats
+
+        ours = {}
+        for gpu in all_gpus():
+            records = characterize_gpu(gpu, table=sweeps[gpu.name])
+            ours[gpu.name] = {r.benchmark: r.best_pair for r in records}
+        stats = agreement_stats(ours)
+        for name, s in stats.items():
+            assert s["within_one"] >= 0.6, (name, s)
+            assert s["mean_distance"] <= 1.5, (name, s)
+        # And a substantial share of exact hits overall.
+        exact = np.mean([s["exact"] for s in stats.values()])
+        assert exact >= 0.30
+
+
+class TestModelTables:
+    """Tables V-VIII: the counterintuitive R̄²-vs-error structure."""
+
+    def test_performance_r2_high_everywhere(self, models):
+        """Table VI: R̄² >= ~0.9 on every GPU."""
+        for name, (_, _, perf) in models.items():
+            assert perf.adjusted_r2 > 0.85, name
+
+    def test_power_r2_much_lower_than_performance(self, models):
+        """Tables V vs VI: the power model's R̄² is clearly lower."""
+        for name, (_, power, perf) in models.items():
+            assert power.adjusted_r2 < perf.adjusted_r2 - 0.1, name
+
+    def test_power_watt_errors_small(self, models):
+        """Table VII: absolute power errors stay below ~25 W."""
+        for name, (ds, power, _) in models.items():
+            report = evaluate_model(power, ds)
+            assert report.mean_abs_error < 27.0, name
+
+    def test_performance_pct_errors_large_but_bounded(self, models):
+        """Table VIII: 30-70% average percentage errors."""
+        for name, (ds, _, perf) in models.items():
+            report = evaluate_model(perf, ds)
+            assert 20.0 < report.mean_pct_error < 80.0, name
+
+    def test_performance_errors_decrease_by_generation(self, models):
+        """Table VIII: Tesla worst, Kepler best."""
+        errors = {
+            name: evaluate_model(perf, ds).mean_pct_error
+            for name, (ds, _, perf) in models.items()
+        }
+        assert errors["GTX 285"] == max(errors.values())
+        assert errors["GTX 680"] <= errors["GTX 460"]
+
+    def test_selection_uses_at_most_10_variables(self, models):
+        for name, (_, power, perf) in models.items():
+            assert len(power.selected_counters) <= 10
+            assert len(perf.selected_counters) <= 10
+
+    def test_kepler_predictable_within_20_to_30_pct(self, models):
+        """Abstract: 'even simplified statistical models are able to
+        predict power and performance of cutting-edge GPUs within errors
+        of 20% to 30%'."""
+        ds, power, perf = models["GTX 680"]
+        assert evaluate_model(power, ds).mean_pct_error < 30.0
+        assert evaluate_model(perf, ds).mean_pct_error < 40.0
+
+    def test_half_of_workloads_under_20pct_power_error(self, models):
+        """Section IV-B: 'more than half of the workloads exhibit
+        prediction errors less than 20% for power ... on all the
+        evaluated GPUs'."""
+        for name, (ds, power, _) in models.items():
+            per = evaluate_model(power, ds).per_benchmark_pct_error()
+            below = sum(1 for v in per.values() if v < 20.0)
+            assert below > len(per) / 2, name

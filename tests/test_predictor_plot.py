@@ -1,0 +1,110 @@
+"""Predictor API and ASCII-plot tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plot import line_chart
+from repro.arch.specs import get_gpu
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.core.predictor import PowerPerformancePredictor
+from repro.engine.simulator import GPUSimulator
+from repro.errors import ModelNotFittedError
+from repro.experiments import context
+from repro.instruments.profiler import CudaProfiler
+from repro.kernels.suites import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def predictor480():
+    return PowerPerformancePredictor(
+        get_gpu("GTX 480"),
+        context.power_model("GTX 480"),
+        context.performance_model("GTX 480"),
+    )
+
+
+@pytest.fixture(scope="module")
+def profile480():
+    sim = GPUSimulator(get_gpu("GTX 480"))
+    return CudaProfiler().profile(sim, get_benchmark("kmeans"), 0.25)
+
+
+class TestPredictor:
+    def test_requires_fitted_models(self):
+        with pytest.raises(ModelNotFittedError):
+            PowerPerformancePredictor(
+                get_gpu("GTX 480"),
+                UnifiedPowerModel(),
+                UnifiedPerformanceModel(),
+            )
+
+    def test_prediction_fields(self, predictor480, profile480):
+        op = get_gpu("GTX 480").default_point()
+        pred = predictor480.predict(profile480, op)
+        assert pred.seconds > 0
+        assert pred.watts > 50.0
+        assert pred.energy_j == pytest.approx(pred.seconds * pred.watts)
+
+    def test_prediction_near_measurement(self, predictor480, profile480):
+        """The predictor's (H-H) output should land near the measured
+        values for a workload it was trained on."""
+        from repro.instruments.testbed import Testbed
+
+        testbed = Testbed(get_gpu("GTX 480"))
+        m = testbed.measure(get_benchmark("kmeans"), 0.25)
+        pred = predictor480.predict(profile480, m.op)
+        assert pred.seconds == pytest.approx(m.exec_seconds, rel=1.0)
+        assert pred.watts == pytest.approx(m.avg_power_w, rel=0.5)
+
+    def test_all_pairs_covered(self, predictor480, profile480):
+        predictions = predictor480.predict_all_pairs(profile480)
+        assert set(predictions) == {
+            op.key for op in get_gpu("GTX 480").operating_points()
+        }
+
+    def test_best_pair_is_energy_minimal(self, predictor480, profile480):
+        best = predictor480.best_pair(profile480)
+        predictions = predictor480.predict_all_pairs(profile480)
+        assert best.energy_j == min(p.energy_j for p in predictions.values())
+
+    def test_slowdown_constraint(self, predictor480, profile480):
+        fastest = min(
+            p.seconds
+            for p in predictor480.predict_all_pairs(profile480).values()
+        )
+        constrained = predictor480.best_pair(profile480, max_slowdown=1.0)
+        assert constrained.seconds == pytest.approx(fastest)
+        with pytest.raises(ValueError):
+            predictor480.best_pair(profile480, max_slowdown=0.5)
+
+    def test_missing_counters_rejected(self, predictor480):
+        with pytest.raises(ValueError, match="missing"):
+            predictor480.predict(
+                {"inst_executed": 1.0}, get_gpu("GTX 480").default_point()
+            )
+
+
+class TestLineChart:
+    def test_renders_with_axes_and_legend(self):
+        chart = line_chart(
+            {"a": [(0, 0), (10, 5)], "b": [(0, 5), (10, 0)]},
+            title="t",
+            x_label="x",
+            y_label="y",
+        )
+        assert "t" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "[y: y]" in chart
+
+    def test_single_point_series(self):
+        chart = line_chart({"only": [(1.0, 2.0)]})
+        assert "o=only" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_constant_series_handled(self):
+        chart = line_chart({"flat": [(0, 1.0), (5, 1.0), (10, 1.0)]})
+        assert "o=flat" in chart

@@ -1,0 +1,117 @@
+"""OLS regression and goodness-of-fit tests (with property-based checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.regression import (
+    RegressionResult,
+    adjusted_r_squared,
+    fit_ols,
+    r_squared,
+)
+
+
+def _random_problem(draw_rows, n_features, rng):
+    X = rng.normal(size=(draw_rows, n_features))
+    coef = rng.normal(size=n_features)
+    y = X @ coef + rng.normal(scale=0.1, size=draw_rows)
+    return X, y
+
+
+class TestFitOLS:
+    def test_recovers_exact_linear_relation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        fit = fit_ols(X, y)
+        np.testing.assert_allclose(fit.coefficients, [2.0, -1.0, 0.5], atol=1e-8)
+        assert fit.intercept == pytest.approx(4.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_handles_constant_column(self):
+        rng = np.random.default_rng(1)
+        X = np.column_stack([rng.normal(size=30), np.full(30, 7.0)])
+        y = 3.0 * X[:, 0] + 1.0
+        fit = fit_ols(X, y)
+        predicted = fit.predict(X)
+        np.testing.assert_allclose(predicted, y, atol=1e-8)
+
+    def test_handles_collinear_columns(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=40)
+        X = np.column_stack([a, 2 * a])
+        y = a + 0.5
+        fit = fit_ols(X, y)
+        np.testing.assert_allclose(fit.predict(X), y, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros((1, 2)), np.zeros(1))
+
+    def test_predict_shape_validation(self):
+        fit = fit_ols(np.random.default_rng(0).normal(size=(10, 2)), np.ones(10))
+        with pytest.raises(ValueError):
+            fit.predict(np.zeros((5, 3)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=5, max_value=60), st.integers(min_value=1, max_value=4), st.integers(0, 2**32 - 1))
+    def test_r2_in_unit_interval_with_intercept(self, n, p, seed):
+        """With an intercept the training R² is always in [0, 1]."""
+        rng = np.random.default_rng(seed)
+        X, y = _random_problem(n, p, rng)
+        fit = fit_ols(X, y)
+        assert -1e-9 <= fit.r2 <= 1.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=8, max_value=50), st.integers(0, 2**32 - 1))
+    def test_adding_feature_never_decreases_r2(self, n, seed):
+        rng = np.random.default_rng(seed)
+        X, y = _random_problem(n, 3, rng)
+        r2_small = fit_ols(X[:, :2], y).r2
+        r2_big = fit_ols(X, y).r2
+        assert r2_big >= r2_small - 1e-9
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        y = np.full(5, 3.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1) == 0.0
+
+
+class TestAdjustedR2:
+    def test_penalizes_features(self):
+        assert adjusted_r_squared(0.9, 100, 10) < 0.9
+
+    def test_matches_paper_definition(self):
+        # 1 - (1-R2)(n-1)/(n-p-1)
+        assert adjusted_r_squared(0.8, 50, 5) == pytest.approx(
+            1 - 0.2 * 49 / 44
+        )
+
+    def test_no_dof_is_minus_inf(self):
+        assert adjusted_r_squared(0.5, 5, 4) == float("-inf")
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=10, max_value=200),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_never_exceeds_r2(self, r2, n, p):
+        assert adjusted_r_squared(r2, n, p) <= r2 + 1e-12

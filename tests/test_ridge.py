@@ -1,0 +1,120 @@
+"""Ridge regression and backward elimination tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regression import fit_ols
+from repro.core.ridge import backward_eliminate, fit_ridge
+
+
+def _problem(n=100, p=5, seed=0, noise=0.3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    coef = rng.uniform(1, 3, p)
+    y = X @ coef + 2.0 + rng.normal(0, noise, n)
+    return X, y, coef
+
+
+class TestRidge:
+    def test_recovers_signal(self):
+        X, y, coef = _problem()
+        fit = fit_ridge(X, y)
+        pred = fit.predict(X)
+        assert np.corrcoef(pred, y)[0, 1] > 0.98
+
+    def test_heavy_penalty_shrinks_towards_mean(self):
+        X, y, _ = _problem()
+        fit = fit_ridge(X, y, alphas=[1e8])
+        pred = fit.predict(X)
+        assert np.std(pred) < 0.05 * np.std(y)
+        assert fit.intercept == pytest.approx(np.mean(y))
+
+    def test_gcv_picks_small_alpha_for_clean_data(self):
+        X, y, _ = _problem(noise=0.01)
+        fit = fit_ridge(X, y)
+        assert fit.alpha <= 1.0
+
+    def test_collinear_features_handled(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=80)
+        X = np.column_stack([a, a, a + 1e-9 * rng.normal(size=80)])
+        y = 3 * a + 1
+        fit = fit_ridge(X, y)
+        assert np.all(np.isfinite(fit.coefficients))
+        assert np.mean(np.abs(fit.predict(X) - y)) < 0.1
+
+    def test_badly_scaled_features_handled(self):
+        """The motivating case: columns spanning many decades."""
+        X, y, _ = _problem()
+        X_scaled = X * np.array([1e-6, 1.0, 1e6, 1e12, 1e3])
+        fit = fit_ridge(X_scaled, y)
+        assert np.corrcoef(fit.predict(X_scaled), y)[0, 1] > 0.98
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_ridge(np.zeros(5), np.zeros(5))
+
+
+class TestBackwardElimination:
+    def test_drops_noise_features(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(120, 8))
+        y = 4 * X[:, 0] - 2 * X[:, 1] + rng.normal(0, 0.2, 120)
+        result = backward_eliminate(
+            X, y, [f"f{i}" for i in range(8)]
+        )
+        assert {0, 1} <= set(result.selected)
+        assert len(result.selected) < 8
+
+    def test_history_increasing(self):
+        X, y, _ = _problem(p=8)
+        result = backward_eliminate(X, y, [f"f{i}" for i in range(8)])
+        assert list(result.history) == sorted(result.history)
+
+    def test_min_features_respected(self):
+        X, y, _ = _problem(p=6)
+        result = backward_eliminate(
+            X, y, [f"f{i}" for i in range(6)], min_features=4
+        )
+        assert len(result.selected) >= 4
+
+    def test_never_worse_than_full_model(self):
+        X, y, _ = _problem(p=10, noise=1.0)
+        full = fit_ols(X, y)
+        result = backward_eliminate(X, y, [f"f{i}" for i in range(10)])
+        assert result.model.adjusted_r2 >= full.adjusted_r2 - 1e-9
+
+    def test_degenerate_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            backward_eliminate(np.ones((20, 3)), np.arange(20.0), ["a", "b", "c"])
+
+    def test_name_mismatch_rejected(self):
+        X, y, _ = _problem()
+        with pytest.raises(ValueError):
+            backward_eliminate(X, y, ["a"])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_selected_unique_and_named(self, seed):
+        X, y, _ = _problem(seed=seed, p=6)
+        names = [f"f{i}" for i in range(6)]
+        result = backward_eliminate(X, y, names)
+        assert len(set(result.selected)) == len(result.selected)
+        assert result.selected_names == tuple(
+            names[j] for j in result.selected
+        )
+
+
+class TestConditioning:
+    def test_fit_ols_survives_wild_scales(self):
+        """Regression pin for the equilibration fix: full counter-feature
+        matrices span ~15 decades and must still fit with R² ≥ 0."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 20)) * np.logspace(0, 14, 20)
+        coef = rng.normal(size=20) / np.logspace(0, 14, 20)
+        y = X @ coef + 5.0 + rng.normal(0, 0.1, 200)
+        fit = fit_ols(X, y)
+        assert fit.r2 > 0.9

@@ -1,0 +1,106 @@
+"""Roofline analysis and residual-diagnostics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roofline import (
+    bound_migration,
+    machine_balance,
+    roofline_point,
+    roofline_sweep,
+)
+from repro.core.diagnostics import diagnose
+from repro.experiments import context
+from repro.kernels.suites import all_benchmarks, get_benchmark
+
+
+class TestRoofline:
+    def test_backprop_compute_bound_everywhere(self, gpu):
+        point = roofline_point(
+            get_benchmark("backprop"), gpu, gpu.default_point()
+        )
+        assert point.compute_bound
+
+    def test_streamcluster_memory_bound_everywhere(self, gpu):
+        point = roofline_point(
+            get_benchmark("streamcluster"), gpu, gpu.default_point()
+        )
+        assert not point.compute_bound
+
+    def test_attainable_below_both_roofs(self, gtx480):
+        op = gtx480.default_point()
+        for bench in all_benchmarks()[:10]:
+            point = roofline_point(bench, gtx480, op)
+            assert point.attainable_gflops * 1e9 <= gtx480.peak_flops(op) + 1
+
+    def test_machine_balance_moves_with_clocks(self, gtx680):
+        hh = machine_balance(gtx680, gtx680.operating_point("H-H"))
+        hl = machine_balance(gtx680, gtx680.operating_point("H-L"))
+        # Slower memory raises the ridge point: more kernels become
+        # memory-bound.
+        assert hl > hh * 5
+
+    def test_caches_shift_intensity_rightward(self, gtx285, gtx680):
+        """Post-cache intensity is higher on cached generations."""
+        bench = get_benchmark("hotspot")  # locality 0.8
+        tesla = roofline_point(bench, gtx285, gtx285.default_point())
+        kepler = roofline_point(bench, gtx680, gtx680.default_point())
+        assert kepler.intensity > tesla.intensity * 2
+
+    def test_bound_migration_covers_all_pairs(self, gtx480):
+        migration = bound_migration(get_benchmark("gaussian"), gtx480)
+        assert set(migration) == {
+            op.key for op in gtx480.operating_points()
+        }
+        assert set(migration.values()) <= {"compute", "memory"}
+
+    def test_some_kernel_migrates_between_bounds(self, gtx680):
+        """At least one workload flips sides across the pairs — the
+        Fig. 3 situation that motivates modeling."""
+        migrating = [
+            b.name
+            for b in all_benchmarks()
+            if len(set(bound_migration(b, gtx680).values())) == 2
+        ]
+        assert migrating
+
+    def test_sweep_returns_all(self, gtx480):
+        points = roofline_sweep(list(all_benchmarks()), gtx480)
+        assert len(points) == 37
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def report(self):
+        ds = context.dataset("GTX 480")
+        model = context.performance_model("GTX 480")
+        return diagnose(model, ds)
+
+    def test_per_pair_coverage(self, report):
+        assert len(report.per_pair) == 7
+        assert sum(p.n for p in report.per_pair) == 114 * 7
+
+    def test_heteroscedasticity_positive(self, report):
+        """Absolute residuals grow with execution time — the mechanism
+        behind high R̄² with large percentage errors."""
+        assert report.heteroscedasticity > 0.15
+
+    def test_target_dynamic_range_matches_paper_narrative(self, report):
+        """Execution times span 'hundreds of milliseconds to tens of
+        seconds' — two to three decades."""
+        assert report.target_dynamic_range > 30.0
+
+    def test_power_target_narrow(self):
+        """Power 'variations ... are limited' — its CV is far below the
+        execution time's."""
+        ds = context.dataset("GTX 480")
+        perf = diagnose(context.performance_model("GTX 480"), ds)
+        power = diagnose(context.power_model("GTX 480"), ds)
+        assert power.target_cv < perf.target_cv / 2
+
+    def test_worst_pair_identified(self, report):
+        assert report.worst_pair.pair in {
+            p.pair for p in report.per_pair
+        }
+        assert report.max_abs_bias_pct >= 0.0

@@ -1,0 +1,98 @@
+"""Forward-selection tests (with property-based checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selection import forward_select
+
+
+def _signal_problem(seed=0, n=80, relevant=3, noise_features=10):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, relevant + noise_features))
+    coef = np.concatenate([rng.uniform(2, 5, relevant), np.zeros(noise_features)])
+    y = X @ coef + rng.normal(scale=0.5, size=n)
+    names = [f"f{i}" for i in range(X.shape[1])]
+    return X, y, names, relevant
+
+
+class TestForwardSelect:
+    def test_finds_relevant_features_first(self):
+        X, y, names, relevant = _signal_problem()
+        result = forward_select(X, y, names, max_features=relevant)
+        assert set(result.selected) == set(range(relevant))
+
+    def test_respects_cap(self):
+        X, y, names, _ = _signal_problem()
+        result = forward_select(X, y, names, max_features=2)
+        assert len(result.selected) == 2
+
+    def test_history_strictly_increasing(self):
+        X, y, names, _ = _signal_problem()
+        result = forward_select(X, y, names, max_features=10)
+        diffs = np.diff(result.history)
+        assert np.all(diffs > 0)
+
+    def test_stops_when_no_improvement(self):
+        """Pure-noise extra features should not be selected up to the cap."""
+        X, y, names, relevant = _signal_problem(noise_features=20)
+        result = forward_select(X, y, names, max_features=15)
+        # The adjusted R² penalty halts selection well before 15.
+        assert len(result.selected) < 15
+
+    def test_selected_names_align(self):
+        X, y, names, _ = _signal_problem()
+        result = forward_select(X, y, names, max_features=3)
+        assert result.selected_names == tuple(names[i] for i in result.selected)
+
+    def test_skips_constant_columns(self):
+        rng = np.random.default_rng(3)
+        X = np.column_stack([np.full(50, 5.0), rng.normal(size=50)])
+        y = 2 * X[:, 1] + 1
+        result = forward_select(X, y, ["const", "real"], max_features=2)
+        assert 0 not in result.selected
+
+    def test_all_constant_falls_back(self):
+        X = np.ones((20, 3))
+        y = np.arange(20.0)
+        result = forward_select(X, y, ["a", "b", "c"], max_features=2)
+        assert result.model is not None
+
+    def test_predict_uses_full_matrix(self):
+        X, y, names, _ = _signal_problem()
+        result = forward_select(X, y, names, max_features=3)
+        predicted = result.predict(X)
+        assert predicted.shape == y.shape
+
+    def test_name_count_mismatch_rejected(self):
+        X, y, names, _ = _signal_problem()
+        with pytest.raises(ValueError):
+            forward_select(X, y, names[:-1])
+
+    def test_bad_cap_rejected(self):
+        X, y, names, _ = _signal_problem()
+        with pytest.raises(ValueError):
+            forward_select(X, y, names, max_features=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(min_value=1, max_value=6))
+    def test_invariants_hold_on_random_problems(self, seed, cap):
+        X, y, names, _ = _signal_problem(seed=seed)
+        result = forward_select(X, y, names, max_features=cap)
+        # Unique selections, within cap, history length matches.
+        assert len(set(result.selected)) == len(result.selected)
+        assert len(result.selected) <= cap
+        assert len(result.history) == len(result.selected)
+        # Final model is fit over exactly the selected columns.
+        assert result.model.n_features == len(result.selected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_greedy_prefix_property(self, seed):
+        """A cap-k run selects a prefix of the cap-(k+2) run."""
+        X, y, names, _ = _signal_problem(seed=seed)
+        small = forward_select(X, y, names, max_features=2)
+        big = forward_select(X, y, names, max_features=4)
+        assert big.selected[: len(small.selected)] == small.selected

@@ -1,0 +1,102 @@
+"""Dataset and model JSON serialization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.specs import get_gpu
+from repro.core.dataset import build_dataset
+from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.core.serialize import (
+    SerializationError,
+    dataset_from_json,
+    dataset_to_json,
+    model_from_json,
+    model_to_json,
+)
+from repro.errors import ModelNotFittedError
+from repro.kernels.suites import modeling_benchmarks
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_dataset(
+        get_gpu("GTX 460"),
+        benchmarks=modeling_benchmarks()[:3],
+        pairs=["H-H", "M-M"],
+    )
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip_preserves_observations(self, tiny_dataset):
+        restored = dataset_from_json(dataset_to_json(tiny_dataset))
+        assert restored.gpu.name == tiny_dataset.gpu.name
+        assert restored.counter_names == tiny_dataset.counter_names
+        assert restored.n_observations == tiny_dataset.n_observations
+        np.testing.assert_allclose(
+            restored.exec_seconds(), tiny_dataset.exec_seconds()
+        )
+        np.testing.assert_allclose(
+            restored.avg_power_w(), tiny_dataset.avg_power_w()
+        )
+        np.testing.assert_allclose(
+            restored.counter_matrix(), tiny_dataset.counter_matrix()
+        )
+
+    def test_roundtrip_preserves_domains(self, tiny_dataset):
+        restored = dataset_from_json(dataset_to_json(tiny_dataset))
+        assert restored.counter_domains == tiny_dataset.counter_domains
+
+    def test_roundtrip_preserves_pairs(self, tiny_dataset):
+        restored = dataset_from_json(dataset_to_json(tiny_dataset))
+        assert restored.pair_keys == tiny_dataset.pair_keys
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            dataset_from_json("not json at all {")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(SerializationError):
+            dataset_from_json('{"format": "something-else"}')
+
+    def test_rejects_wrong_version(self, tiny_dataset):
+        import json
+
+        doc = json.loads(dataset_to_json(tiny_dataset))
+        doc["version"] = 99
+        with pytest.raises(SerializationError):
+            dataset_from_json(json.dumps(doc))
+
+
+class TestModelRoundTrip:
+    def test_fitted_model_roundtrip(self, tiny_dataset):
+        model = UnifiedPowerModel(max_features=4).fit(tiny_dataset)
+        restored = model_from_json(model_to_json(model))
+        assert isinstance(restored, UnifiedPowerModel)
+        assert restored.adjusted_r2 == pytest.approx(model.adjusted_r2)
+        assert restored.selected_counters == model.selected_counters
+        np.testing.assert_allclose(
+            restored.predict(tiny_dataset), model.predict(tiny_dataset)
+        )
+
+    def test_performance_model_kind_preserved(self, tiny_dataset):
+        model = UnifiedPerformanceModel(max_features=3).fit(tiny_dataset)
+        restored = model_from_json(model_to_json(model))
+        assert isinstance(restored, UnifiedPerformanceModel)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ModelNotFittedError):
+            model_to_json(UnifiedPowerModel())
+
+    def test_rejects_unknown_kind(self, tiny_dataset):
+        import json
+
+        doc = json.loads(model_to_json(UnifiedPowerModel(2).fit(tiny_dataset)))
+        doc["kind"] = "thermal"
+        with pytest.raises(SerializationError):
+            model_from_json(json.dumps(doc))
+
+    def test_rejects_non_model_document(self):
+        with pytest.raises(SerializationError):
+            model_from_json('{"format": "repro.dataset", "version": 1}')

@@ -1,0 +1,97 @@
+"""GPU simulator tests: VBIOS boot path and run records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.bios import build_image, parse_image
+from repro.arch.dvfs import ClockLevel
+from repro.engine.simulator import GPUSimulator
+from repro.errors import BIOSFormatError
+from repro.kernels.suites import get_benchmark
+
+
+class TestBootPath:
+    def test_boots_factory_image_at_hh(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        assert sim.operating_point.key == "H-H"
+
+    def test_boots_custom_image(self, gtx480):
+        raw = build_image(gtx480, ClockLevel.M, ClockLevel.L)
+        sim = GPUSimulator(gtx480, bios=raw)
+        assert sim.operating_point.key == "M-L"
+
+    def test_rejects_foreign_image(self, gtx480, gtx680):
+        raw = build_image(gtx680)
+        with pytest.raises(BIOSFormatError):
+            GPUSimulator(gtx480, bios=raw)
+
+    def test_set_clocks_reflashes(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        before = sim.bios_image
+        sim.set_clocks("M", "M")
+        assert sim.operating_point.key == "M-M"
+        assert sim.bios_image != before
+        assert parse_image(sim.bios_image).boot_core_level is ClockLevel.M
+
+    def test_set_clocks_accepts_strings(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        sim.set_clocks("h", "l")
+        assert sim.operating_point.key == "H-L"
+
+
+class TestRunRecords:
+    def test_run_is_deterministic(self, gtx480):
+        a = GPUSimulator(gtx480).run(get_benchmark("kmeans"), 0.5)
+        b = GPUSimulator(gtx480).run(get_benchmark("kmeans"), 0.5)
+        assert a.total_seconds == b.total_seconds
+        assert a.gpu_active_power_w == b.gpu_active_power_w
+
+    def test_seed_changes_noise(self, gtx480):
+        a = GPUSimulator(gtx480, seed=1).run(get_benchmark("kmeans"), 0.5)
+        b = GPUSimulator(gtx480, seed=2).run(get_benchmark("kmeans"), 0.5)
+        assert a.total_seconds != b.total_seconds
+
+    def test_time_accounting(self, gtx480):
+        rec = GPUSimulator(gtx480).run(get_benchmark("kmeans"), 0.5)
+        assert rec.total_seconds == pytest.approx(
+            rec.gpu_busy_seconds + rec.idle_seconds
+        )
+        assert rec.kernel_seconds > 0
+        assert rec.overhead_seconds > 0
+
+    def test_jitter_is_bounded(self, gtx480):
+        rec = GPUSimulator(gtx480).run(get_benchmark("kmeans"), 0.5)
+        # Jitter and the CPI fixed effect are multiplicative and modest.
+        assert rec.kernel_seconds == pytest.approx(
+            rec.timing.t_kernel, rel=0.8
+        )
+
+    def test_active_power_includes_unmodeled_structure(self, gtx480):
+        rec = GPUSimulator(gtx480).run(get_benchmark("kmeans"), 0.5)
+        # Never below the deterministic static floor.
+        assert rec.gpu_active_power_w > rec.power.static_w
+
+    def test_power_fixed_effect_constant_across_pairs(self, gtx480):
+        """The dominant unmodeled power factor must cancel in energy
+        ratios between pairs (Section III depends on this)."""
+        sim = GPUSimulator(gtx480)
+        bench = get_benchmark("backprop")
+        ratios = []
+        for pair in ("H-H", "M-H"):
+            sim.set_clocks(*pair.split("-"))
+            rec = sim.run(bench, 1.0)
+            ratios.append(rec.gpu_active_power_w / rec.power.total)
+        # The residual pair interaction is small.
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.25)
+
+    def test_energy_positive(self, gpu):
+        rec = GPUSimulator(gpu).run(get_benchmark("hotspot"), 0.25)
+        assert rec.gpu_energy_j > 0
+
+    def test_context_round_trip(self, gtx480):
+        rec = GPUSimulator(gtx480).run(get_benchmark("hotspot"), 0.25)
+        ctx = rec.context
+        assert ctx.spec is gtx480
+        assert ctx.op == rec.op
+        assert ctx.work is rec.work

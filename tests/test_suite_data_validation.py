@@ -1,0 +1,84 @@
+"""Data-validation tests over the whole benchmark registry.
+
+Every KernelSpec is data; these tests pin the invariants that the
+characterization story depends on, so a future edit to one benchmark's
+parameters cannot silently break the suite's structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.dvfs import ClockLevel, parse_pair_key
+from repro.kernels.suites import all_benchmarks, modeling_benchmarks
+
+
+class TestParameterRanges:
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_behavioural_parameters_in_range(self, bench):
+        assert 0.0 <= bench.locality <= 1.0
+        assert 0.1 <= bench.coalescing <= 1.0
+        assert 0.0 <= bench.divergence <= 0.8
+        assert 0.2 <= bench.occupancy <= 1.0
+        assert 0.0 <= bench.shared_fraction <= 0.4
+        assert 0.0 <= bench.sfu_fraction <= 0.2
+        assert 0.0 <= bench.branch_fraction < 0.3
+        assert 0.0 < bench.read_fraction <= 1.0
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_work_totals_plausible(self, bench):
+        # Scale-1.0 totals: tens of GFLOP to tens of TFLOP; the times they
+        # induce are what Section III sweeps.
+        assert 1.0 <= bench.gflops_total <= 10_000.0
+        assert 1.0 <= bench.gbytes_total <= 5_000.0
+        assert 1.0 <= bench.launches <= 100_000.0
+        assert 1.0 <= bench.work_exponent <= 1.6
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_modeling_sizes_sorted_and_bounded(self, bench):
+        sizes = bench.modeling_sizes
+        assert list(sizes) == sorted(sizes)
+        assert sizes[0] > 0.0
+        assert sizes[-1] <= 1.0
+
+
+class TestSuiteStructure:
+    def test_ai_spectrum_spans_three_decades(self):
+        """The suite must cover compute- to memory-bound (Figs. 1-3)."""
+        ais = [b.arithmetic_intensity for b in all_benchmarks()]
+        assert max(ais) / min(ais) > 500.0
+
+    def test_modeling_sample_partition(self):
+        """15 benchmarks with 4 sizes, 18 with 3 -> exactly 114 samples."""
+        counts = [len(b.modeling_sizes) for b in modeling_benchmarks()]
+        assert counts.count(4) == 15
+        assert counts.count(3) == 18
+
+    def test_every_suite_has_compute_and_memory_leaning_kernels(self):
+        from repro.kernels.suites import BENCHMARK_SUITES
+
+        for suite, benches in BENCHMARK_SUITES.items():
+            ais = [b.arithmetic_intensity for b in benches]
+            assert max(ais) > 3.0, suite
+            assert min(ais) < 2.0, suite
+
+    def test_descriptions_nonempty(self):
+        for bench in all_benchmarks():
+            assert len(bench.description) > 10
+
+
+class TestPairKeyParsing:
+    @pytest.mark.parametrize("key", ["H-H", "h-l", " M-H ", "L-L"])
+    def test_valid_keys(self, key):
+        core, mem = parse_pair_key(key)
+        assert isinstance(core, ClockLevel)
+        assert isinstance(mem, ClockLevel)
+
+    @pytest.mark.parametrize("key", ["HH", "H/L", "X-Y", "", "H-", "H-M-L"])
+    def test_invalid_keys(self, key):
+        with pytest.raises(ValueError):
+            parse_pair_key(key)
+
+    def test_level_ordering(self):
+        assert ClockLevel.L < ClockLevel.M < ClockLevel.H
+        assert not ClockLevel.H < ClockLevel.L

@@ -1,0 +1,144 @@
+"""Synthetic workload generator, Pareto analysis and reporting tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.specs import get_gpu
+from repro.characterize.sweep import FrequencySweep
+from repro.instruments.testbed import Testbed
+from repro.kernels.synthetic import generate_kernel, generate_suite
+from repro.optimize.pareto import frontier_pairs, knee_point, pareto_frontier
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        assert generate_kernel(5).gflops_total == generate_kernel(5).gflops_total
+        assert generate_kernel(5).name == "synth005"
+
+    def test_distinct_indices_distinct_kernels(self):
+        a, b = generate_kernel(1), generate_kernel(2)
+        assert a.gflops_total != b.gflops_total
+
+    def test_suite_generation(self):
+        suite = generate_suite(10)
+        assert len(suite) == 10
+        assert len({k.name for k in suite}) == 10
+        assert all(k.profiler_ok for k in suite)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_suite(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_generated_kernels_are_valid_and_runnable(self, index):
+        """Every generated kernel passes KernelSpec validation and runs
+        through the whole measurement stack."""
+        kernel = generate_kernel(index)
+        assert 0.0 <= kernel.divergence <= 0.7
+        assert 0.05 <= kernel.arithmetic_intensity <= 80.5
+        work = kernel.work(0.05)
+        assert work.flops > 0
+
+    def test_generated_kernel_measurable(self, gtx480):
+        testbed = Testbed(gtx480)
+        m = testbed.measure(generate_kernel(7), 0.05)
+        assert m.exec_seconds > 0
+        assert m.energy_j > 0
+
+
+class TestPareto:
+    @pytest.fixture(scope="class")
+    def measurements(self, gtx680):
+        from repro.kernels.suites import get_benchmark
+
+        return FrequencySweep(gtx680).run_benchmark(get_benchmark("backprop"))
+
+    def test_frontier_nonempty(self, measurements):
+        frontier = frontier_pairs(measurements)
+        assert frontier
+        assert len(frontier) <= len(measurements)
+
+    def test_fastest_pair_always_on_frontier(self, measurements):
+        fastest = min(measurements, key=lambda k: measurements[k].exec_seconds)
+        assert fastest in frontier_pairs(measurements)
+
+    def test_cheapest_pair_always_on_frontier(self, measurements):
+        cheapest = min(measurements, key=lambda k: measurements[k].energy_j)
+        assert cheapest in frontier_pairs(measurements)
+
+    def test_dominated_points_flagged(self, measurements):
+        points = pareto_frontier(measurements)
+        by_pair = {p.pair: p for p in points}
+        for p in points:
+            if not p.optimal:
+                assert any(
+                    q.exec_seconds <= p.exec_seconds
+                    and q.energy_j <= p.energy_j
+                    and q.pair != p.pair
+                    for q in points
+                )
+
+    def test_knee_is_on_frontier(self, measurements):
+        knee = knee_point(measurements)
+        assert knee.optimal
+        assert knee.pair in frontier_pairs(measurements)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier({})
+
+
+class TestReporting:
+    def test_render_selected_experiments(self, tmp_path):
+        from repro.reporting import render_experiments
+
+        entries = render_experiments(
+            tmp_path, experiment_ids=["table1", "table3"]
+        )
+        assert len(entries) == 2
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "INDEX.txt").exists()
+        index = (tmp_path / "INDEX.txt").read_text()
+        assert "table1" in index and "table3" in index
+
+    def test_rendered_file_contains_result(self, tmp_path):
+        from repro.reporting import render_experiments
+
+        render_experiments(tmp_path, experiment_ids=["table1"])
+        text = (tmp_path / "table1.txt").read_text()
+        assert "GTX 680" in text
+
+
+class TestPaperTable4Agreement:
+    def test_pair_distance(self):
+        from repro.experiments.paper_table4 import pair_distance
+
+        assert pair_distance("H-H", "H-H") == 0
+        assert pair_distance("H-H", "H-M") == 1
+        assert pair_distance("H-L", "L-H") == 4
+
+    def test_agreement_stats_computed(self):
+        from repro.experiments.paper_table4 import (
+            PAPER_TABLE4,
+            agreement_stats,
+        )
+
+        # Perfect agreement when we echo the paper's own cells.
+        ours = {
+            gpu: {b: pairs[i] for b, pairs in PAPER_TABLE4.items()}
+            for i, gpu in enumerate(
+                ("GTX 285", "GTX 460", "GTX 480", "GTX 680")
+            )
+        }
+        stats = agreement_stats(ours)
+        for gpu_stats in stats.values():
+            assert gpu_stats["exact"] == 1.0
+            assert gpu_stats["mean_distance"] == 0.0
+
+    def test_table_has_34_rows(self):
+        from repro.experiments.paper_table4 import PAPER_TABLE4
+
+        assert len(PAPER_TABLE4) == 34  # 33 paper rows + SRAD mapped twice

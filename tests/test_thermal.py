@@ -1,0 +1,92 @@
+"""Thermal model tests (leakage feedback, ambient sensitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import GPUSimulator
+from repro.engine.thermal import (
+    T_AMBIENT_CAL,
+    T_REF,
+    T_THROTTLE,
+    solve_thermal,
+    thermal_resistance,
+)
+from repro.instruments.testbed import Testbed
+from repro.kernels.suites import get_benchmark
+
+
+class TestSolver:
+    def test_converges(self, gtx480):
+        state = solve_thermal(gtx480, dynamic_w=150.0, static_w=60.0)
+        assert state.iterations < 50
+        # Self-consistency: T = ambient + R * P(T).
+        r = thermal_resistance(gtx480)
+        assert state.die_c == pytest.approx(
+            T_AMBIENT_CAL + r * state.power_w, abs=1e-3
+        )
+
+    def test_reference_point_is_neutral(self, gtx480):
+        """At TDP in the calibration ambient, the die sits at T_REF and
+        the leakage factor is exactly 1."""
+        static = 60.0
+        dynamic = gtx480.tdp_w - static
+        state = solve_thermal(gtx480, dynamic_w=dynamic, static_w=static)
+        assert state.die_c == pytest.approx(T_REF, abs=0.5)
+        assert state.leakage_factor == pytest.approx(1.0, abs=0.01)
+
+    def test_hotter_ambient_more_power(self, gtx480):
+        cool = solve_thermal(gtx480, 150.0, 60.0, ambient_c=18.0)
+        hot = solve_thermal(gtx480, 150.0, 60.0, ambient_c=40.0)
+        assert hot.power_w > cool.power_w
+        assert hot.die_c > cool.die_c
+
+    def test_more_dynamic_power_hotter(self, gtx480):
+        low = solve_thermal(gtx480, 80.0, 60.0)
+        high = solve_thermal(gtx480, 200.0, 60.0)
+        assert high.die_c > low.die_c
+
+    def test_throttle_flag(self, gtx480):
+        state = solve_thermal(gtx480, 400.0, 80.0, ambient_c=45.0)
+        assert state.die_c > T_THROTTLE
+        assert state.throttling
+
+    def test_negative_power_rejected(self, gtx480):
+        with pytest.raises(ValueError):
+            solve_thermal(gtx480, -1.0, 10.0)
+
+    def test_thermal_resistance_sized_to_tdp(self, gpu):
+        r = thermal_resistance(gpu)
+        assert (T_REF - T_AMBIENT_CAL) == pytest.approx(r * gpu.tdp_w)
+
+
+class TestSimulatorIntegration:
+    def test_run_records_temperature(self, gtx480):
+        record = GPUSimulator(gtx480).run(get_benchmark("backprop"), 0.25)
+        assert 30.0 < record.die_temp_c < T_THROTTLE
+        assert not record.throttling
+
+    def test_die_temperature_tracks_power(self, gtx480):
+        sim = GPUSimulator(gtx480)
+        runs = [
+            sim.run(get_benchmark(name), 0.25)
+            for name in ("backprop", "streamcluster", "nn", "sgemm")
+        ]
+        by_power = sorted(runs, key=lambda r: r.gpu_active_power_w)
+        temps = [r.die_temp_c for r in by_power]
+        assert temps == sorted(temps)
+
+    def test_downclocking_cools_the_die(self, gtx680):
+        sim = GPUSimulator(gtx680)
+        hh = sim.run(get_benchmark("backprop"), 0.25)
+        sim.set_clocks("M", "M")
+        mm = sim.run(get_benchmark("backprop"), 0.25)
+        assert mm.die_temp_c < hh.die_temp_c
+
+    def test_ambient_raises_measured_energy(self, gtx480):
+        cool = Testbed(gtx480, ambient_c=18.0)
+        hot = Testbed(gtx480, ambient_c=40.0)
+        bench = get_benchmark("backprop")
+        e_cool = cool.measure(bench, 0.25).energy_j
+        e_hot = hot.measure(bench, 0.25).energy_j
+        assert e_hot > e_cool * 1.01

@@ -1,0 +1,83 @@
+"""Cross-GPU model-transfer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import get_gpu
+from repro.core.dataset import build_dataset
+from repro.core.models import UnifiedPowerModel
+from repro.core.transfer import (
+    common_counters,
+    restrict_counters,
+    transfer_model,
+)
+from repro.kernels.suites import modeling_benchmarks
+
+
+@pytest.fixture(scope="module")
+def ds460():
+    return build_dataset(
+        get_gpu("GTX 460"), benchmarks=modeling_benchmarks()[:10]
+    )
+
+
+@pytest.fixture(scope="module")
+def ds480():
+    return build_dataset(
+        get_gpu("GTX 480"), benchmarks=modeling_benchmarks()[:10]
+    )
+
+
+@pytest.fixture(scope="module")
+def ds285():
+    return build_dataset(
+        get_gpu("GTX 285"), benchmarks=modeling_benchmarks()[:10]
+    )
+
+
+class TestCommonCounters:
+    def test_same_generation_shares_everything(self, ds460, ds480):
+        shared = common_counters(ds460, ds480)
+        assert len(shared) == 74
+
+    def test_cross_generation_shares_subset(self, ds460, ds285):
+        shared = common_counters(ds460, ds285)
+        assert 0 < len(shared) < 32
+        # Classic counters exist on both Tesla and Fermi.
+        assert "branch" in shared
+        assert "divergent_branch" in shared
+
+    def test_restrict_counters_view(self, ds460):
+        sub = restrict_counters(ds460, ("branch", "inst_executed"))
+        assert sub.counter_names == ("branch", "inst_executed")
+        assert sub.counter_matrix().shape == (sub.n_observations, 2)
+        # Observations are shared, not copied.
+        assert sub.observations is ds460.observations
+
+    def test_restrict_rejects_unknown(self, ds460):
+        with pytest.raises(ValueError):
+            restrict_counters(ds460, ("no_such_counter",))
+
+
+class TestTransferModel:
+    def test_within_generation_transfer(self, ds460, ds480):
+        result = transfer_model(UnifiedPowerModel, ds460, ds480)
+        assert result.source == "GTX 460"
+        assert result.target == "GTX 480"
+        assert result.n_common_counters == 74
+        # Transfer always costs accuracy relative to a native fit.
+        assert result.degradation_factor > 1.0
+
+    def test_transfer_is_directional(self, ds460, ds480):
+        ab = transfer_model(UnifiedPowerModel, ds460, ds480)
+        ba = transfer_model(UnifiedPowerModel, ds480, ds460)
+        assert ab.transferred.mean_pct_error != ba.transferred.mean_pct_error
+
+    def test_too_few_common_counters_rejected(self, ds460, ds285):
+        shared = common_counters(ds460, ds285)
+        with pytest.raises(ValueError):
+            transfer_model(
+                UnifiedPowerModel, ds460, ds285,
+                max_features=len(shared) + 1,
+            )
