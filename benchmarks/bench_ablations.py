@@ -16,7 +16,6 @@ import numpy as np
 from repro.arch.specs import get_gpu
 from repro.baselines.hong_kim import tune_on_gpu
 from repro.baselines.per_pair import power_suite
-from repro.core.evaluate import evaluate_model
 from repro.core.models import UnifiedPerformanceModel
 from repro.experiments import context
 from repro.instruments.testbed import Testbed

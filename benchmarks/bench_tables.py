@@ -10,7 +10,6 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
-from repro.experiments import context
 from repro.experiments.registry import run as run_experiment
 
 

@@ -19,7 +19,7 @@ Run::
 from __future__ import annotations
 
 from repro.arch.bios import build_image, parse_image, patch_boot_levels
-from repro.arch.dvfs import ClockDomain, ClockLevel
+from repro.arch.dvfs import ClockLevel
 from repro.engine.simulator import GPUSimulator
 from repro.errors import BIOSFormatError, InvalidOperatingPointError
 from repro import get_gpu

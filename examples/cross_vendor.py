@@ -19,7 +19,6 @@ from repro import (
     UnifiedPerformanceModel,
     UnifiedPowerModel,
     build_dataset,
-    get_gpu,
 )
 from repro.arch.specs import all_gpus
 from repro.core.evaluate import evaluate_model

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke test of the parallel campaign path and its result cache.
+
+Runs a tiny two-benchmark campaign through the real CLI with
+``--jobs 2`` into a temp directory, twice against one shared cache, and
+asserts that
+
+* the second run performs zero measurements (100% cache hits), and
+* the two campaigns' manifests and archived artifacts are
+  byte-identical,
+
+which is exactly the resume guarantee the execution engine makes.
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cache_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GPUS = ["GTX 460", "GTX 680"]
+BENCHMARKS = ["nn", "hotspot"]
+
+
+def run_campaign(directory: pathlib.Path, cache: pathlib.Path, jobs: int) -> str:
+    argv = [sys.executable, "-m", "repro", "campaign", str(directory)]
+    for gpu in GPUS:
+        argv += ["--gpu", gpu]
+    for bench in BENCHMARKS:
+        argv += ["--benchmark", bench]
+    argv += ["--jobs", str(jobs), "--cache-dir", str(cache), "--seed", "7"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        argv, cwd=REPO, capture_output=True, text=True, check=False, env=env
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        sys.exit(f"campaign into {directory} failed ({result.returncode})")
+    return result.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
+        root = pathlib.Path(scratch)
+        cache = root / "cache"
+        first_out = run_campaign(root / "first", cache, args.jobs)
+        second_out = run_campaign(root / "second", cache, args.jobs)
+
+        if "0 cache hits" not in first_out:
+            failures.append("first run should start from an empty cache")
+        if "0 measured" not in second_out or "(100%)" not in second_out:
+            failures.append(
+                "second run should be 100% cache hits with zero measurements"
+            )
+
+        names = sorted(p.name for p in (root / "first").glob("*.json"))
+        if not names:
+            failures.append("first campaign archived no artifacts")
+        for name in names:
+            left = (root / "first" / name).read_bytes()
+            right = (root / "second" / name).read_bytes()
+            if left != right:
+                failures.append(f"{name} differs between the two runs")
+
+        leftovers = list(root.rglob("*.tmp"))
+        if leftovers:
+            failures.append(f"scratch files left behind: {leftovers}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"cache smoke OK: {len(names)} artifacts byte-identical, "
+          f"second run fully cached")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

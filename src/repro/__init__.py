@@ -38,6 +38,12 @@ The package is organised in layers, bottom to top:
     Section III characterization sweeps, a model-driven DVFS governor
     (the paper's motivating application), and related-work comparators.
 
+``repro.execution``
+    Parallel campaign execution engine: (GPU, benchmark, pair/size)
+    work units, serial and process-pool executors with bounded retry,
+    and a content-addressed on-disk result cache for work-unit-level
+    resumption.
+
 ``repro.experiments``
     One module per paper table/figure; see ``python -m repro list``.
 """
@@ -60,6 +66,7 @@ from repro.core import (
     build_dataset,
 )
 from repro.characterize import FrequencySweep, best_operating_point
+from repro.execution import ExecutionConfig, ExecutionStats, run_units
 
 __all__ = [
     "__version__",
@@ -79,4 +86,7 @@ __all__ = [
     "PowerPerformancePredictor",
     "FrequencySweep",
     "best_operating_point",
+    "ExecutionConfig",
+    "ExecutionStats",
+    "run_units",
 ]

@@ -10,7 +10,7 @@ replacement and refitting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Type
+from typing import Sequence, Type
 
 import numpy as np
 

@@ -15,8 +15,7 @@ curve is what makes (M-*) pairs win up to ~75%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.arch.architecture import Architecture, ArchTraits, traits_of
 from repro.arch.dvfs import ClockLevel, OperatingPoint, parse_pair_key

@@ -17,7 +17,6 @@ paper's discussion implies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

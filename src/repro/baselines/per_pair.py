@@ -12,7 +12,7 @@ to a plain counter regression, exactly like the prior work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Type
+from typing import Type
 
 from repro.core.dataset import ModelingDataset
 from repro.core.evaluate import ErrorReport, evaluate_model

@@ -2,17 +2,21 @@
 
 A full Section III + Section IV campaign — sweeps and modeling datasets
 for every GPU — is the expensive part of the study (weeks of wall-meter
-time on real hardware).  ``Campaign`` orchestrates it with resumable
-JSON persistence: datasets are archived per GPU under a campaign
-directory and reloaded instead of re-measured on subsequent runs, which
-is how one would actually manage the paper's experiment data.
+time on real hardware).  ``Campaign`` orchestrates it on the parallel
+execution engine (``repro.execution``): the work decomposes into
+(GPU, benchmark, input size) units that run across worker processes and
+memoize into a content-addressed result cache, so an interrupted or
+repeated campaign resumes at work-unit granularity.  Finished datasets
+and fitted models are archived per GPU under the campaign directory —
+written atomically (temp file + rename) so a killed run can never leave
+a half-written archive that later loads as valid JSON.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro._version import __version__
@@ -26,8 +30,15 @@ from repro.core.serialize import (
     model_from_json,
     model_to_json,
 )
+from repro.execution.cache import atomic_write_text
+from repro.execution.engine import ExecutionConfig, ExecutionStats
+from repro.kernels.profile import KernelSpec
+from repro.kernels.suites import get_benchmark
 
 MANIFEST_NAME = "campaign.json"
+
+#: Subdirectory of a campaign holding the work-unit result cache.
+CACHE_DIR_NAME = "cache"
 
 
 @dataclass
@@ -53,6 +64,14 @@ class Campaign:
         GPU names to include; defaults to the paper's four.
     seed:
         Optional noise-seed override, recorded in the manifest.
+    benchmarks:
+        Benchmark names to restrict the modeling datasets to; defaults
+        to the full profiler-compatible set.
+    execution:
+        Executor/cache selection for the measurement work.  Defaults to
+        a serial run cached under ``<directory>/cache``; pass an
+        explicit :class:`ExecutionConfig` to parallelize or to move or
+        disable the cache.
     """
 
     def __init__(
@@ -60,6 +79,8 @@ class Campaign:
         directory: str | pathlib.Path,
         gpus: Sequence[str] | None = None,
         seed: int | None = None,
+        benchmarks: Sequence[str] | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.gpu_names = tuple(gpus) if gpus is not None else GPU_NAMES
@@ -68,6 +89,19 @@ class Campaign:
         self._specs: dict[str, GPUSpec] = {
             name: get_gpu(name) for name in self.gpu_names
         }
+        # Same for benchmark names (raises UnknownBenchmarkError).
+        self._benchmarks: list[KernelSpec] | None = (
+            [get_benchmark(name) for name in benchmarks]
+            if benchmarks is not None
+            else None
+        )
+        if execution is None:
+            execution = ExecutionConfig(
+                cache_dir=self.directory / CACHE_DIR_NAME
+            )
+        self.execution = execution
+        #: Aggregated execution statistics of the most recent :meth:`run`.
+        self.last_stats: ExecutionStats | None = None
 
     # ------------------------------------------------------------------
     # paths
@@ -93,36 +127,60 @@ class Campaign:
     # execution
     # ------------------------------------------------------------------
 
-    def dataset(self, gpu_name: str, refresh: bool = False) -> ModelingDataset:
-        """Load the archived dataset for one GPU, measuring if absent."""
+    def dataset(
+        self,
+        gpu_name: str,
+        refresh: bool = False,
+        stats: ExecutionStats | None = None,
+    ) -> ModelingDataset:
+        """Load the archived dataset for one GPU, measuring if absent.
+
+        Measurement runs through the campaign's execution config: work
+        units spread over workers and land in the result cache, so even
+        a measurement interrupted before archival resumes at work-unit
+        (not per-GPU-file) granularity.
+        """
         spec = self._specs[gpu_name]
         path = self.dataset_path(gpu_name)
         if path.exists() and not refresh:
             return dataset_from_json(path.read_text(encoding="utf-8"))
-        dataset = build_dataset(spec, seed=self.seed)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path.write_text(dataset_to_json(dataset), encoding="utf-8")
+        dataset = build_dataset(
+            spec,
+            benchmarks=self._benchmarks,
+            seed=self.seed,
+            execution=self.execution,
+            stats=stats,
+        )
+        atomic_write_text(path, dataset_to_json(dataset))
         return dataset
 
     def run(self, refresh: bool = False) -> list[CampaignSummary]:
         """Measure (or reload) every GPU, fit and archive both models.
 
+        Models are evaluated *before* anything is written, and every
+        artifact is published atomically, so a failed fit or a killed
+        run cannot leave a half-written archive behind.
+
         Returns the per-GPU quality summary and writes the manifest.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
+        totals = ExecutionStats()
         summaries: list[CampaignSummary] = []
+        archives: list[tuple[pathlib.Path, str]] = []
         for name in self.gpu_names:
-            ds = self.dataset(name, refresh=refresh)
+            ds = self.dataset(name, refresh=refresh, stats=totals)
             power = UnifiedPowerModel().fit(ds)
             perf = UnifiedPerformanceModel().fit(ds)
-            self.model_path(name, "power").write_text(
-                model_to_json(power), encoding="utf-8"
-            )
-            self.model_path(name, "performance").write_text(
-                model_to_json(perf), encoding="utf-8"
-            )
+            # Evaluate first: only campaigns whose models fit *and*
+            # evaluate get archived.
             power_report = evaluate_model(power, ds)
             perf_report = evaluate_model(perf, ds)
+            archives.append(
+                (self.model_path(name, "power"), model_to_json(power))
+            )
+            archives.append(
+                (self.model_path(name, "performance"), model_to_json(perf))
+            )
             summaries.append(
                 CampaignSummary(
                     gpu=name,
@@ -133,6 +191,8 @@ class Campaign:
                     perf_err_pct=perf_report.mean_pct_error,
                 )
             )
+        for path, text in archives:
+            atomic_write_text(path, text)
         manifest = {
             "format": "repro.campaign",
             "version": __version__,
@@ -140,9 +200,8 @@ class Campaign:
             "gpus": list(self.gpu_names),
             "summaries": [vars(s) for s in summaries],
         }
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+        atomic_write_text(self.manifest_path, json.dumps(manifest, indent=2))
+        self.last_stats = totals
         return summaries
 
     def load_model(self, gpu_name: str, kind: str):

@@ -4,14 +4,23 @@ The paper measures every benchmark at every configurable (core, memory)
 pair of every GPU with the maximum feasible input size.  A
 :class:`FrequencySweep` reproduces that campaign for one card and returns
 a :class:`SweepTable` from which Figs. 1-4 and Table IV are derived.
+
+Sweeps decompose into one work unit per (benchmark, pair) and run on
+the campaign execution engine (``repro.execution``): pass an
+:class:`~repro.execution.ExecutionConfig` to spread the units over
+worker processes and memoize them in the content-addressed result
+cache.  Serial and parallel runs produce identical tables because every
+noise stream is keyed by experimental coordinates, not by call order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.arch.specs import GPUSpec
+from repro.execution.engine import ExecutionConfig, ExecutionStats, run_units
+from repro.execution.units import measurement_from_payload, sweep_units
 from repro.instruments.testbed import Measurement, Testbed
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import all_benchmarks
@@ -55,7 +64,10 @@ class FrequencySweep:
     """
 
     def __init__(self, gpu: GPUSpec, seed: int | None = None) -> None:
+        self._seed = seed
         self.testbed = Testbed(gpu, seed=seed)
+        #: Statistics of the most recent :meth:`run` (units, cache hits).
+        self.last_stats: ExecutionStats | None = None
 
     @property
     def gpu(self) -> GPUSpec:
@@ -63,25 +75,37 @@ class FrequencySweep:
         return self.testbed.gpu
 
     def run_benchmark(
-        self, benchmark: KernelSpec, scale: float = 1.0
+        self,
+        benchmark: KernelSpec,
+        scale: float = 1.0,
+        execution: ExecutionConfig | None = None,
     ) -> dict[str, Measurement]:
         """Measure one benchmark at every configurable pair."""
-        results: dict[str, Measurement] = {}
-        for op in self.gpu.operating_points():
-            self.testbed.set_clocks(op.core_level, op.mem_level)
-            results[op.key] = self.testbed.measure(benchmark, scale)
-        return results
+        table = self.run([benchmark], scale=scale, execution=execution)
+        return dict(table.measurements[benchmark.name])
 
     def run(
         self,
         benchmarks: Sequence[KernelSpec] | None = None,
         scale: float = 1.0,
+        execution: ExecutionConfig | None = None,
     ) -> SweepTable:
         """Measure a set of benchmarks (default: all 37) at every pair.
 
         ``scale=1.0`` is the paper's "maximum feasible input data size".
+        ``execution`` selects the executor, worker count and result
+        cache; the default runs serially, uncached.
         """
         if benchmarks is None:
             benchmarks = all_benchmarks()
-        table = {b.name: self.run_benchmark(b, scale) for b in benchmarks}
+        units = sweep_units(self.gpu, benchmarks, scale=scale, seed=self._seed)
+        outcome = run_units(units, execution)
+        self.last_stats = outcome.stats
+        table: dict[str, dict[str, Measurement]] = {
+            bench.name: {} for bench in benchmarks
+        }
+        for unit, payload in zip(units, outcome.payloads):
+            table[unit.kernel.name][unit.pair] = measurement_from_payload(
+                payload, self.gpu, unit.kernel
+            )
         return SweepTable(gpu=self.gpu, measurements=table)

@@ -36,6 +36,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execution_config(args: argparse.Namespace, default_cache=None):
+    """Build an ExecutionConfig from the shared CLI flags."""
+    from repro.execution import ExecutionConfig
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache)
+    return ExecutionConfig(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the measurement work (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed work-unit result cache location",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the work-unit result cache",
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.arch.specs import get_gpu
     from repro.characterize.sweep import FrequencySweep
@@ -43,7 +72,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     gpu = get_gpu(args.gpu)
     bench = get_benchmark(args.benchmark)
-    results = FrequencySweep(gpu, seed=args.seed).run_benchmark(bench)
+    results = FrequencySweep(gpu, seed=args.seed).run_benchmark(
+        bench, execution=_execution_config(args)
+    )
     default = results["H-H"]
     print(f"{bench} on {gpu}:")
     print(f"{'pair':6s} {'time[s]':>9s} {'power[W]':>9s} {'energy[J]':>10s} {'eff vs H-H':>11s}")
@@ -57,9 +88,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import Campaign
+    import pathlib
 
-    campaign = Campaign(args.directory, gpus=args.gpus, seed=args.seed)
+    from repro.campaign import CACHE_DIR_NAME, Campaign
+
+    default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
+    campaign = Campaign(
+        args.directory,
+        gpus=args.gpus,
+        seed=args.seed,
+        benchmarks=args.benchmarks,
+        execution=_execution_config(args, default_cache=default_cache),
+    )
     summaries = campaign.run(refresh=args.refresh)
     print(
         f"{'GPU':16s} {'power R̄²':>9s} {'err[%]':>7s} {'err[W]':>7s} "
@@ -70,6 +110,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{s.gpu:16s} {s.power_r2:9.2f} {s.power_err_pct:7.1f} "
             f"{s.power_err_w:7.1f} {s.perf_r2:9.2f} {s.perf_err_pct:7.1f}"
         )
+    if campaign.last_stats is not None and campaign.last_stats.total_units:
+        print(f"\nexecution: {campaign.last_stats.summary()}")
     print(f"\narchived under {campaign.directory}/")
     return 0
 
@@ -116,6 +158,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_sweep.add_argument("gpu", help="GPU name, e.g. 'GTX 680'")
     p_sweep.add_argument("benchmark", help="benchmark name, e.g. backprop")
     p_sweep.add_argument("--seed", type=int, default=None)
+    _add_execution_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_campaign = sub.add_parser(
@@ -133,9 +176,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="restrict to specific GPUs (repeatable)",
     )
     p_campaign.add_argument(
+        "--benchmark",
+        action="append",
+        dest="benchmarks",
+        default=None,
+        help="restrict the modeling datasets to specific benchmarks "
+        "(repeatable)",
+    )
+    p_campaign.add_argument(
         "--refresh", action="store_true", help="re-measure even if archived"
     )
     p_campaign.add_argument("--seed", type=int, default=None)
+    _add_execution_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_report = sub.add_parser(

@@ -14,7 +14,7 @@ frequency pair.  One dataset observation is therefore a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -22,9 +22,9 @@ import numpy as np
 from repro.arch.dvfs import OperatingPoint
 from repro.arch.specs import GPUSpec
 from repro.engine.counters import CounterDomain, counter_set
-from repro.errors import ProfilerError
+from repro.execution.engine import ExecutionConfig, ExecutionStats, run_units
+from repro.execution.units import dataset_units
 from repro.instruments.profiler import CudaProfiler
-from repro.instruments.testbed import Testbed
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import modeling_benchmarks
 
@@ -139,8 +139,15 @@ def build_dataset(
     pairs: Sequence[str] | None = None,
     seed: int | None = None,
     profiler: CudaProfiler | None = None,
+    execution: ExecutionConfig | None = None,
+    stats: ExecutionStats | None = None,
 ) -> ModelingDataset:
     """Measure and profile the full modeling dataset for one GPU.
+
+    The build decomposes into one work unit per (benchmark, input size)
+    sample and runs on the campaign execution engine; serial and
+    parallel executions assemble byte-identical datasets because unit
+    order, not completion order, dictates observation order.
 
     Parameters
     ----------
@@ -159,49 +166,52 @@ def build_dataset(
         Counter collector; defaults to the era-faithful profiler.  Pass
         a custom :class:`CudaProfiler` (e.g. with a ``noise_scale``
         override) for profiler-fidelity experiments.
+    execution:
+        Executor/cache selection (``repro.execution``); the default
+        runs serially, uncached.
+    stats:
+        Optional accumulator the build's execution statistics (units,
+        cache hits, retries, wall time) are merged into.
     """
     if benchmarks is None:
         benchmarks = modeling_benchmarks()
-    testbed = Testbed(gpu, seed=seed)
-    if profiler is None:
-        profiler = CudaProfiler(seed=seed)
     counters = counter_set(gpu.traits.counter_set)
     counter_names = tuple(c.name for c in counters)
     domains = {c.name: c.domain for c in counters}
 
-    ops = gpu.operating_points()
     if pairs is not None:
         wanted = set(pairs)
-        ops = [op for op in ops if op.key in wanted]
+        ops = [op for op in gpu.operating_points() if op.key in wanted]
         if not ops:
             raise ValueError(f"no configurable pair among {sorted(wanted)}")
 
+    units = dataset_units(
+        gpu, benchmarks, pairs=pairs, seed=seed, profiler=profiler
+    )
+    outcome = run_units(units, execution)
+    if stats is not None:
+        stats.merge(outcome.stats)
+
     observations: list[Observation] = []
-    for bench in benchmarks:
-        for scale in bench.modeling_sizes:
-            # Profile once per workload sample, at the default clocks.
-            testbed.set_clocks("H", "H")
-            try:
-                totals = profiler.profile(testbed.sim, bench, scale)
-            except ProfilerError:
-                # Mirrors the paper: benchmarks the profiler cannot
-                # analyze contribute no modeling samples.
-                break
-            for op in ops:
-                testbed.set_clocks(op.core_level, op.mem_level)
-                m = testbed.measure(bench, scale)
-                observations.append(
-                    Observation(
-                        benchmark=bench.name,
-                        suite=bench.suite,
-                        scale=scale,
-                        op=m.op,
-                        counters=totals,
-                        exec_seconds=m.exec_seconds,
-                        avg_power_w=m.avg_power_w,
-                        energy_j=m.energy_j,
-                    )
+    for unit, payload in zip(units, outcome.payloads):
+        if not payload["profiled"]:
+            # Mirrors the paper: benchmarks the profiler cannot analyze
+            # contribute no modeling samples.
+            continue
+        totals = dict(payload["counters"])
+        for entry in payload["measurements"]:
+            observations.append(
+                Observation(
+                    benchmark=unit.kernel.name,
+                    suite=unit.kernel.suite,
+                    scale=unit.scale,
+                    op=gpu.operating_point(entry["pair"]),
+                    counters=totals,
+                    exec_seconds=entry["exec_seconds"],
+                    avg_power_w=entry["avg_power_w"],
+                    energy_j=entry["energy_j"],
                 )
+            )
     return ModelingDataset(
         gpu=gpu,
         counter_names=counter_names,

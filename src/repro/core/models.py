@@ -9,7 +9,6 @@ is the paper's claimed novelty over per-frequency prior work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-import numpy as np
 
 from repro.arch.dvfs import OperatingPoint
 from repro.arch.specs import GPUSpec

@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.core.regression import (
     RegressionResult,
-    adjusted_r_squared,
     fit_ols,
     r_squared,
 )

@@ -20,7 +20,7 @@ of the work profile, cache outcome and timing, and the *profiler* (in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.arch.dvfs import OperatingPoint
@@ -190,7 +190,6 @@ _MEM = CounterDomain.MEMORY
 # ----------------------------------------------------------------------
 
 def _tesla_counters() -> tuple[Counter, ...]:
-    w = lambda fn: fn  # readability alias
     return (
         # -- core events ------------------------------------------------
         Counter("instructions", _CORE, lambda c: c.work.inst_total),
@@ -216,12 +215,12 @@ def _tesla_counters() -> tuple[Counter, ...]:
         Counter("prof_trigger_00", _CORE, _zero, noise_cv=0.0),
         Counter("prof_trigger_01", _CORE, _zero, noise_cv=0.0),
         # -- memory events ------------------------------------------------
-        Counter("gld_32b", _MEM, w(lambda c: 0.25 * c.gld_transactions)),
-        Counter("gld_64b", _MEM, w(lambda c: 0.35 * c.gld_transactions)),
-        Counter("gld_128b", _MEM, w(lambda c: 0.40 * c.gld_transactions)),
-        Counter("gst_32b", _MEM, w(lambda c: 0.25 * c.gst_transactions)),
-        Counter("gst_64b", _MEM, w(lambda c: 0.35 * c.gst_transactions)),
-        Counter("gst_128b", _MEM, w(lambda c: 0.40 * c.gst_transactions)),
+        Counter("gld_32b", _MEM, lambda c: 0.25 * c.gld_transactions),
+        Counter("gld_64b", _MEM, lambda c: 0.35 * c.gld_transactions),
+        Counter("gld_128b", _MEM, lambda c: 0.40 * c.gld_transactions),
+        Counter("gst_32b", _MEM, lambda c: 0.25 * c.gst_transactions),
+        Counter("gst_64b", _MEM, lambda c: 0.35 * c.gst_transactions),
+        Counter("gst_128b", _MEM, lambda c: 0.40 * c.gst_transactions),
         Counter(
             "gld_coherent",
             _MEM,

@@ -1,0 +1,50 @@
+"""Parallel campaign execution engine.
+
+Decomposes campaigns into independent work units, runs them through a
+pluggable executor (in-process or process pool) with bounded retry, and
+memoizes results in a content-addressed on-disk cache so interrupted or
+repeated campaigns resume at work-unit granularity.
+"""
+
+from repro.execution.cache import ResultCache, atomic_write_text
+from repro.execution.engine import (
+    ExecutionConfig,
+    ExecutionError,
+    ExecutionResult,
+    ExecutionStats,
+    ProcessExecutor,
+    ProgressEvent,
+    SerialExecutor,
+    make_executor,
+    run_units,
+)
+from repro.execution.units import (
+    DatasetUnit,
+    SweepUnit,
+    WorkUnit,
+    dataset_units,
+    measurement_from_payload,
+    measurement_to_payload,
+    sweep_units,
+)
+
+__all__ = [
+    "DatasetUnit",
+    "ExecutionConfig",
+    "ExecutionError",
+    "ExecutionResult",
+    "ExecutionStats",
+    "ProcessExecutor",
+    "ProgressEvent",
+    "ResultCache",
+    "SerialExecutor",
+    "SweepUnit",
+    "WorkUnit",
+    "atomic_write_text",
+    "dataset_units",
+    "make_executor",
+    "measurement_from_payload",
+    "measurement_to_payload",
+    "run_units",
+    "sweep_units",
+]

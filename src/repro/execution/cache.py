@@ -1,0 +1,102 @@
+"""Content-addressed on-disk cache of work-unit results.
+
+Every completed work unit stores its JSON payload under the hex digest
+returned by :meth:`WorkUnit.cache_key`, sharded by the first two digest
+characters (``<dir>/ab/abcdef....json``) to keep directory fan-out
+bounded on large campaigns.  Entries are written atomically (temp file
+plus rename) so a killed campaign can never leave a half-written entry
+that later parses as valid JSON.
+
+Reads are defensive: a missing file is a plain miss, while a truncated,
+garbled or mislabelled entry counts as *corrupt*, is reported through
+:attr:`ResultCache.corrupt_entries`, and falls back to re-measurement
+instead of crashing the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro._version import __version__
+
+ENTRY_FORMAT = "repro.cache-entry"
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write text atomically: to a ``*.tmp`` sibling, then rename.
+
+    The temporary name carries the writer's PID so concurrent writers
+    never clobber each other's scratch file; ``os.replace`` makes the
+    final publish atomic on POSIX and Windows alike.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    scratch.write_text(text, encoding="utf-8")
+    os.replace(scratch, target)
+    return target
+
+
+class ResultCache:
+    """Work-unit result store addressed by content hash.
+
+    Parameters
+    ----------
+    directory:
+        Root of the cache tree; created lazily on first write.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        #: Entries that existed but failed validation since construction.
+        self.corrupt_entries = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Where a key's entry lives (two-character shard prefix)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the cached payload for a key, or ``None`` on a miss.
+
+        Unreadable, truncated or mislabelled entries are counted in
+        :attr:`corrupt_entries` and reported as misses, so corruption
+        degrades to re-measurement rather than a crash.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            self.corrupt_entries += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != ENTRY_FORMAT
+            or document.get("key") != key
+            or not isinstance(document.get("payload"), dict)
+        ):
+            self.corrupt_entries += 1
+            return None
+        return document["payload"]
+
+    def put(self, key: str, payload: dict[str, Any]) -> pathlib.Path:
+        """Store a payload under its key, atomically."""
+        document = {
+            "format": ENTRY_FORMAT,
+            "version": __version__,
+            "key": key,
+            "payload": payload,
+        }
+        return atomic_write_text(self.path_for(key), json.dumps(document))
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.json"))

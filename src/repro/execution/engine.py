@@ -1,0 +1,282 @@
+"""Parallel campaign execution: executors, retry, cache and progress.
+
+:func:`run_units` is the single entry point: it takes a list of work
+units, consults the content-addressed result cache, runs the misses
+through a pluggable executor — in-process :class:`SerialExecutor` or a
+:class:`ProcessExecutor` built on ``concurrent.futures`` — with bounded
+exponential-backoff retry, and returns payloads in *unit order*
+regardless of completion order.  Because every noise stream in the
+simulation is keyed by experimental coordinates (``repro.rng``), serial
+and parallel runs of the same units produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+from repro.execution.cache import ResultCache
+from repro.execution.units import WorkUnit
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A work unit kept failing after its retry budget was exhausted."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed work unit, reported through the progress callback."""
+
+    unit: WorkUnit
+    #: Position of the unit in the submitted list.
+    index: int
+    #: Units completed so far (cache hits included).
+    done: int
+    #: Units submitted in total.
+    total: int
+    #: Whether the result came from the cache.
+    cache_hit: bool
+    #: Execution attempts this unit took (0 for cache hits).
+    attempts: int
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a batch of work units should be executed.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes in-process.
+    cache_dir:
+        Root of the content-addressed result cache; ``None`` disables
+        caching entirely.
+    retries:
+        Extra attempts granted to a failing unit before the batch is
+        aborted with :class:`ExecutionError`.
+    backoff_s:
+        Initial retry delay; doubles after every failed attempt.
+    callback:
+        Invoked once per completed unit (cache hits included).
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    retries: int = 2
+    backoff_s: float = 0.05
+    callback: ProgressCallback | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff_s}")
+
+
+@dataclass
+class ExecutionStats:
+    """What a batch (or a whole campaign) of units actually did."""
+
+    total_units: int = 0
+    #: Units measured by an executor (cache misses).
+    measured: int = 0
+    #: Units served from the result cache.
+    cache_hits: int = 0
+    #: Cache entries that existed but failed validation.
+    corrupt_entries: int = 0
+    #: Failed attempts that were retried successfully.
+    retries: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of units served from the cache."""
+        if self.total_units == 0:
+            return 0.0
+        return self.cache_hits / self.total_units
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another batch's counters into this one."""
+        self.total_units += other.total_units
+        self.measured += other.measured
+        self.cache_hits += other.cache_hits
+        self.corrupt_entries += other.corrupt_entries
+        self.retries += other.retries
+        self.wall_seconds += other.wall_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable account of the batch."""
+        return (
+            f"{self.total_units} units: {self.measured} measured, "
+            f"{self.cache_hits} cache hits"
+            f" ({100.0 * self.cache_hit_rate:.0f}%), "
+            f"{self.retries} retries, "
+            f"{self.corrupt_entries} corrupt entries, "
+            f"{self.wall_seconds:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Payloads (in unit order) plus the batch statistics."""
+
+    payloads: tuple[dict[str, Any], ...]
+    stats: ExecutionStats
+
+
+def _execute_with_retry(
+    unit: WorkUnit, retries: int, backoff_s: float
+) -> tuple[dict[str, Any], int]:
+    """Run one unit with bounded exponential-backoff retry.
+
+    Returns the payload and the number of attempts taken.  Top-level so
+    it can be pickled into worker processes.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return unit.execute(), attempts
+        except Exception:
+            if attempts > retries:
+                raise
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** (attempts - 1)))
+
+
+class SerialExecutor:
+    """In-process executor: units complete in submission order."""
+
+    jobs = 1
+
+    def run(
+        self,
+        pending: Sequence[tuple[int, WorkUnit]],
+        retries: int,
+        backoff_s: float,
+    ) -> Iterator[tuple[int, dict[str, Any], int]]:
+        for index, unit in pending:
+            try:
+                payload, attempts = _execute_with_retry(unit, retries, backoff_s)
+            except Exception as exc:
+                raise ExecutionError(
+                    f"{unit} failed after {retries + 1} attempts: {exc}"
+                ) from exc
+            yield index, payload, attempts
+
+
+class ProcessExecutor:
+    """``ProcessPoolExecutor``-backed executor for CPU-bound campaigns.
+
+    Units complete in arbitrary order; :func:`run_units` restores unit
+    order when assembling results.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(
+        self,
+        pending: Sequence[tuple[int, WorkUnit]],
+        retries: int,
+        backoff_s: float,
+    ) -> Iterator[tuple[int, dict[str, Any], int]]:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(_execute_with_retry, unit, retries, backoff_s):
+                    (index, unit)
+                for index, unit in pending
+            }
+            for future in as_completed(futures):
+                index, unit = futures[future]
+                try:
+                    payload, attempts = future.result()
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"{unit} failed after {retries + 1} attempts: {exc}"
+                    ) from exc
+                yield index, payload, attempts
+
+
+def make_executor(jobs: int):
+    """Pick the executor for a worker count (1 means in-process)."""
+    return SerialExecutor() if jobs <= 1 else ProcessExecutor(jobs)
+
+
+def run_units(
+    units: Iterable[WorkUnit],
+    config: ExecutionConfig | None = None,
+) -> ExecutionResult:
+    """Execute a batch of work units, consulting the result cache.
+
+    Results come back in unit order whatever the executor's completion
+    order was, so parallel and serial runs assemble byte-identical
+    datasets and sweep tables.
+    """
+    if config is None:
+        config = ExecutionConfig()
+    unit_list = list(units)
+    stats = ExecutionStats(total_units=len(unit_list))
+    start = time.perf_counter()
+    cache = (
+        ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    )
+
+    results: list[dict[str, Any] | None] = [None] * len(unit_list)
+    keys: list[str | None] = [None] * len(unit_list)
+    pending: list[tuple[int, WorkUnit]] = []
+    done = 0
+
+    def notify(index: int, cache_hit: bool, attempts: int) -> None:
+        if config.callback is not None:
+            config.callback(
+                ProgressEvent(
+                    unit=unit_list[index],
+                    index=index,
+                    done=done,
+                    total=len(unit_list),
+                    cache_hit=cache_hit,
+                    attempts=attempts,
+                )
+            )
+
+    for index, unit in enumerate(unit_list):
+        if cache is not None:
+            keys[index] = unit.cache_key()
+            payload = cache.get(keys[index])
+            if payload is not None:
+                results[index] = payload
+                stats.cache_hits += 1
+                done += 1
+                notify(index, cache_hit=True, attempts=0)
+                continue
+        pending.append((index, unit))
+
+    if pending:
+        executor = make_executor(config.jobs)
+        for index, payload, attempts in executor.run(
+            pending, config.retries, config.backoff_s
+        ):
+            results[index] = payload
+            stats.measured += 1
+            stats.retries += attempts - 1
+            if cache is not None:
+                cache.put(keys[index], payload)
+            done += 1
+            notify(index, cache_hit=False, attempts=attempts)
+
+    if cache is not None:
+        stats.corrupt_entries = cache.corrupt_entries
+    stats.wall_seconds = time.perf_counter() - start
+    return ExecutionResult(payloads=tuple(results), stats=stats)

@@ -11,7 +11,6 @@ from __future__ import annotations
 from repro.arch.specs import GPU_NAMES, get_gpu
 from repro.core.dataset import build_dataset
 from repro.core.evaluate import evaluate_model
-from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
 from repro.experiments import context
 from repro.experiments.base import ExperimentResult
 from repro.kernels.synthetic import generate_suite

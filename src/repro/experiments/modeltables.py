@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.arch.specs import GPU_NAMES
 from repro.core.evaluate import ErrorReport, evaluate_model

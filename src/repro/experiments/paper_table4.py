@@ -16,7 +16,7 @@ Notes on mapping to our registry:
 
 from __future__ import annotations
 
-from repro.arch.dvfs import ClockLevel, parse_pair_key
+from repro.arch.dvfs import parse_pair_key
 
 #: benchmark (our name) -> (GTX 285, GTX 460, GTX 480, GTX 680) pairs.
 PAPER_TABLE4: dict[str, tuple[str, str, str, str]] = {

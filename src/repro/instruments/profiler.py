@@ -76,6 +76,21 @@ class CudaProfiler:
         self._noise_scale = noise_scale
         self._bias_cv = bias_cv
 
+    @property
+    def seed(self) -> int | None:
+        """The noise-seed override, if any."""
+        return self._seed
+
+    @property
+    def noise_scale_override(self) -> float | None:
+        """The observation-noise override, if any."""
+        return self._noise_scale
+
+    @property
+    def bias_cv_override(self) -> float | None:
+        """The extrapolation-bias override, if any."""
+        return self._bias_cv
+
     def counters_for(self, sim: GPUSimulator) -> tuple[Counter, ...]:
         """The counter set the profiler exposes on this card."""
         return counter_set(sim.spec.traits.counter_set)

@@ -25,7 +25,7 @@ from repro.instruments.host import HostSystem
 from repro.instruments.powermeter import PowerMeter, PowerPhase, PowerTrace
 from repro.engine.noise import lognormal_factor
 from repro.kernels.profile import KernelSpec
-from repro.rng import stream
+from repro.rng import stable_hash, stream
 
 #: Minimum GPU-busy window the paper enforces before measuring.
 MIN_MEASURE_WINDOW_S = 0.5
@@ -168,3 +168,30 @@ class Testbed:
                 for p in busy_phase_profile(record, gpu_phase_w)
             )
         return phases
+
+
+# ----------------------------------------------------------------------
+# worker-safe construction
+# ----------------------------------------------------------------------
+
+#: Process-local memo of default-configuration testbeds, keyed by the
+#: card's content fingerprint and the noise seed.  Worker processes of a
+#: parallel campaign (and the serial path alike) reuse one booted
+#: testbed per (GPU, seed) instead of re-parsing the VBIOS per work
+#: unit.  Safe because the simulator carries no cross-run state beyond
+#: the currently flashed clocks, which every work unit sets explicitly.
+_SHARED_TESTBEDS: dict[tuple[int, int | None], Testbed] = {}
+
+
+def shared_testbed(gpu: GPUSpec, seed: int | None = None) -> Testbed:
+    """Return this process's memoized default testbed for a card.
+
+    Only default host/meter configurations are memoized here; build a
+    :class:`Testbed` directly for custom instrumentation.
+    """
+    key = (stable_hash(repr(gpu)), seed)
+    testbed = _SHARED_TESTBEDS.get(key)
+    if testbed is None:
+        testbed = Testbed(gpu, seed=seed)
+        _SHARED_TESTBEDS[key] = testbed
+    return testbed

@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import io as _io
 import pathlib
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.characterize.sweep import SweepTable
 from repro.core.dataset import ModelingDataset

@@ -15,7 +15,7 @@ Fig. 2, Gaussian the frequency-sensitive mixed case of Fig. 3, and so on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

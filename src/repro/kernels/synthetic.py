@@ -12,7 +12,6 @@ the parameter distributions spanned by the Table II suite.  Two uses:
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.dvfs import OperatingPoint
-from repro.arch.specs import GPUSpec
 from repro.core.dataset import ModelingDataset, Observation
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
 from repro.errors import ModelNotFittedError

@@ -21,7 +21,6 @@ from typing import Sequence
 from repro.arch.specs import GPUSpec
 from repro.core.dataset import ModelingDataset
 from repro.instruments.testbed import Testbed
-from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import get_benchmark
 from repro.optimize.governor import ModelGovernor
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.specs import GPU_NAMES, all_gpus, get_gpu
+from repro.arch.specs import GPU_NAMES, get_gpu
 
 
 @pytest.fixture(scope="session", params=GPU_NAMES)

@@ -7,9 +7,7 @@ import pytest
 from repro.arch.architecture import Architecture, traits_of
 from repro.arch.dvfs import ClockLevel, parse_pair_key
 from repro.arch.specs import (
-    GPU_NAMES,
     GPUSpec,
-    PowerCoefficients,
     all_gpus,
     get_gpu,
 )

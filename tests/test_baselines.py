@@ -7,7 +7,6 @@ import pytest
 
 from repro.baselines.hong_kim import HongKimModel, tune_on_gpu
 from repro.baselines.per_pair import (
-    PerPairModelSuite,
     performance_suite,
     power_suite,
 )

@@ -6,14 +6,13 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.arch.bios import (
-    BiosImage,
     ClockEntry,
     build_image,
     parse_image,
     patch_boot_levels,
 )
 from repro.arch.dvfs import ClockDomain, ClockLevel
-from repro.arch.specs import all_gpus, get_gpu
+from repro.arch.specs import get_gpu
 from repro.errors import BIOSFormatError, InvalidOperatingPointError
 
 

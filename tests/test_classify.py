@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.roofline import roofline_point
-from repro.arch.specs import all_gpus, get_gpu
+from repro.arch.specs import all_gpus
 from repro.core.classify import (
     Classification,
     WorkloadClass,

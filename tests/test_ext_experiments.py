@@ -7,7 +7,6 @@ here we verify registration and run the cheaper ones.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.registry import EXPERIMENTS, all_experiments, run
 

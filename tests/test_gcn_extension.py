@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.architecture import Architecture, traits_of
+from repro.arch.architecture import Architecture
 from repro.arch.specs import (
     EXTENSION_GPU_NAMES,
     GPU_NAMES,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import UnknownBenchmarkError
-from repro.kernels.profile import KernelSpec, WorkProfile
+from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import (
     BENCHMARK_SUITES,
     all_benchmarks,

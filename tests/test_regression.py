@@ -5,10 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.core.regression import (
-    RegressionResult,
     adjusted_r_squared,
     fit_ols,
     r_squared,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.rng import GLOBAL_SEED, stable_hash, stream

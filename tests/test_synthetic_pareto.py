@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.arch.specs import get_gpu
 from repro.characterize.sweep import FrequencySweep
 from repro.instruments.testbed import Testbed
 from repro.kernels.synthetic import generate_kernel, generate_suite
