@@ -72,7 +72,14 @@ def main() -> int:
                 "second run should be 100% cache hits with zero measurements"
             )
 
-        names = sorted(p.name for p in (root / "first").glob("*.json"))
+        # health.json legitimately differs against a warm cache (the
+        # second run reports cache hits where the first measured); the
+        # chaos smoke covers health-report determinism from cold state.
+        names = sorted(
+            p.name
+            for p in (root / "first").glob("*.json")
+            if p.name != "health.json"
+        )
         if not names:
             failures.append("first campaign archived no artifacts")
         for name in names:

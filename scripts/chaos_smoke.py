@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI smoke test of deterministic fault injection and degradation.
+
+Runs a small campaign through the real ``repro chaos`` CLI under the
+aggressive fault plan, twice from fully cold state (separate directories
+*and* separate caches, same seed), with different ``--jobs`` values, and
+asserts that
+
+* both runs complete — injected faults degrade the campaign, they do
+  not kill it,
+* faults actually fired (the health report accounts for exclusions or
+  retries), and
+* the two runs' manifests, datasets and health reports are
+  byte-identical — fault decisions are deterministic functions of
+  (seed, plan, coordinates, attempt), not of scheduling.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GPUS = ["GTX 460"]
+BENCHMARKS = ["sgemm", "hotspot", "lbm", "spmv", "stencil", "cutcp"]
+SEED = 7
+
+#: Artifacts that must be byte-identical between the two runs.
+COMPARED = ("campaign.json", "health.json", "dataset_gtx_460.json")
+
+
+def run_chaos(directory: pathlib.Path, jobs: int) -> str:
+    argv = [sys.executable, "-m", "repro", "chaos", str(directory)]
+    for gpu in GPUS:
+        argv += ["--gpu", gpu]
+    for bench in BENCHMARKS:
+        argv += ["--benchmark", bench]
+    argv += [
+        "--jobs", str(jobs),
+        "--cache-dir", str(directory / "cache"),
+        "--seed", str(SEED),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        argv, cwd=REPO, capture_output=True, text=True, check=False, env=env
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        sys.exit(f"chaos campaign into {directory} failed ({result.returncode})")
+    return result.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=3)
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        root = pathlib.Path(scratch)
+        first_out = run_chaos(root / "serial", jobs=1)
+        run_chaos(root / "parallel", jobs=args.jobs)
+
+        if "survived" not in first_out:
+            failures.append("chaos campaign did not report survival")
+
+        health = json.loads((root / "serial" / "health.json").read_text())
+        totals = health["totals"]
+        fired = (
+            totals["excluded"] + totals["retried"]
+            + totals["failed"] + totals["degraded"]
+        )
+        if fired == 0:
+            failures.append(
+                "aggressive plan injected nothing — no exclusions, retries, "
+                "failures or degraded measurements"
+            )
+        if health["fault_plan"] is None:
+            failures.append("health report lost the fault plan")
+
+        for name in COMPARED:
+            left = root / "serial" / name
+            right = root / "parallel" / name
+            if not left.exists() or not right.exists():
+                failures.append(f"{name} missing from a run")
+                continue
+            if left.read_bytes() != right.read_bytes():
+                failures.append(
+                    f"{name} differs between --jobs 1 and --jobs {args.jobs}"
+                )
+
+        leftovers = list(root.rglob("*.tmp"))
+        if leftovers:
+            failures.append(f"scratch files left behind: {leftovers}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos smoke OK: {fired} faults accounted for, artifacts "
+        f"byte-identical at --jobs 1 and --jobs {args.jobs}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,11 @@ The package is organised in layers, bottom to top:
     and a content-addressed on-disk result cache for work-unit-level
     resumption.
 
+``repro.faults``
+    Seeded, deterministic fault injection (profiler failures, meter
+    sample corruption, reconfiguration failures, crashes) and the
+    graceful-degradation accounting campaigns run under.
+
 ``repro.experiments``
     One module per paper table/figure; see ``python -m repro list``.
 """
@@ -67,6 +72,7 @@ from repro.core import (
 )
 from repro.characterize import FrequencySweep, best_operating_point
 from repro.execution import ExecutionConfig, ExecutionStats, run_units
+from repro.faults import FaultPlan, aggressive_plan, default_plan
 
 __all__ = [
     "__version__",
@@ -89,4 +95,7 @@ __all__ = [
     "ExecutionConfig",
     "ExecutionStats",
     "run_units",
+    "FaultPlan",
+    "aggressive_plan",
+    "default_plan",
 ]

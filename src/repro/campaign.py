@@ -32,10 +32,15 @@ from repro.core.serialize import (
 )
 from repro.execution.cache import atomic_write_text
 from repro.execution.engine import ExecutionConfig, ExecutionStats
+from repro.faults.health import CampaignHealth
+from repro.faults.plan import FaultPlan
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import get_benchmark
 
 MANIFEST_NAME = "campaign.json"
+
+#: Machine-readable execution-health report written next to the manifest.
+HEALTH_NAME = "health.json"
 
 #: Subdirectory of a campaign holding the work-unit result cache.
 CACHE_DIR_NAME = "cache"
@@ -72,6 +77,11 @@ class Campaign:
         a serial run cached under ``<directory>/cache``; pass an
         explicit :class:`ExecutionConfig` to parallelize or to move or
         disable the cache.
+    faults:
+        Optional deterministic fault plan (``repro.faults``).  When
+        active, dataset builds degrade gracefully (failed units become
+        recorded exclusions) and the run emits a machine-readable
+        ``health.json`` accounting for every loss.
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class Campaign:
         seed: int | None = None,
         benchmarks: Sequence[str] | None = None,
         execution: ExecutionConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.gpu_names = tuple(gpus) if gpus is not None else GPU_NAMES
@@ -100,8 +111,13 @@ class Campaign:
                 cache_dir=self.directory / CACHE_DIR_NAME
             )
         self.execution = execution
+        if faults is not None and faults.is_null:
+            faults = None
+        self.faults = faults
         #: Aggregated execution statistics of the most recent :meth:`run`.
         self.last_stats: ExecutionStats | None = None
+        #: Health report of the most recent :meth:`run`.
+        self.last_health: CampaignHealth | None = None
 
     # ------------------------------------------------------------------
     # paths
@@ -122,6 +138,11 @@ class Campaign:
     def manifest_path(self) -> pathlib.Path:
         """The campaign manifest file."""
         return self.directory / MANIFEST_NAME
+
+    @property
+    def health_path(self) -> pathlib.Path:
+        """The campaign execution-health report."""
+        return self.directory / HEALTH_NAME
 
     # ------------------------------------------------------------------
     # execution
@@ -150,6 +171,7 @@ class Campaign:
             seed=self.seed,
             execution=self.execution,
             stats=stats,
+            faults=self.faults,
         )
         atomic_write_text(path, dataset_to_json(dataset))
         return dataset
@@ -165,10 +187,26 @@ class Campaign:
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         totals = ExecutionStats()
+        health = CampaignHealth(
+            seed=self.seed,
+            fault_plan=(
+                self.faults.document() if self.faults is not None else None
+            ),
+        )
         summaries: list[CampaignSummary] = []
         archives: list[tuple[pathlib.Path, str]] = []
         for name in self.gpu_names:
-            ds = self.dataset(name, refresh=refresh, stats=totals)
+            gpu_stats = ExecutionStats()
+            ds = self.dataset(name, refresh=refresh, stats=gpu_stats)
+            totals.merge(gpu_stats)
+            account = health.gpu(name)
+            account.attempted = gpu_stats.total_units
+            account.measured = gpu_stats.measured
+            account.cache_hits = gpu_stats.cache_hits
+            account.retried = gpu_stats.retries
+            account.failed = gpu_stats.failed
+            account.degraded = sum(1 for o in ds.observations if o.degraded)
+            account.excluded = [e.document() for e in ds.exclusions]
             power = UnifiedPowerModel().fit(ds)
             perf = UnifiedPerformanceModel().fit(ds)
             # Evaluate first: only campaigns whose models fit *and*
@@ -198,10 +236,24 @@ class Campaign:
             "version": __version__,
             "seed": self.seed,
             "gpus": list(self.gpu_names),
+            "faults": (
+                self.faults.document() if self.faults is not None else None
+            ),
+            # Per-GPU losses with reasons.  Deliberately only the
+            # cache-state-independent slice of the health report:
+            # exclusions and degraded counts are dataset properties, so
+            # warm-cache re-runs keep the manifest byte-identical
+            # (full execution counters live in health.json).
+            "losses": {
+                g.gpu: {"excluded": list(g.excluded), "degraded": g.degraded}
+                for g in health.gpus
+            },
             "summaries": [vars(s) for s in summaries],
         }
         atomic_write_text(self.manifest_path, json.dumps(manifest, indent=2))
+        atomic_write_text(self.health_path, health.to_json())
         self.last_stats = totals
+        self.last_health = health
         return summaries
 
     def load_model(self, gpu_name: str, kind: str):

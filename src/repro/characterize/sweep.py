@@ -15,12 +15,19 @@ noise stream is keyed by experimental coordinates, not by call order.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.arch.specs import GPUSpec
-from repro.execution.engine import ExecutionConfig, ExecutionStats, run_units
+from repro.execution.engine import (
+    ExecutionConfig,
+    ExecutionStats,
+    UnitFailure,
+    run_units,
+)
 from repro.execution.units import measurement_from_payload, sweep_units
+from repro.faults.plan import FaultPlan
 from repro.instruments.testbed import Measurement, Testbed
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import all_benchmarks
@@ -61,13 +68,29 @@ class FrequencySweep:
         Card to characterize.
     seed:
         Optional noise-seed override (tests).
+    faults:
+        Optional deterministic fault plan (``repro.faults``).  When
+        active, runs degrade gracefully: failed (benchmark, pair)
+        units are dropped from the table and recorded in
+        :attr:`last_failures` instead of aborting the sweep.
     """
 
-    def __init__(self, gpu: GPUSpec, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        seed: int | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self._seed = seed
+        if faults is not None and faults.is_null:
+            faults = None
+        self._faults = faults
         self.testbed = Testbed(gpu, seed=seed)
         #: Statistics of the most recent :meth:`run` (units, cache hits).
         self.last_stats: ExecutionStats | None = None
+        #: Units of the most recent :meth:`run` that produced no
+        #: measurement (fault injection / degrade mode only).
+        self.last_failures: tuple[UnitFailure, ...] = ()
 
     @property
     def gpu(self) -> GPUSpec:
@@ -98,13 +121,26 @@ class FrequencySweep:
         """
         if benchmarks is None:
             benchmarks = all_benchmarks()
-        units = sweep_units(self.gpu, benchmarks, scale=scale, seed=self._seed)
+        if self._faults is not None:
+            execution = dataclasses.replace(
+                execution if execution is not None else ExecutionConfig(),
+                on_error="degrade",
+            )
+        units = sweep_units(
+            self.gpu, benchmarks, scale=scale, seed=self._seed,
+            faults=self._faults,
+        )
         outcome = run_units(units, execution)
         self.last_stats = outcome.stats
+        self.last_failures = outcome.failures
         table: dict[str, dict[str, Measurement]] = {
             bench.name: {} for bench in benchmarks
         }
         for unit, payload in zip(units, outcome.payloads):
+            if payload is None:
+                # Degrade mode: the unit failed; its cell stays empty
+                # and the failure is recorded in ``last_failures``.
+                continue
             table[unit.kernel.name][unit.pair] = measurement_from_payload(
                 payload, self.gpu, unit.kernel
             )

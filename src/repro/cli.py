@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig4
     python -m repro run all
     python -m repro sweep "GTX 680" backprop
+    python -m repro campaign out/ --faults aggressive
+    python -m repro chaos out/
 """
 
 from __future__ import annotations
@@ -63,6 +65,20 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the work-unit result cache",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan: a preset "
+        "('aggressive', 'off') or a JSON plan file (see docs/ROBUSTNESS.md)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace):
+    """Resolve the --faults flag into a plan (or None)."""
+    from repro.faults import resolve_plan
+
+    return resolve_plan(getattr(args, "faults", None))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -72,18 +88,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     gpu = get_gpu(args.gpu)
     bench = get_benchmark(args.benchmark)
-    results = FrequencySweep(gpu, seed=args.seed).run_benchmark(
-        bench, execution=_execution_config(args)
-    )
-    default = results["H-H"]
+    sweep = FrequencySweep(gpu, seed=args.seed, faults=_fault_plan(args))
+    results = sweep.run_benchmark(bench, execution=_execution_config(args))
+    default = results.get("H-H")
     print(f"{bench} on {gpu}:")
     print(f"{'pair':6s} {'time[s]':>9s} {'power[W]':>9s} {'energy[J]':>10s} {'eff vs H-H':>11s}")
     for key, m in results.items():
-        gain = (default.energy_j / m.energy_j - 1.0) * 100.0
+        if default is not None:
+            gain = (default.energy_j / m.energy_j - 1.0) * 100.0
+            gain_text = f"{gain:+10.1f}%"
+        else:
+            gain_text = f"{'n/a':>11s}"
         print(
             f"{key:6s} {m.exec_seconds:9.3f} {m.avg_power_w:9.1f} "
-            f"{m.energy_j:10.1f} {gain:+10.1f}%"
+            f"{m.energy_j:10.1f} {gain_text}"
         )
+    for failure in sweep.last_failures:
+        print(f"  lost {failure.unit.pair}: {failure.describe()}")
     return 0
 
 
@@ -99,6 +120,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         benchmarks=args.benchmarks,
         execution=_execution_config(args, default_cache=default_cache),
+        faults=_fault_plan(args),
     )
     summaries = campaign.run(refresh=args.refresh)
     print(
@@ -112,7 +134,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     if campaign.last_stats is not None and campaign.last_stats.total_units:
         print(f"\nexecution: {campaign.last_stats.summary()}")
+    if campaign.faults is not None and campaign.last_health is not None:
+        print(f"\nhealth ({campaign.faults.name} fault plan):")
+        print(campaign.last_health.summary())
     print(f"\narchived under {campaign.directory}/")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos smoke: a small campaign under the aggressive fault plan.
+
+    Exercises every fault path (profiler exclusions, meter dropout and
+    glitches, reconfiguration retries, unit crashes) and proves the
+    campaign completes and accounts for its losses.
+    """
+    import pathlib
+
+    from repro.campaign import CACHE_DIR_NAME, Campaign
+    from repro.faults import aggressive_plan, resolve_plan
+
+    plan = (
+        resolve_plan(args.faults) if args.faults is not None
+        else aggressive_plan()
+    )
+    if plan is None:
+        print("fault plan is null; chaos needs injected faults", file=sys.stderr)
+        return 2
+    default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
+    campaign = Campaign(
+        args.directory,
+        gpus=args.gpus or ["GTX 460"],
+        seed=args.seed,
+        benchmarks=args.benchmarks,
+        execution=_execution_config(args, default_cache=default_cache),
+        faults=plan,
+    )
+    campaign.run(refresh=args.refresh)
+    health = campaign.last_health
+    print(f"chaos campaign survived the '{plan.name}' fault plan:")
+    print(health.summary())
+    print(f"\nhealth report: {campaign.health_path}")
     return 0
 
 
@@ -189,6 +250,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_campaign.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="smoke-test graceful degradation under an aggressive fault plan",
+    )
+    p_chaos.add_argument(
+        "directory", help="directory for datasets, models and health report"
+    )
+    p_chaos.add_argument(
+        "--gpu",
+        action="append",
+        dest="gpus",
+        default=None,
+        help="restrict to specific GPUs (default: GTX 460; repeatable)",
+    )
+    p_chaos.add_argument(
+        "--benchmark",
+        action="append",
+        dest="benchmarks",
+        default=None,
+        help="restrict the dataset to specific benchmarks (repeatable)",
+    )
+    p_chaos.add_argument(
+        "--refresh", action="store_true", help="re-measure even if archived"
+    )
+    p_chaos.add_argument("--seed", type=int, default=None)
+    _add_execution_flags(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_report = sub.add_parser(
         "report", help="render all experiments into a directory"

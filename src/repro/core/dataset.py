@@ -14,6 +14,7 @@ frequency pair.  One dataset observation is therefore a
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -24,9 +25,35 @@ from repro.arch.specs import GPUSpec
 from repro.engine.counters import CounterDomain, counter_set
 from repro.execution.engine import ExecutionConfig, ExecutionStats, run_units
 from repro.execution.units import dataset_units
+from repro.faults.plan import FaultPlan
 from repro.instruments.profiler import CudaProfiler
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import modeling_benchmarks
+
+
+@dataclass(frozen=True)
+class Exclusion:
+    """One (benchmark, size) sample that contributed no observations.
+
+    Mirrors the paper's accounting: the 4 benchmarks its profiler
+    failed on are *excluded with a reason*, not silently dropped.
+    Under fault injection the same applies to crashed or failed work
+    units.
+    """
+
+    benchmark: str
+    suite: str
+    scale: float
+    reason: str
+
+    def document(self) -> dict[str, object]:
+        """Canonical JSON-able form (manifests, health reports)."""
+        return {
+            "benchmark": self.benchmark,
+            "suite": self.suite,
+            "scale": self.scale,
+            "reason": self.reason,
+        }
 
 
 @dataclass(frozen=True)
@@ -45,6 +72,9 @@ class Observation:
     avg_power_w: float
     #: Measured wall energy of one run (J).
     energy_j: float
+    #: Whether the meter's sample quorum was violated for this
+    #: measurement (fault injection; never True on a healthy meter).
+    degraded: bool = False
 
     @property
     def sample_key(self) -> tuple[str, float]:
@@ -60,6 +90,9 @@ class ModelingDataset:
     counter_names: tuple[str, ...]
     counter_domains: dict[str, CounterDomain]
     observations: tuple[Observation, ...]
+    #: (benchmark, size) samples that contributed no observations,
+    #: with reasons (profiler failures, crashed units, ...).
+    exclusions: tuple[Exclusion, ...] = ()
 
     # ------------------------------------------------------------------
     # basic views
@@ -118,6 +151,7 @@ class ModelingDataset:
             counter_names=self.counter_names,
             counter_domains=self.counter_domains,
             observations=kept,
+            exclusions=self.exclusions,
         )
 
     def for_pair(self, pair_key: str) -> "ModelingDataset":
@@ -141,6 +175,7 @@ def build_dataset(
     profiler: CudaProfiler | None = None,
     execution: ExecutionConfig | None = None,
     stats: ExecutionStats | None = None,
+    faults: FaultPlan | None = None,
 ) -> ModelingDataset:
     """Measure and profile the full modeling dataset for one GPU.
 
@@ -172,6 +207,11 @@ def build_dataset(
     stats:
         Optional accumulator the build's execution statistics (units,
         cache hits, retries, wall time) are merged into.
+    faults:
+        Optional deterministic fault plan (``repro.faults``).  When
+        active, execution auto-upgrades to graceful degradation
+        (``on_error="degrade"``): failed units become recorded
+        :class:`Exclusion` entries instead of aborting the build.
     """
     if benchmarks is None:
         benchmarks = modeling_benchmarks()
@@ -185,18 +225,53 @@ def build_dataset(
         if not ops:
             raise ValueError(f"no configurable pair among {sorted(wanted)}")
 
+    if faults is not None and faults.is_null:
+        faults = None
+    if faults is not None:
+        execution = dataclasses.replace(
+            execution if execution is not None else ExecutionConfig(),
+            on_error="degrade",
+        )
+
     units = dataset_units(
-        gpu, benchmarks, pairs=pairs, seed=seed, profiler=profiler
+        gpu, benchmarks, pairs=pairs, seed=seed, profiler=profiler,
+        faults=faults,
     )
     outcome = run_units(units, execution)
     if stats is not None:
         stats.merge(outcome.stats)
 
+    failed = {f.index: f for f in outcome.failures}
     observations: list[Observation] = []
-    for unit, payload in zip(units, outcome.payloads):
+    exclusions: list[Exclusion] = []
+    for index, (unit, payload) in enumerate(zip(units, outcome.payloads)):
+        if payload is None:
+            # Degrade mode: the unit failed past its retry budget (or
+            # permanently); its sample is excluded with the reason.
+            failure = failed.get(index)
+            reason = failure.describe() if failure else "unit failed"
+            exclusions.append(
+                Exclusion(
+                    benchmark=unit.kernel.name,
+                    suite=unit.kernel.suite,
+                    scale=unit.scale,
+                    reason=reason,
+                )
+            )
+            continue
         if not payload["profiled"]:
             # Mirrors the paper: benchmarks the profiler cannot analyze
             # contribute no modeling samples.
+            exclusions.append(
+                Exclusion(
+                    benchmark=unit.kernel.name,
+                    suite=unit.kernel.suite,
+                    scale=unit.scale,
+                    reason=str(
+                        payload.get("reason", "profiler analysis failure")
+                    ),
+                )
+            )
             continue
         totals = dict(payload["counters"])
         for entry in payload["measurements"]:
@@ -210,6 +285,7 @@ def build_dataset(
                     exec_seconds=entry["exec_seconds"],
                     avg_power_w=entry["avg_power_w"],
                     energy_j=entry["energy_j"],
+                    degraded=bool(entry.get("degraded", False)),
                 )
             )
     return ModelingDataset(
@@ -217,4 +293,5 @@ def build_dataset(
         counter_names=counter_names,
         counter_domains=domains,
         observations=tuple(observations),
+        exclusions=tuple(exclusions),
     )

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.arch.dvfs import ClockLevel
 from repro.arch.specs import get_gpu
-from repro.core.dataset import ModelingDataset, Observation
+from repro.core.dataset import Exclusion, ModelingDataset, Observation
 from repro.core.models import (
     UnifiedPerformanceModel,
     UnifiedPowerModel,
@@ -64,9 +64,11 @@ def dataset_to_json(dataset: ModelingDataset) -> str:
                 "exec_seconds": o.exec_seconds,
                 "avg_power_w": o.avg_power_w,
                 "energy_j": o.energy_j,
+                "degraded": o.degraded,
             }
             for o in dataset.observations
         ],
+        "exclusions": [e.document() for e in dataset.exclusions],
     }
     return json.dumps(doc)
 
@@ -103,13 +105,24 @@ def dataset_from_json(text: str) -> ModelingDataset:
                 exec_seconds=float(entry["exec_seconds"]),
                 avg_power_w=float(entry["avg_power_w"]),
                 energy_j=float(entry["energy_j"]),
+                degraded=bool(entry.get("degraded", False)),
             )
         )
+    exclusions = tuple(
+        Exclusion(
+            benchmark=str(entry["benchmark"]),
+            suite=str(entry["suite"]),
+            scale=float(entry["scale"]),
+            reason=str(entry["reason"]),
+        )
+        for entry in doc.get("exclusions", [])
+    )
     return ModelingDataset(
         gpu=gpu,
         counter_names=counter_names,
         counter_domains=domains,
         observations=tuple(observations),
+        exclusions=exclusions,
     )
 
 

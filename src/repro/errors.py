@@ -12,6 +12,34 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class TransientError(ReproError):
+    """A fault that may clear on retry (flaky instrument, crashed run).
+
+    The execution engine retries transient errors with backoff; every
+    other :class:`ReproError` is *permanent* and fails fast (see
+    :func:`is_transient`).  Measurement studies report exactly this
+    split: a VBIOS flash that did not take or a dropped meter sample is
+    worth re-trying, a benchmark the profiler cannot analyze is not.
+    """
+
+
+class ReconfigurationError(TransientError, RuntimeError):
+    """A VBIOS/DVFS clock reconfiguration did not take.
+
+    Real DVFS studies (Mei et al.; Nunez-Yanez et al.) report flaky
+    clock reconfiguration as a routine obstacle; the fix is to reflash
+    and reboot again, so this error is transient.
+    """
+
+
+class UnitCrashError(TransientError, RuntimeError):
+    """A work unit's run crashed for no attributable reason.
+
+    Stands in for the long tail of campaign flakiness — driver hangs,
+    benchmark segfaults, host hiccups — that a re-run usually clears.
+    """
+
+
 class UnknownGPUError(ReproError, KeyError):
     """Requested GPU name is not in the registry."""
 
@@ -46,4 +74,28 @@ class ModelNotFittedError(ReproError, RuntimeError):
 
 
 class MeasurementError(ReproError, RuntimeError):
-    """The power-measurement protocol could not be completed."""
+    """The power-measurement protocol could not be completed.
+
+    Raised when the meter window is shorter than one sample interval or
+    when the sample quorum (>= 10 valid samples, mirroring the paper's
+    500 ms / 50 ms rule) cannot be met even after re-measurement.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether an exception is worth retrying.
+
+    The classification the execution engine's retry loop uses:
+
+    * :class:`TransientError` subclasses are retryable by definition;
+    * every other :class:`ReproError` is a *permanent* verdict about the
+      work itself (unknown benchmark, unconfigurable pair, profiler
+      analysis failure) — retrying cannot change it, so fail fast;
+    * exceptions from outside the package (``OSError``, a worker dying)
+      are unknown, and retrying is the safe default.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, ReproError):
+        return False
+    return True

@@ -15,6 +15,7 @@ from repro.execution.engine import (
     ProcessExecutor,
     ProgressEvent,
     SerialExecutor,
+    UnitFailure,
     make_executor,
     run_units,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "ResultCache",
     "SerialExecutor",
     "SweepUnit",
+    "UnitFailure",
     "WorkUnit",
     "atomic_write_text",
     "dataset_units",

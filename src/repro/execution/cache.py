@@ -26,18 +26,49 @@ ENTRY_FORMAT = "repro.cache-entry"
 
 
 def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
-    """Write text atomically: to a ``*.tmp`` sibling, then rename.
+    """Write text atomically and durably: ``*.tmp`` sibling, then rename.
 
     The temporary name carries the writer's PID so concurrent writers
     never clobber each other's scratch file; ``os.replace`` makes the
-    final publish atomic on POSIX and Windows alike.
+    final publish atomic on POSIX and Windows alike.  The scratch file
+    is fsynced before the rename (and the directory entry after it,
+    where the platform allows) so a crash — not just a killed process —
+    can never leave a published entry with truncated contents that only
+    the corruption fallback catches.
     """
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     scratch = target.with_name(f"{target.name}.{os.getpid()}.tmp")
-    scratch.write_text(text, encoding="utf-8")
-    os.replace(scratch, target)
+    try:
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+    except BaseException:
+        # Never leave scratch files behind on a failed publish.
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(target.parent)
     return target
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush a rename to disk (best effort; no-op where unsupported)."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class ResultCache:

@@ -18,13 +18,36 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, is_transient
 from repro.execution.cache import ResultCache
 from repro.execution.units import WorkUnit
+from repro.faults.runtime import executing_attempt
 
 
 class ExecutionError(ReproError, RuntimeError):
-    """A work unit kept failing after its retry budget was exhausted."""
+    """A work unit failed: permanently, or past its retry budget."""
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One work unit that produced no payload, and why."""
+
+    unit: WorkUnit
+    #: Position of the unit in the submitted list.
+    index: int
+    #: Exception class name of the final error.
+    error_type: str
+    #: Message of the final error.
+    message: str
+    #: Execution attempts taken before giving up.
+    attempts: int
+    #: Whether the error was classified permanent (fail-fast) rather
+    #: than a transient fault that exhausted its retry budget.
+    permanent: bool
+
+    def describe(self) -> str:
+        """Deterministic one-line account, used in exclusion reasons."""
+        return f"{self.error_type}: {self.message}"
 
 
 @dataclass(frozen=True)
@@ -42,6 +65,9 @@ class ProgressEvent:
     cache_hit: bool
     #: Execution attempts this unit took (0 for cache hits).
     attempts: int
+    #: Whether the unit failed (degrade mode only; failed units still
+    #: count toward ``done``).
+    failed: bool = False
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -59,12 +85,19 @@ class ExecutionConfig:
         Root of the content-addressed result cache; ``None`` disables
         caching entirely.
     retries:
-        Extra attempts granted to a failing unit before the batch is
-        aborted with :class:`ExecutionError`.
+        Extra attempts granted to a unit failing with a *transient*
+        error; permanent errors (:func:`repro.errors.is_transient`)
+        fail fast without burning the retry budget.
     backoff_s:
         Initial retry delay; doubles after every failed attempt.
     callback:
         Invoked once per completed unit (cache hits included).
+    on_error:
+        ``"raise"`` (default) aborts the batch with
+        :class:`ExecutionError` on the first failed unit; ``"degrade"``
+        records a :class:`UnitFailure`, leaves a ``None`` payload hole,
+        and keeps going — the graceful-degradation mode fault-injected
+        campaigns run under.
     """
 
     jobs: int = 1
@@ -72,6 +105,7 @@ class ExecutionConfig:
     retries: int = 2
     backoff_s: float = 0.05
     callback: ProgressCallback | None = None
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -80,6 +114,10 @@ class ExecutionConfig:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.backoff_s < 0:
             raise ValueError(f"backoff must be >= 0, got {self.backoff_s}")
+        if self.on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'degrade', got {self.on_error!r}"
+            )
 
 
 @dataclass
@@ -95,6 +133,8 @@ class ExecutionStats:
     corrupt_entries: int = 0
     #: Failed attempts that were retried successfully.
     retries: int = 0
+    #: Units that produced no payload (degrade mode only).
+    failed: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -111,6 +151,7 @@ class ExecutionStats:
         self.cache_hits += other.cache_hits
         self.corrupt_entries += other.corrupt_entries
         self.retries += other.retries
+        self.failed += other.failed
         self.wall_seconds += other.wall_seconds
 
     def summary(self) -> str:
@@ -120,6 +161,7 @@ class ExecutionStats:
             f"{self.cache_hits} cache hits"
             f" ({100.0 * self.cache_hit_rate:.0f}%), "
             f"{self.retries} retries, "
+            f"{self.failed} failed, "
             f"{self.corrupt_entries} corrupt entries, "
             f"{self.wall_seconds:.2f}s"
         )
@@ -127,28 +169,58 @@ class ExecutionStats:
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Payloads (in unit order) plus the batch statistics."""
+    """Payloads (in unit order) plus the batch statistics.
 
-    payloads: tuple[dict[str, Any], ...]
+    In degrade mode a failed unit leaves a ``None`` hole in
+    ``payloads`` and a matching entry in ``failures``; ``attempts``
+    holds per-unit attempt counts (0 for cache hits), in unit order.
+    """
+
+    payloads: tuple[dict[str, Any] | None, ...]
     stats: ExecutionStats
+    failures: tuple[UnitFailure, ...] = ()
+    attempts: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class _UnitOutcome:
+    """Picklable result of one unit's retry loop (worker -> parent)."""
+
+    payload: dict[str, Any] | None
+    attempts: int
+    error_type: str | None = None
+    message: str | None = None
+    permanent: bool = False
 
 
 def _execute_with_retry(
     unit: WorkUnit, retries: int, backoff_s: float
-) -> tuple[dict[str, Any], int]:
+) -> _UnitOutcome:
     """Run one unit with bounded exponential-backoff retry.
 
-    Returns the payload and the number of attempts taken.  Top-level so
-    it can be pickled into worker processes.
+    Transient errors are retried; permanent ones
+    (:func:`repro.errors.is_transient`) fail fast without burning the
+    retry budget.  Never raises: errors come back as a structured
+    outcome so worker processes don't have to pickle exceptions.
+    Top-level so it can be pickled into worker processes.
     """
     attempts = 0
     while True:
         attempts += 1
         try:
-            return unit.execute(), attempts
-        except Exception:
-            if attempts > retries:
-                raise
+            with executing_attempt(attempts):
+                payload = unit.execute()
+            return _UnitOutcome(payload=payload, attempts=attempts)
+        except Exception as exc:
+            permanent = not is_transient(exc)
+            if permanent or attempts > retries:
+                return _UnitOutcome(
+                    payload=None,
+                    attempts=attempts,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    permanent=permanent,
+                )
             if backoff_s > 0:
                 time.sleep(backoff_s * (2 ** (attempts - 1)))
 
@@ -163,15 +235,9 @@ class SerialExecutor:
         pending: Sequence[tuple[int, WorkUnit]],
         retries: int,
         backoff_s: float,
-    ) -> Iterator[tuple[int, dict[str, Any], int]]:
+    ) -> Iterator[tuple[int, _UnitOutcome]]:
         for index, unit in pending:
-            try:
-                payload, attempts = _execute_with_retry(unit, retries, backoff_s)
-            except Exception as exc:
-                raise ExecutionError(
-                    f"{unit} failed after {retries + 1} attempts: {exc}"
-                ) from exc
-            yield index, payload, attempts
+            yield index, _execute_with_retry(unit, retries, backoff_s)
 
 
 class ProcessExecutor:
@@ -191,22 +257,15 @@ class ProcessExecutor:
         pending: Sequence[tuple[int, WorkUnit]],
         retries: int,
         backoff_s: float,
-    ) -> Iterator[tuple[int, dict[str, Any], int]]:
+    ) -> Iterator[tuple[int, _UnitOutcome]]:
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
                 pool.submit(_execute_with_retry, unit, retries, backoff_s):
-                    (index, unit)
+                    index
                 for index, unit in pending
             }
             for future in as_completed(futures):
-                index, unit = futures[future]
-                try:
-                    payload, attempts = future.result()
-                except Exception as exc:
-                    raise ExecutionError(
-                        f"{unit} failed after {retries + 1} attempts: {exc}"
-                    ) from exc
-                yield index, payload, attempts
+                yield futures[future], future.result()
 
 
 def make_executor(jobs: int):
@@ -223,6 +282,12 @@ def run_units(
     Results come back in unit order whatever the executor's completion
     order was, so parallel and serial runs assemble byte-identical
     datasets and sweep tables.
+
+    Failure semantics follow ``config.on_error``: ``"raise"`` aborts on
+    the first failed unit with :class:`ExecutionError`; ``"degrade"``
+    collects :class:`UnitFailure` records (with ``None`` payload holes)
+    and completes the batch, so fault-injected campaigns account for
+    lost work instead of dying.
     """
     if config is None:
         config = ExecutionConfig()
@@ -234,11 +299,15 @@ def run_units(
     )
 
     results: list[dict[str, Any] | None] = [None] * len(unit_list)
+    attempts_taken: list[int] = [0] * len(unit_list)
+    failures: list[UnitFailure] = []
     keys: list[str | None] = [None] * len(unit_list)
     pending: list[tuple[int, WorkUnit]] = []
     done = 0
 
-    def notify(index: int, cache_hit: bool, attempts: int) -> None:
+    def notify(
+        index: int, cache_hit: bool, attempts: int, failed: bool = False
+    ) -> None:
         if config.callback is not None:
             config.callback(
                 ProgressEvent(
@@ -248,6 +317,7 @@ def run_units(
                     total=len(unit_list),
                     cache_hit=cache_hit,
                     attempts=attempts,
+                    failed=failed,
                 )
             )
 
@@ -265,18 +335,56 @@ def run_units(
 
     if pending:
         executor = make_executor(config.jobs)
-        for index, payload, attempts in executor.run(
+        for index, outcome in executor.run(
             pending, config.retries, config.backoff_s
         ):
-            results[index] = payload
+            attempts_taken[index] = outcome.attempts
+            if outcome.payload is None:
+                failure = UnitFailure(
+                    unit=unit_list[index],
+                    index=index,
+                    error_type=outcome.error_type or "Exception",
+                    message=outcome.message or "",
+                    attempts=outcome.attempts,
+                    permanent=outcome.permanent,
+                )
+                if config.on_error == "raise":
+                    if outcome.permanent:
+                        detail = (
+                            f"{failure.unit} failed permanently "
+                            f"(no retry) on attempt {failure.attempts}: "
+                            f"{failure.describe()}"
+                        )
+                    else:
+                        detail = (
+                            f"{failure.unit} failed after "
+                            f"{failure.attempts} attempts: "
+                            f"{failure.describe()}"
+                        )
+                    error = ExecutionError(detail)
+                    error.failure = failure
+                    raise error
+                failures.append(failure)
+                stats.failed += 1
+                stats.retries += outcome.attempts - 1
+                done += 1
+                notify(index, cache_hit=False, attempts=outcome.attempts, failed=True)
+                continue
+            results[index] = outcome.payload
             stats.measured += 1
-            stats.retries += attempts - 1
+            stats.retries += outcome.attempts - 1
             if cache is not None:
-                cache.put(keys[index], payload)
+                cache.put(keys[index], outcome.payload)
             done += 1
-            notify(index, cache_hit=False, attempts=attempts)
+            notify(index, cache_hit=False, attempts=outcome.attempts)
 
     if cache is not None:
         stats.corrupt_entries = cache.corrupt_entries
     stats.wall_seconds = time.perf_counter() - start
-    return ExecutionResult(payloads=tuple(results), stats=stats)
+    failures.sort(key=lambda f: f.index)
+    return ExecutionResult(
+        payloads=tuple(results),
+        stats=stats,
+        failures=tuple(failures),
+        attempts=tuple(attempts_taken),
+    )

@@ -32,6 +32,7 @@ import numpy as np
 from repro._version import __version__
 from repro.arch.specs import GPUSpec
 from repro.errors import ProfilerError
+from repro.faults import FaultInjector, FaultPlan
 from repro.instruments.powermeter import PowerTrace
 from repro.instruments.profiler import CudaProfiler
 from repro.instruments.testbed import Measurement, shared_testbed
@@ -92,8 +93,12 @@ def measurement_to_payload(m: Measurement) -> dict[str, Any]:
         "avg_power_w": float(m.avg_power_w),
         "energy_j": float(m.energy_j),
         "repeats": int(m.repeats),
+        "degraded": bool(m.degraded),
         "trace_interval_s": float(m.trace.interval_s),
         "trace_samples": [float(s) for s in m.trace.samples],
+        "trace_valid": (
+            None if m.trace.valid is None else [bool(v) for v in m.trace.valid]
+        ),
     }
 
 
@@ -101,9 +106,11 @@ def measurement_from_payload(
     doc: dict[str, Any], gpu: GPUSpec, kernel: KernelSpec
 ) -> Measurement:
     """Rebuild a :class:`Measurement` from its payload document."""
+    valid = doc.get("trace_valid")
     trace = PowerTrace(
         samples=np.asarray(doc["trace_samples"], dtype=float),
         interval_s=float(doc["trace_interval_s"]),
+        valid=None if valid is None else np.asarray(valid, dtype=bool),
     )
     return Measurement(
         gpu=gpu,
@@ -115,6 +122,7 @@ def measurement_from_payload(
         energy_j=float(doc["energy_j"]),
         repeats=int(doc["repeats"]),
         trace=trace,
+        degraded=bool(doc.get("degraded", False)),
     )
 
 
@@ -129,6 +137,9 @@ class WorkUnit:
     gpu: GPUSpec
     kernel: KernelSpec
     seed: int | None
+    #: Fault plan realized during execution; ``None`` (and null plans,
+    #: which builders normalize away) means no injection.
+    faults: FaultPlan | None = None
 
     #: Discriminator used in cache keys and payloads.
     kind = "abstract"
@@ -141,12 +152,20 @@ class WorkUnit:
         """Run the unit and return its JSON-able result payload."""
         raise NotImplementedError
 
+    def injector(self) -> FaultInjector | None:
+        """The fault injector realizing this unit's plan, if any."""
+        if self.faults is None:
+            return None
+        return FaultInjector(self.faults, seed=self.seed)
+
     def cache_key(self) -> str:
         """Content address of this unit's result.
 
         SHA-256 over the canonical (kind, spec, seed, package version)
-        document: any change to what is measured, to the noise seed or
-        to the code version yields a different key.
+        document — plus the fault plan when one is active, so faulty
+        and fault-free campaigns never share cached results.  Any
+        change to what is measured, to the noise seed or to the code
+        version yields a different key.
         """
         document = {
             "kind": self.kind,
@@ -154,6 +173,8 @@ class WorkUnit:
             "seed": self.seed,
             "version": __version__,
         }
+        if self.faults is not None:
+            document["faults"] = self.faults.document()
         blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -179,7 +200,12 @@ class SweepUnit(WorkUnit):
         }
 
     def execute(self) -> dict[str, Any]:
-        testbed = shared_testbed(self.gpu, seed=self.seed)
+        injector = self.injector()
+        if injector is not None:
+            injector.check_crash(
+                self.kind, self.gpu.name, self.kernel.name, self.pair
+            )
+        testbed = shared_testbed(self.gpu, seed=self.seed, injector=injector)
         op = self.gpu.operating_point(self.pair)
         testbed.set_clocks(op.core_level, op.mem_level)
         measurement = testbed.measure(self.kernel, self.scale)
@@ -238,22 +264,29 @@ class DatasetUnit(WorkUnit):
         return [op for op in ops if op.key in wanted]
 
     def execute(self) -> dict[str, Any]:
-        testbed = shared_testbed(self.gpu, seed=self.seed)
+        injector = self.injector()
+        if injector is not None:
+            injector.check_crash(
+                self.kind, self.gpu.name, self.kernel.name, self.scale
+            )
+        testbed = shared_testbed(self.gpu, seed=self.seed, injector=injector)
         profiler = CudaProfiler(
             seed=self.profiler_seed,
             noise_scale=self.noise_scale,
             bias_cv=self.bias_cv,
+            injector=injector,
         )
         testbed.set_clocks("H", "H")
         try:
             totals = profiler.profile(testbed.sim, self.kernel, self.scale)
-        except ProfilerError:
+        except ProfilerError as exc:
             return {
                 "kind": self.kind,
                 "gpu": self.gpu.name,
                 "benchmark": self.kernel.name,
                 "scale": float(self.scale),
                 "profiled": False,
+                "reason": str(exc),
                 "counters": {},
                 "measurements": [],
             }
@@ -267,6 +300,7 @@ class DatasetUnit(WorkUnit):
                     "exec_seconds": float(m.exec_seconds),
                     "avg_power_w": float(m.avg_power_w),
                     "energy_j": float(m.energy_j),
+                    "degraded": bool(m.degraded),
                 }
             )
         return {
@@ -287,15 +321,31 @@ class DatasetUnit(WorkUnit):
 # unit-list builders
 # ----------------------------------------------------------------------
 
+def _normalize_plan(faults: FaultPlan | None) -> FaultPlan | None:
+    """Drop null plans so they cannot split the result cache."""
+    if faults is None or faults.is_null:
+        return None
+    return faults
+
+
 def sweep_units(
     gpu: GPUSpec,
     benchmarks: Sequence[KernelSpec],
     scale: float = 1.0,
     seed: int | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[SweepUnit]:
     """Decompose a Section III sweep into benchmark-major unit order."""
+    faults = _normalize_plan(faults)
     return [
-        SweepUnit(gpu=gpu, kernel=bench, seed=seed, pair=op.key, scale=scale)
+        SweepUnit(
+            gpu=gpu,
+            kernel=bench,
+            seed=seed,
+            faults=faults,
+            pair=op.key,
+            scale=scale,
+        )
         for bench in benchmarks
         for op in gpu.operating_points()
     ]
@@ -307,15 +357,18 @@ def dataset_units(
     pairs: Sequence[str] | None = None,
     seed: int | None = None,
     profiler: CudaProfiler | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[DatasetUnit]:
     """Decompose a Section IV dataset build into (benchmark, size) units."""
     if profiler is None:
         profiler = CudaProfiler(seed=seed)
+    faults = _normalize_plan(faults)
     return [
         DatasetUnit(
             gpu=gpu,
             kernel=bench,
             seed=seed,
+            faults=faults,
             scale=scale,
             pairs=tuple(pairs) if pairs is not None else None,
             profiler_seed=profiler.seed,

@@ -1,0 +1,44 @@
+"""Deterministic fault injection for measurement campaigns.
+
+The paper's campaign is defined as much by its failures as its numbers:
+the CUDA profiler fails on 4 of 41 benchmarks and those runs are
+*excluded* from the 114-sample modeling dataset, and the 50 ms meter
+needs a >= 500 ms busy window to collect >= 10 valid samples.  This
+package turns those obstacles — plus the flaky clock reconfiguration
+and noisy/dropped meter samples that DVFS measurement studies routinely
+report — into a seeded, reproducible fault model:
+
+* a :class:`FaultPlan` declares *what* can go wrong and how often,
+* a :class:`FaultInjector` decides *deterministically* (via
+  ``repro.rng`` streams keyed by experimental coordinates and attempt
+  number) whether a given operation fails, so injected faults replay
+  identically across ``--jobs 1`` and ``--jobs N`` and compose with the
+  content-addressed result cache, and
+* :class:`CampaignHealth` aggregates what a degraded campaign actually
+  did (attempted / retried / failed / degraded / excluded) into a
+  machine-readable report.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    PLAN_FORMAT,
+    FaultPlan,
+    aggressive_plan,
+    default_plan,
+    resolve_plan,
+)
+from repro.faults.health import CampaignHealth, GPUHealth
+from repro.faults.runtime import current_attempt, executing_attempt
+
+__all__ = [
+    "CampaignHealth",
+    "FaultInjector",
+    "FaultPlan",
+    "GPUHealth",
+    "PLAN_FORMAT",
+    "aggressive_plan",
+    "current_attempt",
+    "default_plan",
+    "executing_attempt",
+    "resolve_plan",
+]

@@ -1,0 +1,137 @@
+"""Machine-readable campaign health: what a degraded run actually did.
+
+A campaign under fault injection is allowed to lose work — excluded
+samples, degraded measurements, failed units — as long as it *accounts*
+for every loss.  :class:`CampaignHealth` is that account: per-GPU
+counters (attempted / measured / cache hits / retried / failed /
+degraded) plus the full exclusion list with reasons, serialized as a
+deterministic JSON document (``health.json`` next to the campaign
+manifest).
+
+Determinism note: with a cold cache, two runs of the same seed, fault
+plan and unit list produce byte-identical health reports at any
+``--jobs`` value, because retry counts and failures are deterministic
+functions of coordinates and attempt numbers.  Against a warm cache the
+*health* legitimately differs (cached units are not re-attempted) while
+datasets and manifests stay identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._version import __version__
+
+HEALTH_FORMAT = "repro.campaign-health"
+
+
+@dataclass
+class GPUHealth:
+    """Execution account of one GPU's dataset build."""
+
+    gpu: str
+    #: Work units submitted (measured + cache hits + failed).
+    attempted: int = 0
+    #: Units actually executed by an executor.
+    measured: int = 0
+    #: Units served from the result cache.
+    cache_hits: int = 0
+    #: Failed attempts that a retry later recovered.
+    retried: int = 0
+    #: Units that produced no payload (permanent fault or exhausted retry).
+    failed: int = 0
+    #: Observations flagged degraded (meter quorum not met).
+    degraded: int = 0
+    #: Per-sample exclusions: ``{"benchmark", "suite", "scale", "reason"}``.
+    excluded: list[dict[str, Any]] = field(default_factory=list)
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form."""
+        return {
+            "gpu": self.gpu,
+            "attempted": self.attempted,
+            "measured": self.measured,
+            "cache_hits": self.cache_hits,
+            "retried": self.retried,
+            "failed": self.failed,
+            "degraded": self.degraded,
+            "excluded": list(self.excluded),
+        }
+
+
+@dataclass
+class CampaignHealth:
+    """Aggregated execution account of a whole campaign."""
+
+    seed: int | None = None
+    #: Canonical document of the active fault plan (``None`` = no faults).
+    fault_plan: dict[str, Any] | None = None
+    gpus: list[GPUHealth] = field(default_factory=list)
+
+    def gpu(self, name: str) -> GPUHealth:
+        """The (created-on-demand) account for one GPU."""
+        for entry in self.gpus:
+            if entry.gpu == name:
+                return entry
+        entry = GPUHealth(gpu=name)
+        self.gpus.append(entry)
+        return entry
+
+    @property
+    def total_excluded(self) -> int:
+        """Excluded samples across all GPUs."""
+        return sum(len(g.excluded) for g in self.gpus)
+
+    @property
+    def total_failed(self) -> int:
+        """Failed units across all GPUs."""
+        return sum(g.failed for g in self.gpus)
+
+    @property
+    def total_degraded(self) -> int:
+        """Degraded observations across all GPUs."""
+        return sum(g.degraded for g in self.gpus)
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form of the whole report."""
+        return {
+            "format": HEALTH_FORMAT,
+            "version": __version__,
+            "seed": self.seed,
+            "fault_plan": self.fault_plan,
+            "gpus": [g.document() for g in self.gpus],
+            "totals": {
+                "attempted": sum(g.attempted for g in self.gpus),
+                "measured": sum(g.measured for g in self.gpus),
+                "cache_hits": sum(g.cache_hits for g in self.gpus),
+                "retried": sum(g.retried for g in self.gpus),
+                "failed": self.total_failed,
+                "degraded": self.total_degraded,
+                "excluded": self.total_excluded,
+            },
+        }
+
+    def to_json(self) -> str:
+        """Serialize deterministically (stable key order, no timestamps)."""
+        return json.dumps(self.document(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        """One line per GPU plus a totals line, for CLI output."""
+        lines = []
+        for g in self.gpus:
+            lines.append(
+                f"{g.gpu:16s} {g.attempted:4d} attempted, "
+                f"{g.measured} measured, {g.cache_hits} cache hits, "
+                f"{g.retried} retried, {g.failed} failed, "
+                f"{g.degraded} degraded, {len(g.excluded)} excluded"
+            )
+        doc = self.document()["totals"]
+        lines.append(
+            f"{'total':16s} {doc['attempted']:4d} attempted, "
+            f"{doc['measured']} measured, {doc['cache_hits']} cache hits, "
+            f"{doc['retried']} retried, {doc['failed']} failed, "
+            f"{doc['degraded']} degraded, {doc['excluded']} excluded"
+        )
+        return "\n".join(lines)

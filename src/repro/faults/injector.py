@@ -1,0 +1,163 @@
+"""Deterministic fault decisions, keyed by experimental coordinates.
+
+Every decision is a pure function of (campaign noise seed, plan seed,
+coordinates, attempt number) drawn through ``repro.rng.stream`` — the
+same mechanism that keys the simulation's measurement noise.  Three
+properties follow, mirroring the guarantees of the execution engine:
+
+* the same (plan, seed) replays the same faults run after run,
+* serial and parallel executions see identical faults, because nothing
+  depends on scheduling or completion order, and
+* transient faults can clear on retry, because the attempt number is a
+  coordinate: attempt 1 of a unit always fails the same way, attempt 2
+  is an independent (but equally deterministic) draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfilerError, ReconfigurationError, UnitCrashError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import current_attempt
+from repro.rng import stable_hash, stream
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to instrument operations.
+
+    Parameters
+    ----------
+    plan:
+        The fault model to realize.
+    seed:
+        The campaign's noise-seed override (``None`` for the global
+        seed), mixed into every fault stream so fault scenarios compose
+        with the rest of the reproduction's determinism.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int | None = None) -> None:
+        self.plan = plan
+        self.seed = seed
+
+    def fingerprint(self) -> int:
+        """Stable identity of (plan, seed) — memo keys, diagnostics."""
+        return stable_hash(
+            "fault-injector", sorted(self.plan.document().items()), self.seed
+        )
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def _fires(self, rate: float, *coords) -> bool:
+        if rate <= 0.0:
+            return False
+        rng = stream("fault", self.plan.seed, *coords, seed=self.seed)
+        return bool(rng.random() < rate)
+
+    def profiler_fails(self, gpu: str, benchmark: str) -> bool:
+        """Whether the profiler (permanently) fails on this workload.
+
+        Keyed by (GPU, benchmark) only — like the paper's four
+        failures, the verdict is a property of the workload/tool pair,
+        not of any particular run, so no attempt coordinate: retrying
+        cannot help, and the sample is excluded.
+        """
+        return self._fires(
+            self.plan.profiler_failure_rate, "profiler", gpu, benchmark
+        )
+
+    def check_profiler(self, gpu: str, benchmark: str) -> None:
+        """Raise :class:`ProfilerError` if analysis fails on this workload."""
+        if self.profiler_fails(gpu, benchmark):
+            raise ProfilerError(
+                f"injected CUDA profiler analysis failure for {benchmark!r} "
+                f"on {gpu} (fault plan {self.plan.name!r})"
+            )
+
+    def check_reconfiguration(self, gpu: str, pair: str) -> None:
+        """Raise :class:`ReconfigurationError` if this VBIOS flash fails.
+
+        The testbed re-flashes up to ``plan.reconfig_retries`` times
+        before the failure escapes; each flash is an independent
+        deterministic draw keyed by (execution attempt, flash attempt),
+        so the engine's retry of the whole unit re-draws again — flaky
+        DVFS reconfiguration clears the way it does on real testbeds.
+        """
+        attempt = current_attempt()
+        flashes = self.plan.reconfig_retries + 1
+        for flash in range(flashes):
+            if not self._fires(
+                self.plan.reconfig_failure_rate,
+                "reconfig", gpu, pair, attempt, flash,
+            ):
+                return
+        raise ReconfigurationError(
+            f"injected VBIOS reconfiguration failure flashing {pair} "
+            f"on {gpu} (attempt {attempt}, {flashes} flashes)"
+        )
+
+    def check_crash(self, kind: str, gpu: str, benchmark: str, detail) -> None:
+        """Raise :class:`UnitCrashError` if this unit attempt crashes."""
+        attempt = current_attempt()
+        if self._fires(
+            self.plan.crash_rate, "crash", kind, gpu, benchmark, detail, attempt
+        ):
+            raise UnitCrashError(
+                f"injected transient crash of {kind}({gpu}, {benchmark}, "
+                f"{detail}) on attempt {attempt}"
+            )
+
+    # ------------------------------------------------------------------
+    # meter-sample corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_samples(
+        self,
+        watts: np.ndarray,
+        gpu: str,
+        benchmark: str,
+        scale: float,
+        pair: str,
+        measure_attempt: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Apply dropout/glitch/saturation to a meter trace.
+
+        Returns the corrupted samples and a validity mask (``None``
+        when every sample is valid, preserving fault-free byte
+        layouts).  Dropped samples read NaN; glitched samples carry the
+        spike value; saturated samples clip at the range ceiling but
+        stay valid.  ``measure_attempt`` keys quorum re-measurements so
+        each re-try is an independent deterministic draw.
+        """
+        plan = self.plan
+        n = watts.size
+        if n == 0:
+            return watts, None
+        needs_rng = plan.meter_dropout_rate > 0 or plan.meter_glitch_rate > 0
+        if not needs_rng and plan.meter_saturation_w is None:
+            return watts, None
+        out = watts.copy()
+        valid = np.ones(n, dtype=bool)
+        if needs_rng:
+            rng = stream(
+                "fault", plan.seed, "meter", gpu, benchmark, scale, pair,
+                measure_attempt, seed=self.seed,
+            )
+            draws = rng.random(n)
+            glitch_mag = rng.random(n)
+            dropped = draws < plan.meter_dropout_rate
+            glitched = (~dropped) & (
+                draws < plan.meter_dropout_rate + plan.meter_glitch_rate
+            )
+            out[glitched] *= plan.meter_glitch_scale * (0.5 + glitch_mag[glitched])
+            out[dropped] = np.nan
+            valid &= ~(dropped | glitched)
+        if plan.meter_saturation_w is not None:
+            np.minimum(
+                out, plan.meter_saturation_w, out=out, where=~np.isnan(out)
+            )
+        if valid.all():
+            return out, None
+        return out, valid

@@ -1,0 +1,231 @@
+"""Fault-plan configuration: what can go wrong, and how often.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable value object.
+Because its canonical :meth:`~FaultPlan.document` participates in work
+units' cache keys, two campaigns under different plans never share
+cached results, while the *null* plan (all rates zero) is normalized
+away so fault-free runs keep their pre-existing cache keys.
+
+Concrete fault models (rates are probabilities unless noted):
+
+======================  ================================================
+``profiler_failure_rate``  per (GPU, benchmark): the profiler cannot
+                           analyze the workload — permanent, the sample
+                           is excluded (generalizes the paper's
+                           mummergpu/backprop/pathfinder/bfs failures)
+``meter_dropout_rate``     per sample: the meter drops the reading
+                           (invalid sample)
+``meter_glitch_rate``      per sample: a transient spike multiplies the
+                           reading by ``meter_glitch_scale`` (invalid
+                           sample)
+``meter_saturation_w``     range ceiling: valid readings clip here
+``reconfig_failure_rate``  per ``set_clocks`` call and attempt: the
+                           VBIOS flash did not take — transient
+``crash_rate``             per unit execution attempt: the run crashes
+                           for no attributable reason — transient
+======================  ================================================
+
+``quorum`` / ``quorum_retries`` govern graceful degradation of the
+meter protocol: a trace needs at least ``quorum`` valid samples
+(paper: 10), the testbed re-measures up to ``quorum_retries`` times,
+and a still-short measurement is either rejected
+(:class:`~repro.errors.MeasurementError`) or flagged degraded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+
+PLAN_FORMAT = "repro.fault-plan"
+
+#: Paper-faithful quorum: 500 ms window / 50 ms interval = 10 samples.
+DEFAULT_QUORUM = 10
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-plan document or file is malformed."""
+
+
+_RATE_FIELDS = (
+    "profiler_failure_rate",
+    "meter_dropout_rate",
+    "meter_glitch_rate",
+    "reconfig_failure_rate",
+    "crash_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded description of a campaign's fault model."""
+
+    #: Human-readable label, recorded in manifests and health reports.
+    name: str = "default"
+    #: Extra seed mixed into every fault stream: re-rolls *which*
+    #: operations fail without touching the measurement noise.
+    seed: int = 0
+    profiler_failure_rate: float = 0.0
+    meter_dropout_rate: float = 0.0
+    meter_glitch_rate: float = 0.0
+    #: Multiplier applied to glitched samples.
+    meter_glitch_scale: float = 4.0
+    #: Meter range ceiling in watts; ``None`` disables saturation.
+    meter_saturation_w: float | None = None
+    reconfig_failure_rate: float = 0.0
+    #: Extra flash attempts the testbed makes before a reconfiguration
+    #: failure escapes (each an independent deterministic draw).  A
+    #: unit reconfigures once per frequency pair, so without re-flash
+    #: the per-pair failures compound and starve coarse work units.
+    reconfig_retries: int = 2
+    crash_rate: float = 0.0
+    #: Minimum valid samples per measurement window.
+    quorum: int = DEFAULT_QUORUM
+    #: Extra measurement attempts granted to meet the quorum.
+    quorum_retries: int = 2
+
+    def __post_init__(self) -> None:
+        for field in _RATE_FIELDS:
+            value = getattr(self, field)
+            if not 0.0 <= value < 1.0:
+                raise FaultPlanError(f"{field}={value} outside [0, 1)")
+        if self.meter_glitch_scale <= 0:
+            raise FaultPlanError(
+                f"meter_glitch_scale must be positive, got {self.meter_glitch_scale}"
+            )
+        if self.meter_saturation_w is not None and self.meter_saturation_w <= 0:
+            raise FaultPlanError(
+                f"meter_saturation_w must be positive, got {self.meter_saturation_w}"
+            )
+        if self.quorum < 1:
+            raise FaultPlanError(f"quorum must be >= 1, got {self.quorum}")
+        if self.quorum_retries < 0:
+            raise FaultPlanError(
+                f"quorum_retries must be >= 0, got {self.quorum_retries}"
+            )
+        if self.reconfig_retries < 0:
+            raise FaultPlanError(
+                f"reconfig_retries must be >= 0, got {self.reconfig_retries}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the plan injects nothing beyond the paper's reality.
+
+        A null plan leaves every instrument untouched: all rates are
+        zero, no saturation, and the quorum is the protocol-guaranteed
+        10 samples.  Null plans are normalized to ``None`` before they
+        reach work units, so they cannot split the result cache.
+        """
+        return (
+            all(getattr(self, f) == 0.0 for f in _RATE_FIELDS)
+            and self.meter_saturation_w is None
+            and self.quorum <= DEFAULT_QUORUM
+        )
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form (cache keys, manifests, reports)."""
+        doc: dict[str, Any] = {"format": PLAN_FORMAT}
+        doc.update(dataclasses.asdict(self))
+        return doc
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.document(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "FaultPlan":
+        """Build a plan from a (parsed) JSON document, validating it."""
+        if not isinstance(doc, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(doc)}")
+        body = {k: v for k, v in doc.items() if k != "format"}
+        if "format" in doc and doc["format"] != PLAN_FORMAT:
+            raise FaultPlanError(f"not a fault plan: format={doc['format']!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan fields: {', '.join(unknown)}")
+        return cls(**body)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_document(doc)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        return cls.from_json(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def default_plan() -> FaultPlan:
+    """The paper's reality and nothing more.
+
+    No injected faults: the only exclusions are the four benchmarks the
+    real CUDA profiler failed on (``profiler_ok=False`` in Table II)
+    and the only protocol constraint is the 10-sample meter quorum.
+    """
+    return FaultPlan(name="default")
+
+
+def aggressive_plan() -> FaultPlan:
+    """A chaos-testing plan that exercises every fault path.
+
+    Rates are high enough that a small campaign sees profiler
+    exclusions, meter dropouts/glitches, reconfiguration retries and
+    unit crashes, yet low enough that bounded retry converges.
+    """
+    return FaultPlan(
+        name="aggressive",
+        profiler_failure_rate=0.15,
+        meter_dropout_rate=0.20,
+        meter_glitch_rate=0.05,
+        meter_glitch_scale=6.0,
+        meter_saturation_w=450.0,
+        reconfig_failure_rate=0.20,
+        crash_rate=0.15,
+    )
+
+
+_PRESETS = {
+    "default": default_plan,
+    "aggressive": aggressive_plan,
+}
+
+
+def resolve_plan(spec: str | FaultPlan | None) -> FaultPlan | None:
+    """Resolve a CLI/user fault specification into a plan.
+
+    ``None`` or ``"off"`` disable injection entirely; a preset name
+    (``"default"``, ``"aggressive"``) selects a built-in plan; anything
+    else is treated as a path to a JSON plan file.  Null plans resolve
+    to ``None`` so they cannot perturb cache keys.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FaultPlan):
+        return None if spec.is_null else spec
+    text = spec.strip()
+    if text.lower() in ("off", "none", ""):
+        return None
+    preset = _PRESETS.get(text.lower())
+    if preset is not None:
+        plan = preset()
+    else:
+        path = pathlib.Path(text)
+        if not path.exists():
+            raise FaultPlanError(
+                f"fault plan {spec!r} is neither a preset "
+                f"({', '.join(sorted(_PRESETS))}, off) nor an existing file"
+            )
+        plan = FaultPlan.from_file(path)
+    return None if plan.is_null else plan

@@ -1,0 +1,40 @@
+"""Process-local execution-attempt context.
+
+Transient faults must be able to *clear* on retry while staying
+deterministic: the injector keys its decisions on the attempt number,
+so attempt 1 of a unit always sees the same faults, attempt 2 always
+sees the same (different) draw, and so on — identically under serial
+and parallel execution, because the attempt counter is scoped to one
+unit execution in one process.
+
+The retry loop (``repro.execution.engine._execute_with_retry``) wraps
+each attempt in :func:`executing_attempt`; instruments read the current
+attempt through the injector.  Code running outside the engine (direct
+``Testbed`` use, tests) sees attempt 1.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ATTEMPT: int = 1
+
+
+def current_attempt() -> int:
+    """The attempt number of the work-unit execution in progress (1-based)."""
+    return _ATTEMPT
+
+
+@contextmanager
+def executing_attempt(attempt: int) -> Iterator[None]:
+    """Mark the code inside as attempt ``attempt`` of a unit execution."""
+    global _ATTEMPT
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    previous = _ATTEMPT
+    _ATTEMPT = attempt
+    try:
+        yield
+    finally:
+        _ATTEMPT = previous

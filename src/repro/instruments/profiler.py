@@ -60,6 +60,10 @@ class CudaProfiler:
     bias_cv:
         Override of the per-benchmark extrapolation bias
         (``EXTRAPOLATION_BIAS_CV``).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`: lets a fault
+        plan fail analysis of *additional* (GPU, benchmark) pairs
+        deterministically, generalizing the paper's four failures.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class CudaProfiler:
         seed: int | None = None,
         noise_scale: float | None = None,
         bias_cv: float | None = None,
+        injector=None,
     ) -> None:
         if noise_scale is not None and noise_scale < 0:
             raise ValueError(f"noise_scale must be >= 0, got {noise_scale}")
@@ -75,6 +80,7 @@ class CudaProfiler:
         self._seed = seed
         self._noise_scale = noise_scale
         self._bias_cv = bias_cv
+        self._injector = injector
 
     @property
     def seed(self) -> int | None:
@@ -110,6 +116,8 @@ class CudaProfiler:
                 f"CUDA Profiler failed to analyze {kernel.name!r} "
                 f"(as reported in the paper, Section IV-A)"
             )
+        if self._injector is not None:
+            self._injector.check_profiler(sim.spec.name, kernel.name)
         record: RunRecord = sim.run(kernel, scale)
         ctx = record.context
         counter_set_name = sim.spec.traits.counter_set

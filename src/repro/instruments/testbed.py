@@ -21,6 +21,7 @@ from repro.arch.dvfs import ClockLevel, OperatingPoint
 from repro.arch.specs import GPUSpec
 from repro.engine.phases import busy_phase_profile
 from repro.engine.simulator import GPUSimulator, RunRecord
+from repro.errors import MeasurementError
 from repro.instruments.host import HostSystem
 from repro.instruments.powermeter import PowerMeter, PowerPhase, PowerTrace
 from repro.engine.noise import lognormal_factor
@@ -49,6 +50,9 @@ class Measurement:
     repeats: int
     #: The raw meter trace.
     trace: PowerTrace
+    #: Whether the meter's sample quorum could not be met even after
+    #: re-measurement (fault-injected dropout; never True without faults).
+    degraded: bool = False
 
     @property
     def power_efficiency(self) -> float:
@@ -74,6 +78,17 @@ class Testbed:
         The sampling power meter.
     seed:
         Optional override of the global noise seed (tests).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` realizing a fault
+        plan on this testbed: VBIOS reconfiguration failures in
+        :meth:`set_clocks` and meter sample corruption in
+        :meth:`measure`.
+    strict_quorum:
+        With ``True`` (default), a measurement window that cannot reach
+        the meter's sample quorum even after re-measurement raises
+        :class:`~repro.errors.MeasurementError`; with ``False`` the
+        measurement is returned flagged ``degraded`` instead (the
+        graceful-degradation path campaign work units use).
     """
 
     #: Not a pytest test class, despite the name matching ``Test*``.
@@ -86,10 +101,14 @@ class Testbed:
         meter: PowerMeter | None = None,
         seed: int | None = None,
         ambient_c: float = 25.0,
+        injector=None,
+        strict_quorum: bool = True,
     ) -> None:
         self.host = host if host is not None else HostSystem()
         self.meter = meter if meter is not None else PowerMeter()
         self._seed = seed
+        self.injector = injector
+        self.strict_quorum = strict_quorum
         self.sim = GPUSimulator(gpu, seed=seed, ambient_c=ambient_c)
 
     @property
@@ -98,23 +117,48 @@ class Testbed:
         return self.sim.spec
 
     def set_clocks(self, core: ClockLevel | str, mem: ClockLevel | str) -> None:
-        """Flash the VBIOS for a new (core, mem) pair and reboot."""
+        """Flash the VBIOS for a new (core, mem) pair and reboot.
+
+        Under a fault plan the flash can fail
+        (:class:`~repro.errors.ReconfigurationError`, transient): the
+        engine's retry loop re-attempts the whole unit and the injector
+        re-draws deterministically for the new attempt.
+        """
+        if self.injector is not None:
+            core_key = core if isinstance(core, str) else core.value
+            mem_key = mem if isinstance(mem, str) else mem.value
+            self.injector.check_reconfiguration(
+                self.gpu.name, f"{core_key.upper()}-{mem_key.upper()}"
+            )
         self.sim.set_clocks(core, mem)
 
     def measure(self, kernel: KernelSpec, scale: float = 1.0) -> Measurement:
-        """Measure one benchmark at the current operating point."""
+        """Measure one benchmark at the current operating point.
+
+        Enforces the meter's sample quorum (>= 10 valid samples,
+        mirroring the paper's 500 ms rule): a window thinned below the
+        quorum by injected dropout is re-measured up to the plan's
+        ``quorum_retries`` times; a still-short window raises
+        :class:`~repro.errors.MeasurementError` under ``strict_quorum``
+        and is returned flagged ``degraded`` otherwise.
+        """
         record: RunRecord = self.sim.run(kernel, scale)
         repeats = self._repeats_for(record)
         phases = self._wall_profile(record, repeats)
-        rng = stream(
-            "meter",
-            self.gpu.name,
-            kernel.name,
-            scale,
-            record.op.key,
-            seed=self._seed,
+        trace = self._record_with_quorum(record, kernel, scale, phases)
+        # The repeat-to-500 ms protocol guarantees the quorum on a
+        # healthy meter; only injected corruption can violate it, so
+        # fault-free testbeds keep the exact legacy behavior.
+        degraded = (
+            self.injector is not None
+            and trace.num_valid < self.injector.plan.quorum
         )
-        trace = self.meter.record(phases, rng)
+        if degraded and self.strict_quorum:
+            raise MeasurementError(
+                f"meter quorum violated for {kernel.name} at "
+                f"{record.op.key}: {trace.num_valid} valid samples of "
+                f"{trace.num_samples} (need {self.injector.plan.quorum})"
+            )
         # Per-run energy: the window holds `repeats` identical runs.
         energy_j = trace.energy_j / repeats
         return Measurement(
@@ -127,7 +171,56 @@ class Testbed:
             energy_j=energy_j,
             repeats=repeats,
             trace=trace,
+            degraded=degraded,
         )
+
+    def _record_with_quorum(
+        self,
+        record: RunRecord,
+        kernel: KernelSpec,
+        scale: float,
+        phases: list[PowerPhase],
+    ) -> PowerTrace:
+        """Record the meter trace, re-measuring until the quorum holds.
+
+        The first attempt draws from the same noise stream as a
+        fault-free measurement (byte-identical without faults);
+        re-measurements key an extra coordinate so each retry is an
+        independent deterministic draw of both ADC noise and injected
+        corruption.
+        """
+        if self.injector is None:
+            quorum, quorum_retries = 0, 0
+        else:
+            quorum = self.injector.plan.quorum
+            quorum_retries = self.injector.plan.quorum_retries
+        trace: PowerTrace | None = None
+        for measure_attempt in range(quorum_retries + 1):
+            coords = ["meter", self.gpu.name, kernel.name, scale, record.op.key]
+            if measure_attempt > 0:
+                coords += ["re-measure", measure_attempt]
+            rng = stream(*coords, seed=self._seed)
+            candidate = self.meter.record(phases, rng)
+            if self.injector is not None:
+                samples, valid = self.injector.corrupt_samples(
+                    candidate.samples,
+                    self.gpu.name,
+                    kernel.name,
+                    scale,
+                    record.op.key,
+                    measure_attempt,
+                )
+                candidate = PowerTrace(
+                    samples=samples, interval_s=candidate.interval_s, valid=valid
+                )
+            # Keep the best window seen so a degraded result reports
+            # the fullest trace the meter managed.
+            if trace is None or candidate.num_valid > trace.num_valid:
+                trace = candidate
+            if trace.num_valid >= quorum:
+                break
+        assert trace is not None
+        return trace
 
     # ------------------------------------------------------------------
     # protocol internals
@@ -175,23 +268,30 @@ class Testbed:
 # ----------------------------------------------------------------------
 
 #: Process-local memo of default-configuration testbeds, keyed by the
-#: card's content fingerprint and the noise seed.  Worker processes of a
-#: parallel campaign (and the serial path alike) reuse one booted
-#: testbed per (GPU, seed) instead of re-parsing the VBIOS per work
-#: unit.  Safe because the simulator carries no cross-run state beyond
-#: the currently flashed clocks, which every work unit sets explicitly.
-_SHARED_TESTBEDS: dict[tuple[int, int | None], Testbed] = {}
+#: card's content fingerprint, the noise seed and the fault-injector
+#: fingerprint.  Worker processes of a parallel campaign (and the
+#: serial path alike) reuse one booted testbed per (GPU, seed, plan)
+#: instead of re-parsing the VBIOS per work unit.  Safe because the
+#: simulator carries no cross-run state beyond the currently flashed
+#: clocks, which every work unit sets explicitly.
+_SHARED_TESTBEDS: dict[tuple[int, int | None, int | None], Testbed] = {}
 
 
-def shared_testbed(gpu: GPUSpec, seed: int | None = None) -> Testbed:
+def shared_testbed(gpu: GPUSpec, seed: int | None = None, injector=None) -> Testbed:
     """Return this process's memoized default testbed for a card.
 
     Only default host/meter configurations are memoized here; build a
-    :class:`Testbed` directly for custom instrumentation.
+    :class:`Testbed` directly for custom instrumentation.  Testbeds
+    with a fault injector are memoized separately per (plan, seed)
+    fingerprint and run with ``strict_quorum=False`` — work units
+    degrade gracefully instead of aborting the campaign.
     """
-    key = (stable_hash(repr(gpu)), seed)
+    fault_key = injector.fingerprint() if injector is not None else None
+    key = (stable_hash(repr(gpu)), seed, fault_key)
     testbed = _SHARED_TESTBEDS.get(key)
     if testbed is None:
-        testbed = Testbed(gpu, seed=seed)
+        testbed = Testbed(
+            gpu, seed=seed, injector=injector, strict_quorum=injector is None
+        )
         _SHARED_TESTBEDS[key] = testbed
     return testbed
