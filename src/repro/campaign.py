@@ -14,9 +14,10 @@ a half-written archive that later loads as valid JSON.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro._version import __version__
@@ -36,11 +37,17 @@ from repro.faults.health import CampaignHealth
 from repro.faults.plan import FaultPlan
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import get_benchmark
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.sinks import metrics_document, write_metrics_json
 
 MANIFEST_NAME = "campaign.json"
 
 #: Machine-readable execution-health report written next to the manifest.
 HEALTH_NAME = "health.json"
+
+#: Telemetry artifacts of a traced campaign.
+EVENTS_NAME = "events.jsonl"
+METRICS_NAME = "metrics.json"
 
 #: Subdirectory of a campaign holding the work-unit result cache.
 CACHE_DIR_NAME = "cache"
@@ -82,6 +89,16 @@ class Campaign:
         active, dataset builds degrade gracefully (failed units become
         recorded exclusions) and the run emits a machine-readable
         ``health.json`` accounting for every loss.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context.  When
+        given, :meth:`run` produces the campaign span tree (campaign →
+        per-GPU dataset/fit/evaluate phases → work units → attempts →
+        instrument operations), streams events to the context's sinks,
+        and writes the aggregated ``metrics.json`` artifact — whose
+        counter section is byte-identical at any ``jobs`` value.
+    metrics_path:
+        Where to write the aggregated metrics artifact; defaults to
+        ``<directory>/metrics.json`` when telemetry is active.
     """
 
     def __init__(
@@ -92,6 +109,8 @@ class Campaign:
         benchmarks: Sequence[str] | None = None,
         execution: ExecutionConfig | None = None,
         faults: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
+        metrics_path: str | pathlib.Path | None = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.gpu_names = tuple(gpus) if gpus is not None else GPU_NAMES
@@ -110,7 +129,17 @@ class Campaign:
             execution = ExecutionConfig(
                 cache_dir=self.directory / CACHE_DIR_NAME
             )
+        if telemetry is not None and execution.telemetry is None:
+            execution = replace(execution, telemetry=telemetry)
+        elif telemetry is None:
+            telemetry = execution.telemetry
         self.execution = execution
+        self.telemetry = telemetry
+        if telemetry is not None and metrics_path is None:
+            metrics_path = self.directory / METRICS_NAME
+        self.metrics_path = (
+            pathlib.Path(metrics_path) if metrics_path is not None else None
+        )
         if faults is not None and faults.is_null:
             faults = None
         self.faults = faults
@@ -193,42 +222,72 @@ class Campaign:
                 self.faults.document() if self.faults is not None else None
             ),
         )
+        telemetry = self.telemetry
         summaries: list[CampaignSummary] = []
         archives: list[tuple[pathlib.Path, str]] = []
-        for name in self.gpu_names:
-            gpu_stats = ExecutionStats()
-            ds = self.dataset(name, refresh=refresh, stats=gpu_stats)
-            totals.merge(gpu_stats)
-            account = health.gpu(name)
-            account.attempted = gpu_stats.total_units
-            account.measured = gpu_stats.measured
-            account.cache_hits = gpu_stats.cache_hits
-            account.retried = gpu_stats.retries
-            account.failed = gpu_stats.failed
-            account.degraded = sum(1 for o in ds.observations if o.degraded)
-            account.excluded = [e.document() for e in ds.exclusions]
-            power = UnifiedPowerModel().fit(ds)
-            perf = UnifiedPerformanceModel().fit(ds)
-            # Evaluate first: only campaigns whose models fit *and*
-            # evaluate get archived.
-            power_report = evaluate_model(power, ds)
-            perf_report = evaluate_model(perf, ds)
-            archives.append(
-                (self.model_path(name, "power"), model_to_json(power))
+        campaign_span = (
+            telemetry.tracer.span(
+                "campaign",
+                kind="campaign",
+                gpus=list(self.gpu_names),
+                seed=self.seed,
             )
-            archives.append(
-                (self.model_path(name, "performance"), model_to_json(perf))
-            )
-            summaries.append(
-                CampaignSummary(
-                    gpu=name,
-                    power_r2=power.adjusted_r2,
-                    power_err_pct=power_report.mean_pct_error,
-                    power_err_w=power_report.mean_abs_error,
-                    perf_r2=perf.adjusted_r2,
-                    perf_err_pct=perf_report.mean_pct_error,
+            if telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with campaign_span:
+            for name in self.gpu_names:
+                gpu_stats = ExecutionStats()
+                ds = self.dataset(name, refresh=refresh, stats=gpu_stats)
+                totals.merge(gpu_stats)
+                account = health.gpu(name)
+                account.attempted = gpu_stats.total_units
+                account.measured = gpu_stats.measured
+                account.cache_hits = gpu_stats.cache_hits
+                account.retried = gpu_stats.retries
+                account.failed = gpu_stats.failed
+                account.degraded = sum(
+                    1 for o in ds.observations if o.degraded
                 )
-            )
+                account.excluded = [e.document() for e in ds.exclusions]
+                if telemetry is not None:
+                    telemetry.metrics.inc("campaign.gpus")
+                    fit_span = telemetry.tracer.span(
+                        "model-fit", kind="phase", gpu=name
+                    )
+                else:
+                    fit_span = contextlib.nullcontext()
+                with fit_span as span:
+                    power = UnifiedPowerModel().fit(ds)
+                    perf = UnifiedPerformanceModel().fit(ds)
+                    # Evaluate first: only campaigns whose models fit
+                    # *and* evaluate get archived.
+                    power_report = evaluate_model(power, ds)
+                    perf_report = evaluate_model(perf, ds)
+                if telemetry is not None:
+                    telemetry.metrics.inc("campaign.models_fitted", 2)
+                    telemetry.metrics.observe(
+                        "phase.fit_seconds", span.duration_s
+                    )
+                archives.append(
+                    (self.model_path(name, "power"), model_to_json(power))
+                )
+                archives.append(
+                    (
+                        self.model_path(name, "performance"),
+                        model_to_json(perf),
+                    )
+                )
+                summaries.append(
+                    CampaignSummary(
+                        gpu=name,
+                        power_r2=power.adjusted_r2,
+                        power_err_pct=power_report.mean_pct_error,
+                        power_err_w=power_report.mean_abs_error,
+                        perf_r2=perf.adjusted_r2,
+                        perf_err_pct=perf_report.mean_pct_error,
+                    )
+                )
         for path, text in archives:
             atomic_write_text(path, text)
         manifest = {
@@ -252,6 +311,16 @@ class Campaign:
         }
         atomic_write_text(self.manifest_path, json.dumps(manifest, indent=2))
         atomic_write_text(self.health_path, health.to_json())
+        if telemetry is not None:
+            snapshot = telemetry.metrics.snapshot()
+            # The final metrics snapshot rides in the event log too, so
+            # ``repro trace summarize`` can print the counter section
+            # without a second artifact.
+            telemetry.tracer.emit(
+                {"type": "metrics", **metrics_document(snapshot)}
+            )
+            if self.metrics_path is not None:
+                write_metrics_json(self.metrics_path, snapshot)
         self.last_stats = totals
         self.last_health = health
         return summaries

@@ -31,6 +31,7 @@ from repro.faults.plan import FaultPlan
 from repro.instruments.testbed import Measurement, Testbed
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import all_benchmarks
+from repro.telemetry.runtime import Telemetry
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,9 @@ class FrequencySweep:
         active, runs degrade gracefully: failed (benchmark, pair)
         units are dropped from the table and recorded in
         :attr:`last_failures` instead of aborting the sweep.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context the sweep
+        reports into (a ``sweep`` phase span plus unit/loss counters).
     """
 
     def __init__(
@@ -80,11 +84,13 @@ class FrequencySweep:
         gpu: GPUSpec,
         seed: int | None = None,
         faults: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._seed = seed
         if faults is not None and faults.is_null:
             faults = None
         self._faults = faults
+        self._telemetry = telemetry
         self.testbed = Testbed(gpu, seed=seed)
         #: Statistics of the most recent :meth:`run` (units, cache hits).
         self.last_stats: ExecutionStats | None = None
@@ -126,11 +132,27 @@ class FrequencySweep:
                 execution if execution is not None else ExecutionConfig(),
                 on_error="degrade",
             )
+        telemetry = self._telemetry
+        if telemetry is not None:
+            execution = dataclasses.replace(
+                execution if execution is not None else ExecutionConfig(),
+                telemetry=telemetry,
+            )
+        elif execution is not None:
+            telemetry = execution.telemetry
         units = sweep_units(
             self.gpu, benchmarks, scale=scale, seed=self._seed,
             faults=self._faults,
         )
-        outcome = run_units(units, execution)
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "sweep", kind="phase", gpu=self.gpu.name, units=len(units)
+            ):
+                outcome = run_units(units, execution)
+            telemetry.metrics.inc("sweep.units", len(units))
+            telemetry.metrics.inc("sweep.lost", len(outcome.failures))
+        else:
+            outcome = run_units(units, execution)
         self.last_stats = outcome.stats
         self.last_failures = outcome.failures
         table: dict[str, dict[str, Measurement]] = {

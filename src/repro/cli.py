@@ -7,6 +7,8 @@ Usage::
     python -m repro run all
     python -m repro sweep "GTX 680" backprop
     python -m repro campaign out/ --faults aggressive
+    python -m repro campaign out/ --trace --jobs 4
+    python -m repro trace summarize out/events.jsonl
     python -m repro chaos out/
 """
 
@@ -72,6 +74,48 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="deterministic fault-injection plan: a preset "
         "('aggressive', 'off') or a JSON plan file (see docs/ROBUSTNESS.md)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="stream a JSONL span/event log (see docs/OBSERVABILITY.md); "
+        "default path: events.jsonl under the output directory",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        metavar="PATH",
+        help="write the aggregated metrics.json artifact (campaigns "
+        "default to <directory>/metrics.json whenever telemetry is on)",
+    )
+
+
+def _telemetry(args: argparse.Namespace, default_events=None):
+    """Build a Telemetry context from --trace/--metrics-out (or None).
+
+    Returns ``(telemetry, events_path)``; both are ``None`` when neither
+    flag was given.  The caller owns ``telemetry.close()``.
+    """
+    import pathlib
+
+    from repro.telemetry import JsonlSink, Telemetry
+
+    trace = getattr(args, "trace", None)
+    if trace is None and getattr(args, "metrics_out", None) is None:
+        return None, None
+    sinks = []
+    events_path = None
+    if trace is not None:
+        events_path = pathlib.Path(
+            trace
+            if trace != "auto"
+            else (default_events or "events.jsonl")
+        )
+        sinks.append(JsonlSink(events_path))
+    return Telemetry(sinks=sinks), events_path
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -88,8 +132,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     gpu = get_gpu(args.gpu)
     bench = get_benchmark(args.benchmark)
-    sweep = FrequencySweep(gpu, seed=args.seed, faults=_fault_plan(args))
-    results = sweep.run_benchmark(bench, execution=_execution_config(args))
+    telemetry, events_path = _telemetry(args)
+    sweep = FrequencySweep(
+        gpu, seed=args.seed, faults=_fault_plan(args), telemetry=telemetry
+    )
+    try:
+        results = sweep.run_benchmark(bench, execution=_execution_config(args))
+    finally:
+        if telemetry is not None:
+            from repro.telemetry import metrics_document, write_metrics_json
+
+            snapshot = telemetry.metrics.snapshot()
+            telemetry.tracer.emit(
+                {"type": "metrics", **metrics_document(snapshot)}
+            )
+            if args.metrics_out is not None:
+                write_metrics_json(args.metrics_out, snapshot)
+            telemetry.close()
     default = results.get("H-H")
     print(f"{bench} on {gpu}:")
     print(f"{'pair':6s} {'time[s]':>9s} {'power[W]':>9s} {'energy[J]':>10s} {'eff vs H-H':>11s}")
@@ -105,15 +164,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     for failure in sweep.last_failures:
         print(f"  lost {failure.unit.pair}: {failure.describe()}")
+    if events_path is not None:
+        print(f"trace: {events_path}")
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import pathlib
 
-    from repro.campaign import CACHE_DIR_NAME, Campaign
+    from repro.campaign import CACHE_DIR_NAME, EVENTS_NAME, Campaign
 
     default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
+    telemetry, events_path = _telemetry(
+        args, default_events=pathlib.Path(args.directory) / EVENTS_NAME
+    )
     campaign = Campaign(
         args.directory,
         gpus=args.gpus,
@@ -121,8 +185,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         benchmarks=args.benchmarks,
         execution=_execution_config(args, default_cache=default_cache),
         faults=_fault_plan(args),
+        telemetry=telemetry,
+        metrics_path=args.metrics_out,
     )
-    summaries = campaign.run(refresh=args.refresh)
+    try:
+        summaries = campaign.run(refresh=args.refresh)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(
         f"{'GPU':16s} {'power R̄²':>9s} {'err[%]':>7s} {'err[W]':>7s} "
         f"{'perf R̄²':>9s} {'err[%]':>7s}"
@@ -137,6 +207,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if campaign.faults is not None and campaign.last_health is not None:
         print(f"\nhealth ({campaign.faults.name} fault plan):")
         print(campaign.last_health.summary())
+    if events_path is not None:
+        print(f"\ntrace: {events_path}")
+        print(f"metrics: {campaign.metrics_path}")
+    elif campaign.telemetry is not None:
+        print(f"\nmetrics: {campaign.metrics_path}")
     print(f"\narchived under {campaign.directory}/")
     return 0
 
@@ -150,7 +225,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """
     import pathlib
 
-    from repro.campaign import CACHE_DIR_NAME, Campaign
+    from repro.campaign import CACHE_DIR_NAME, EVENTS_NAME, Campaign
     from repro.faults import aggressive_plan, resolve_plan
 
     plan = (
@@ -161,6 +236,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("fault plan is null; chaos needs injected faults", file=sys.stderr)
         return 2
     default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
+    telemetry, events_path = _telemetry(
+        args, default_events=pathlib.Path(args.directory) / EVENTS_NAME
+    )
     campaign = Campaign(
         args.directory,
         gpus=args.gpus or ["GTX 460"],
@@ -168,12 +246,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         benchmarks=args.benchmarks,
         execution=_execution_config(args, default_cache=default_cache),
         faults=plan,
+        telemetry=telemetry,
+        metrics_path=args.metrics_out,
     )
-    campaign.run(refresh=args.refresh)
+    try:
+        campaign.run(refresh=args.refresh)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     health = campaign.last_health
     print(f"chaos campaign survived the '{plan.name}' fault plan:")
     print(health.summary())
     print(f"\nhealth report: {campaign.health_path}")
+    if events_path is not None:
+        print(f"trace: {events_path}")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.telemetry import summarize_file
+
+    path = pathlib.Path(args.events)
+    if not path.exists():
+        print(f"no event log at {path}", file=sys.stderr)
+        return 2
+    print(summarize_file(path))
     return 0
 
 
@@ -278,6 +377,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect telemetry artifacts of traced runs"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase/per-unit breakdown of a JSONL event log",
+    )
+    p_summarize.add_argument("events", help="path to an events.jsonl log")
+    p_summarize.set_defaults(func=_cmd_trace_summarize)
 
     p_report = sub.add_parser(
         "report", help="render all experiments into a directory"

@@ -29,6 +29,7 @@ from repro.faults.plan import FaultPlan
 from repro.instruments.profiler import CudaProfiler
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import modeling_benchmarks
+from repro.telemetry.runtime import Telemetry
 
 
 @dataclass(frozen=True)
@@ -176,6 +177,7 @@ def build_dataset(
     execution: ExecutionConfig | None = None,
     stats: ExecutionStats | None = None,
     faults: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ModelingDataset:
     """Measure and profile the full modeling dataset for one GPU.
 
@@ -212,6 +214,11 @@ def build_dataset(
         active, execution auto-upgrades to graceful degradation
         (``on_error="degrade"``): failed units become recorded
         :class:`Exclusion` entries instead of aborting the build.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context the build
+        reports into (a ``dataset-build`` phase span over the unit
+        batch, plus observation/exclusion counters).  Overrides the
+        execution config's telemetry when both are given.
     """
     if benchmarks is None:
         benchmarks = modeling_benchmarks()
@@ -232,12 +239,25 @@ def build_dataset(
             execution if execution is not None else ExecutionConfig(),
             on_error="degrade",
         )
+    if telemetry is not None:
+        execution = dataclasses.replace(
+            execution if execution is not None else ExecutionConfig(),
+            telemetry=telemetry,
+        )
+    elif execution is not None:
+        telemetry = execution.telemetry
 
     units = dataset_units(
         gpu, benchmarks, pairs=pairs, seed=seed, profiler=profiler,
         faults=faults,
     )
-    outcome = run_units(units, execution)
+    if telemetry is not None:
+        with telemetry.tracer.span(
+            "dataset-build", kind="phase", gpu=gpu.name, units=len(units)
+        ):
+            outcome = run_units(units, execution)
+    else:
+        outcome = run_units(units, execution)
     if stats is not None:
         stats.merge(outcome.stats)
 
@@ -288,6 +308,14 @@ def build_dataset(
                     degraded=bool(entry.get("degraded", False)),
                 )
             )
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.inc("dataset.observations", len(observations))
+        metrics.inc("dataset.exclusions", len(exclusions))
+        metrics.inc(
+            "dataset.samples",
+            len({(o.benchmark, o.scale) for o in observations}),
+        )
     return ModelingDataset(
         gpu=gpu,
         counter_names=counter_names,

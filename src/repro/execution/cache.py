@@ -78,12 +78,23 @@ class ResultCache:
     ----------
     directory:
         Root of the cache tree; created lazily on first write.
+    metrics:
+        Optional :class:`~repro.telemetry.Metrics` registry the cache
+        reports ``cache.hits`` / ``cache.misses`` / ``cache.corrupt`` /
+        ``cache.puts`` counters into.
     """
 
-    def __init__(self, directory: str | pathlib.Path) -> None:
+    def __init__(
+        self, directory: str | pathlib.Path, metrics=None
+    ) -> None:
         self.directory = pathlib.Path(directory)
         #: Entries that existed but failed validation since construction.
         self.corrupt_entries = 0
+        self._metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name)
 
     def path_for(self, key: str) -> pathlib.Path:
         """Where a key's entry lives (two-character shard prefix)."""
@@ -100,11 +111,14 @@ class ResultCache:
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
+            self._count("cache.misses")
             return None
         try:
             document = json.loads(text)
         except json.JSONDecodeError:
             self.corrupt_entries += 1
+            self._count("cache.corrupt")
+            self._count("cache.misses")
             return None
         if (
             not isinstance(document, dict)
@@ -113,11 +127,15 @@ class ResultCache:
             or not isinstance(document.get("payload"), dict)
         ):
             self.corrupt_entries += 1
+            self._count("cache.corrupt")
+            self._count("cache.misses")
             return None
+        self._count("cache.hits")
         return document["payload"]
 
     def put(self, key: str, payload: dict[str, Any]) -> pathlib.Path:
         """Store a payload under its key, atomically."""
+        self._count("cache.puts")
         document = {
             "format": ENTRY_FORMAT,
             "version": __version__,

@@ -22,6 +22,7 @@ from repro.errors import ReproError, is_transient
 from repro.execution.cache import ResultCache
 from repro.execution.units import WorkUnit
 from repro.faults.runtime import executing_attempt
+from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry, using_telemetry
 
 
 class ExecutionError(ReproError, RuntimeError):
@@ -98,6 +99,11 @@ class ExecutionConfig:
         records a :class:`UnitFailure`, leaves a ``None`` payload hole,
         and keeps going — the graceful-degradation mode fault-injected
         campaigns run under.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context the batch
+        reports into: per-unit spans (worker spans grafted into the
+        parent tree), cache/retry/failure counters and wall-time
+        histograms.  ``None`` records nothing.
     """
 
     jobs: int = 1
@@ -106,6 +112,7 @@ class ExecutionConfig:
     backoff_s: float = 0.05
     callback: ProgressCallback | None = None
     on_error: str = "raise"
+    telemetry: Telemetry | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -135,7 +142,14 @@ class ExecutionStats:
     retries: int = 0
     #: Units that produced no payload (degrade mode only).
     failed: int = 0
+    #: Wall time of the whole batch, including scheduling overhead.
     wall_seconds: float = 0.0
+    #: Sum of per-unit execution spans (the time workers actually spent
+    #: inside units, summed across workers; excludes cache hits and
+    #: engine overhead).  Backed by the telemetry span timings, so the
+    #: engine's timing signal decomposes instead of being one opaque
+    #: wall-clock number.
+    busy_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -153,6 +167,7 @@ class ExecutionStats:
         self.retries += other.retries
         self.failed += other.failed
         self.wall_seconds += other.wall_seconds
+        self.busy_seconds += other.busy_seconds
 
     def summary(self) -> str:
         """One-line human-readable account of the batch."""
@@ -163,7 +178,8 @@ class ExecutionStats:
             f"{self.retries} retries, "
             f"{self.failed} failed, "
             f"{self.corrupt_entries} corrupt entries, "
-            f"{self.wall_seconds:.2f}s"
+            f"{self.wall_seconds:.2f}s wall "
+            f"({self.busy_seconds:.2f}s in units)"
         )
 
 
@@ -173,13 +189,16 @@ class ExecutionResult:
 
     In degrade mode a failed unit leaves a ``None`` hole in
     ``payloads`` and a matching entry in ``failures``; ``attempts``
-    holds per-unit attempt counts (0 for cache hits), in unit order.
+    holds per-unit attempt counts (0 for cache hits) and ``durations``
+    per-unit execution spans in seconds (0.0 for cache hits), both in
+    unit order.
     """
 
     payloads: tuple[dict[str, Any] | None, ...]
     stats: ExecutionStats
     failures: tuple[UnitFailure, ...] = ()
     attempts: tuple[int, ...] = ()
+    durations: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -191,6 +210,14 @@ class _UnitOutcome:
     error_type: str | None = None
     message: str | None = None
     permanent: bool = False
+    #: Serialized telemetry spans recorded during execution (the unit
+    #: span, its attempts, and the instrument operations inside them).
+    spans: tuple[dict[str, Any], ...] = ()
+    #: Metrics snapshot recorded during execution (fault counters,
+    #: meter re-measurements, ...).
+    metrics: dict[str, Any] | None = None
+    #: Wall duration of the unit span on the worker's clock.
+    duration_s: float = 0.0
 
 
 def _execute_with_retry(
@@ -203,26 +230,55 @@ def _execute_with_retry(
     retry budget.  Never raises: errors come back as a structured
     outcome so worker processes don't have to pickle exceptions.
     Top-level so it can be pickled into worker processes.
+
+    Execution happens under a fresh worker-local telemetry context:
+    the unit span (with one child span per attempt, which in turn holds
+    the instrument spans the testbed and profiler record) and every
+    metric incremented inside the unit travel back to the parent in the
+    outcome, keyed by nothing but the unit itself — which is what keeps
+    the aggregated counters independent of worker scheduling.
     """
+    telemetry = Telemetry()
+    payload: dict[str, Any] | None = None
+    error_type: str | None = None
+    message: str | None = None
+    permanent = False
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            with executing_attempt(attempts):
-                payload = unit.execute()
-            return _UnitOutcome(payload=payload, attempts=attempts)
-        except Exception as exc:
-            permanent = not is_transient(exc)
-            if permanent or attempts > retries:
-                return _UnitOutcome(
-                    payload=None,
-                    attempts=attempts,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    permanent=permanent,
-                )
-            if backoff_s > 0:
-                time.sleep(backoff_s * (2 ** (attempts - 1)))
+    with using_telemetry(telemetry):
+        with telemetry.tracer.span(
+            str(unit),
+            kind="unit",
+            unit_kind=unit.kind,
+            gpu=unit.gpu.name,
+            benchmark=unit.kernel.name,
+        ) as unit_span:
+            while True:
+                attempts += 1
+                try:
+                    with executing_attempt(attempts), telemetry.tracer.span(
+                        f"attempt {attempts}", kind="attempt", attempt=attempts
+                    ):
+                        payload = unit.execute()
+                    break
+                except Exception as exc:
+                    permanent = not is_transient(exc)
+                    if permanent or attempts > retries:
+                        error_type = type(exc).__name__
+                        message = str(exc)
+                        unit_span.status = "error"
+                        break
+                    if backoff_s > 0:
+                        time.sleep(backoff_s * (2 ** (attempts - 1)))
+    return _UnitOutcome(
+        payload=payload,
+        attempts=attempts,
+        error_type=error_type,
+        message=message,
+        permanent=permanent,
+        spans=tuple(telemetry.tracer.documents()),
+        metrics=telemetry.metrics.snapshot(),
+        duration_s=unit_span.duration_s,
+    )
 
 
 class SerialExecutor:
@@ -294,16 +350,27 @@ def run_units(
     unit_list = list(units)
     stats = ExecutionStats(total_units=len(unit_list))
     start = time.perf_counter()
+    telemetry = (
+        config.telemetry if config.telemetry is not None else NULL_TELEMETRY
+    )
+    metrics = telemetry.metrics
     cache = (
-        ResultCache(config.cache_dir) if config.cache_dir is not None else None
+        ResultCache(config.cache_dir, metrics=metrics)
+        if config.cache_dir is not None
+        else None
     )
 
     results: list[dict[str, Any] | None] = [None] * len(unit_list)
     attempts_taken: list[int] = [0] * len(unit_list)
+    durations: list[float] = [0.0] * len(unit_list)
+    #: Worker metric snapshots, merged in unit order after the batch so
+    #: aggregation never depends on completion order.
+    worker_metrics: dict[int, dict[str, Any]] = {}
     failures: list[UnitFailure] = []
     keys: list[str | None] = [None] * len(unit_list)
     pending: list[tuple[int, WorkUnit]] = []
     done = 0
+    metrics.inc("units.total", len(unit_list))
 
     def notify(
         index: int, cache_hit: bool, attempts: int, failed: bool = False
@@ -324,8 +391,20 @@ def run_units(
     for index, unit in enumerate(unit_list):
         if cache is not None:
             keys[index] = unit.cache_key()
+            lookup_start = telemetry.tracer.now()
             payload = cache.get(keys[index])
             if payload is not None:
+                # Hits get a parent-side span (misses get their real
+                # span grafted from the worker below).
+                telemetry.tracer.record(
+                    str(unit),
+                    kind="unit",
+                    start_s=lookup_start,
+                    end_s=telemetry.tracer.now(),
+                    unit_kind=unit.kind,
+                    cache_hit=True,
+                    index=index,
+                )
                 results[index] = payload
                 stats.cache_hits += 1
                 done += 1
@@ -339,6 +418,11 @@ def run_units(
             pending, config.retries, config.backoff_s
         ):
             attempts_taken[index] = outcome.attempts
+            durations[index] = outcome.duration_s
+            stats.busy_seconds += outcome.duration_s
+            telemetry.tracer.graft(outcome.spans, index=index)
+            if outcome.metrics is not None:
+                worker_metrics[index] = outcome.metrics
             if outcome.payload is None:
                 failure = UnitFailure(
                     unit=unit_list[index],
@@ -382,9 +466,36 @@ def run_units(
         stats.corrupt_entries = cache.corrupt_entries
     stats.wall_seconds = time.perf_counter() - start
     failures.sort(key=lambda f: f.index)
+
+    # Aggregate telemetry.  Worker metrics merge in unit-index order —
+    # not completion order — so the aggregated counters (and even the
+    # float timing sums) are independent of scheduling.
+    for index in sorted(worker_metrics):
+        metrics.merge(worker_metrics[index])
+    metrics.inc("units.measured", stats.measured)
+    metrics.inc("units.cache_hits", stats.cache_hits)
+    metrics.inc("units.retries", stats.retries)
+    metrics.inc("units.failed", stats.failed)
+    metrics.inc(
+        "units.failures_permanent", sum(1 for f in failures if f.permanent)
+    )
+    metrics.inc(
+        "units.failures_transient",
+        sum(1 for f in failures if not f.permanent),
+    )
+    if telemetry.enabled:
+        for duration in durations:
+            if duration > 0.0:
+                metrics.observe("unit.seconds", duration)
+        metrics.observe("batch.wall_seconds", stats.wall_seconds)
+        if stats.wall_seconds > 0.0:
+            metrics.gauge("batch.units_per_second").set(
+                len(unit_list) / stats.wall_seconds
+            )
     return ExecutionResult(
         payloads=tuple(results),
         stats=stats,
         failures=tuple(failures),
         attempts=tuple(attempts_taken),
+        durations=tuple(durations),
     )

@@ -37,6 +37,7 @@ from repro.instruments.powermeter import PowerTrace
 from repro.instruments.profiler import CudaProfiler
 from repro.instruments.testbed import Measurement, shared_testbed
 from repro.kernels.profile import KernelSpec
+from repro.telemetry.runtime import current_telemetry
 
 
 # ----------------------------------------------------------------------
@@ -277,9 +278,18 @@ class DatasetUnit(WorkUnit):
             injector=injector,
         )
         testbed.set_clocks("H", "H")
+        telemetry = current_telemetry()
         try:
-            totals = profiler.profile(testbed.sim, self.kernel, self.scale)
+            with telemetry.tracer.span(
+                "profiler-pass",
+                kind="instrument",
+                gpu=self.gpu.name,
+                benchmark=self.kernel.name,
+            ):
+                telemetry.metrics.inc("profiler.passes")
+                totals = profiler.profile(testbed.sim, self.kernel, self.scale)
         except ProfilerError as exc:
+            telemetry.metrics.inc("profiler.failures")
             return {
                 "kind": self.kind,
                 "gpu": self.gpu.name,

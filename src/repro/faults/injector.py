@@ -21,6 +21,7 @@ from repro.errors import ProfilerError, ReconfigurationError, UnitCrashError
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import current_attempt
 from repro.rng import stable_hash, stream
+from repro.telemetry.runtime import current_telemetry
 
 
 class FaultInjector:
@@ -71,6 +72,7 @@ class FaultInjector:
     def check_profiler(self, gpu: str, benchmark: str) -> None:
         """Raise :class:`ProfilerError` if analysis fails on this workload."""
         if self.profiler_fails(gpu, benchmark):
+            current_telemetry().metrics.inc("faults.profiler")
             raise ProfilerError(
                 f"injected CUDA profiler analysis failure for {benchmark!r} "
                 f"on {gpu} (fault plan {self.plan.name!r})"
@@ -92,7 +94,10 @@ class FaultInjector:
                 self.plan.reconfig_failure_rate,
                 "reconfig", gpu, pair, attempt, flash,
             ):
+                if flash > 0:
+                    current_telemetry().metrics.inc("faults.reconfig", flash)
                 return
+        current_telemetry().metrics.inc("faults.reconfig", flashes)
         raise ReconfigurationError(
             f"injected VBIOS reconfiguration failure flashing {pair} "
             f"on {gpu} (attempt {attempt}, {flashes} flashes)"
@@ -104,6 +109,7 @@ class FaultInjector:
         if self._fires(
             self.plan.crash_rate, "crash", kind, gpu, benchmark, detail, attempt
         ):
+            current_telemetry().metrics.inc("faults.crash")
             raise UnitCrashError(
                 f"injected transient crash of {kind}({gpu}, {benchmark}, "
                 f"{detail}) on attempt {attempt}"
@@ -160,4 +166,7 @@ class FaultInjector:
             )
         if valid.all():
             return out, None
+        current_telemetry().metrics.inc(
+            "faults.meter_samples", int(np.count_nonzero(~valid))
+        )
         return out, valid

@@ -27,6 +27,7 @@ from repro.instruments.powermeter import PowerMeter, PowerPhase, PowerTrace
 from repro.engine.noise import lognormal_factor
 from repro.kernels.profile import KernelSpec
 from repro.rng import stable_hash, stream
+from repro.telemetry.runtime import current_telemetry
 
 #: Minimum GPU-busy window the paper enforces before measuring.
 MIN_MEASURE_WINDOW_S = 0.5
@@ -124,13 +125,17 @@ class Testbed:
         engine's retry loop re-attempts the whole unit and the injector
         re-draws deterministically for the new attempt.
         """
-        if self.injector is not None:
-            core_key = core if isinstance(core, str) else core.value
-            mem_key = mem if isinstance(mem, str) else mem.value
-            self.injector.check_reconfiguration(
-                self.gpu.name, f"{core_key.upper()}-{mem_key.upper()}"
-            )
-        self.sim.set_clocks(core, mem)
+        telemetry = current_telemetry()
+        core_key = core if isinstance(core, str) else core.value
+        mem_key = mem if isinstance(mem, str) else mem.value
+        pair = f"{core_key.upper()}-{mem_key.upper()}"
+        with telemetry.tracer.span(
+            "vbios-reconfig", kind="instrument", gpu=self.gpu.name, pair=pair
+        ):
+            telemetry.metrics.inc("reconfig.flashes")
+            if self.injector is not None:
+                self.injector.check_reconfiguration(self.gpu.name, pair)
+            self.sim.set_clocks(core, mem)
 
     def measure(self, kernel: KernelSpec, scale: float = 1.0) -> Measurement:
         """Measure one benchmark at the current operating point.
@@ -142,10 +147,20 @@ class Testbed:
         :class:`~repro.errors.MeasurementError` under ``strict_quorum``
         and is returned flagged ``degraded`` otherwise.
         """
-        record: RunRecord = self.sim.run(kernel, scale)
-        repeats = self._repeats_for(record)
-        phases = self._wall_profile(record, repeats)
-        trace = self._record_with_quorum(record, kernel, scale, phases)
+        telemetry = current_telemetry()
+        with telemetry.tracer.span(
+            "meter-window",
+            kind="instrument",
+            gpu=self.gpu.name,
+            benchmark=kernel.name,
+        ) as window_span:
+            record: RunRecord = self.sim.run(kernel, scale)
+            repeats = self._repeats_for(record)
+            phases = self._wall_profile(record, repeats)
+            trace = self._record_with_quorum(record, kernel, scale, phases)
+            window_span.attrs["pair"] = record.op.key
+            window_span.attrs["repeats"] = repeats
+            telemetry.metrics.inc("meter.windows")
         # The repeat-to-500 ms protocol guarantees the quorum on a
         # healthy meter; only injected corruption can violate it, so
         # fault-free testbeds keep the exact legacy behavior.
@@ -153,6 +168,8 @@ class Testbed:
             self.injector is not None
             and trace.num_valid < self.injector.plan.quorum
         )
+        if degraded:
+            telemetry.metrics.inc("meter.quorum_violations")
         if degraded and self.strict_quorum:
             raise MeasurementError(
                 f"meter quorum violated for {kernel.name} at "
@@ -199,6 +216,7 @@ class Testbed:
             coords = ["meter", self.gpu.name, kernel.name, scale, record.op.key]
             if measure_attempt > 0:
                 coords += ["re-measure", measure_attempt]
+                current_telemetry().metrics.inc("meter.re_measurements")
             rng = stream(*coords, seed=self._seed)
             candidate = self.meter.record(phases, rng)
             if self.injector is not None:

@@ -1,0 +1,79 @@
+"""Structured campaign telemetry: spans, metrics and event logs.
+
+Dependency-light observability for the measurement pipeline — the same
+shape (trace spans + named counters + a structured event log) that
+profiler-driven GPU modeling methodology relies on, applied to the
+campaign itself:
+
+* a :class:`Tracer` produces the span tree — campaign → phase (one
+  GPU's sweep or dataset build) → work unit → attempt → instrument
+  operation (meter windows, profiler passes, VBIOS reconfigurations);
+* a :class:`Metrics` registry holds named counters (cache hits,
+  retries, injected faults, exclusions — deterministic at any
+  ``--jobs`` value), gauges and wall-time histograms;
+* pluggable sinks write the JSONL event log and the aggregated
+  ``metrics.json`` campaign artifact, with wall-clock values isolated
+  in clearly-marked timing fields so the deterministic counter section
+  composes with the byte-identical-manifest guarantees of the
+  execution engine.
+
+See docs/OBSERVABILITY.md for the span model, the metric-name
+catalogue and the event schema.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.telemetry.runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current_telemetry,
+    using_telemetry,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    METRICS_FORMAT,
+    Sink,
+    metrics_document,
+    write_metrics_json,
+)
+from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.summarize import (
+    SpanAggregate,
+    TraceSummary,
+    read_events,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "METRICS_FORMAT",
+    "MemorySink",
+    "Metrics",
+    "NULL_TELEMETRY",
+    "NullMetrics",
+    "Sink",
+    "Span",
+    "SpanAggregate",
+    "Telemetry",
+    "TraceSummary",
+    "Tracer",
+    "current_telemetry",
+    "metrics_document",
+    "read_events",
+    "render_summary",
+    "summarize_events",
+    "summarize_file",
+    "using_telemetry",
+    "write_metrics_json",
+]

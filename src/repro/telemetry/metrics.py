@@ -1,0 +1,190 @@
+"""Named campaign metrics: counters, gauges and timing histograms.
+
+The registry is split along the determinism boundary the campaign
+artifacts rely on:
+
+* **counters** are integers incremented by deterministic campaign
+  events (cache hits, retries, injected faults, exclusions).  Because
+  every count is a pure function of (unit list, seed, fault plan, cache
+  state) and merges are commutative integer additions applied in *unit
+  order*, the counter section of ``metrics.json`` is byte-identical at
+  any ``--jobs`` value;
+* **gauges** hold the last value set — derived quantities such as
+  units/second throughput.  Gauges may be timing-derived and carry no
+  determinism guarantee;
+* **histograms** accumulate wall-clock observations (count / total /
+  min / max / mean) and are by nature nondeterministic; they are
+  exported under the clearly-marked ``timings`` section.
+
+Metric names are dotted paths (``cache.hits``, ``faults.crash``,
+``unit.seconds``); the full catalogue lives in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """Monotonic integer counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-value-wins float metric."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of float observations (timings)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def document(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Create-on-first-use registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Shorthand: increment a counter."""
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: record a histogram observation."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # export / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view: deterministic counters, then timing fields.
+
+        Keys are sorted so two registries holding the same values
+        serialize identically whatever their insertion order was.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "timings": {
+                name: self._histograms[name].document()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add; gauges take the incoming value; histograms merge
+        their summaries.  Counter merging is commutative, so any merge
+        order yields the same counter section — the property the
+        ``--jobs``-independence guarantee rests on (the engine still
+        merges in unit order so the *timing* fields are as stable as
+        wall clocks allow).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, doc in snapshot.get("timings", {}).items():
+            hist = self.histogram(name)
+            if not doc.get("count"):
+                continue
+            hist.count += int(doc["count"])
+            hist.total += float(doc["total"])
+            hist.min = min(hist.min, float(doc["min"]))
+            hist.max = max(hist.max, float(doc["max"]))
+
+
+class NullMetrics(Metrics):
+    """Metrics API that records nothing (telemetry disabled).
+
+    Handed out by the null telemetry context so instrumented code can
+    increment unconditionally without accumulating unbounded state in
+    long processes that never asked for telemetry.
+    """
+
+    def counter(self, name: str) -> Counter:
+        return Counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return Histogram(name)

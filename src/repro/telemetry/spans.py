@@ -1,0 +1,272 @@
+"""Span trees: hierarchical timing of campaign work.
+
+A :class:`Span` is one timed operation — a whole campaign, one GPU's
+dataset build, one work unit, one execution attempt, or one instrument
+operation (a meter window, a profiler pass, a VBIOS reconfiguration).
+Spans nest: the :class:`Tracer` keeps a stack of open spans, so a span
+opened while another is active becomes its child, and the completed
+spans form a forest that mirrors the campaign's call structure::
+
+    campaign
+    └── phase: dataset:GTX 480
+        └── unit: dataset(GTX 480, sgemm, x1)
+            └── attempt 1
+                ├── instrument: profiler-pass
+                ├── instrument: vbios-reconfig
+                └── instrument: meter-window   (one per frequency pair)
+
+Work units execute in worker processes under their own tracer; the
+parent grafts the serialized worker spans into its tree
+(:meth:`Tracer.graft`), remapping span ids and flagging the grafted
+spans ``worker_clock`` because their timestamps come from the worker's
+monotonic clock, not the parent's.
+
+Span *timings are wall-clock* and therefore never byte-identical run to
+run; everything that must be deterministic lives in the metrics
+registry (:mod:`repro.telemetry.metrics`) instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed operation in the span tree."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: Coarse role of the span: ``campaign``, ``phase``, ``batch``,
+    #: ``unit``, ``attempt`` or ``instrument``.
+    kind: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    #: Monotonic-clock start/end (seconds); ``end_s`` is ``None`` while
+    #: the span is open.
+    start_s: float = 0.0
+    end_s: float | None = None
+    status: str = "ok"
+
+    @property
+    def duration_s(self) -> float:
+        """Wall duration of the span (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form (one ``span`` event)."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+
+class Tracer:
+    """Produces the span tree and streams completed spans to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Event sinks (:mod:`repro.telemetry.sinks`) receiving one event
+        per completed span, in completion order (children before their
+        parent, as in any tracing system).
+    clock:
+        Monotonic time source; injectable for tests.
+    enabled:
+        A disabled tracer records nothing and yields inert spans, so
+        instrumented code pays one attribute check when telemetry is
+        off.
+    """
+
+    def __init__(
+        self,
+        sinks: tuple | list = (),
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        self.sinks = list(sinks)
+        self.enabled = enabled
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the currently active span."""
+        if not self.enabled:
+            yield _INERT_SPAN
+            return
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            kind=kind,
+            attrs=dict(attrs),
+            start_s=self._clock(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end_s = self._clock()
+            self._stack.pop()
+            self._finished.append(span)
+            self.emit(span.document())
+
+    def now(self) -> float:
+        """Current reading of the tracer's monotonic clock."""
+        return self._clock()
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        start_s: float,
+        end_s: float,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Span | None:
+        """Record an already-completed span under the active span.
+
+        For call sites that only know whether an operation deserves a
+        span after it finished (e.g. a cache lookup that turned out to
+        be a hit).
+        """
+        if not self.enabled:
+            return None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            kind=kind,
+            attrs=dict(attrs),
+            start_s=start_s,
+            end_s=end_s,
+            status=status,
+        )
+        self._next_id += 1
+        self._finished.append(span)
+        self.emit(span.document())
+        return span
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event (no duration) under the active span."""
+        if not self.enabled:
+            return
+        self.emit(
+            {
+                "type": "event",
+                "name": name,
+                "parent_id": (
+                    self._stack[-1].span_id if self._stack else None
+                ),
+                "attrs": {k: attrs[k] for k in sorted(attrs)},
+            }
+        )
+
+    def graft(
+        self, documents: list[dict[str, Any]] | tuple, **extra_attrs: Any
+    ) -> list[Span]:
+        """Adopt serialized spans from another tracer (a worker process).
+
+        Span ids are remapped into this tracer's id space; roots of the
+        grafted forest become children of the currently active span and
+        carry ``extra_attrs`` plus ``worker_clock=True`` (their
+        timestamps come from the worker's own monotonic clock, so only
+        their *durations* are comparable to parent spans).
+        """
+        if not self.enabled or not documents:
+            return []
+        adopted: list[Span] = []
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span_docs = [d for d in documents if d.get("type") == "span"]
+        # Remap ids up front: documents arrive in completion order
+        # (children before parents), so a child's parent id must resolve
+        # before the parent's own document is seen.
+        id_map: dict[int, int] = {}
+        for doc in span_docs:
+            id_map[doc["span_id"]] = self._next_id
+            self._next_id += 1
+        for doc in span_docs:
+            new_id = id_map[doc["span_id"]]
+            attrs = dict(doc.get("attrs", {}))
+            attrs["worker_clock"] = True
+            old_parent = doc.get("parent_id")
+            if old_parent is None:
+                attrs.update(extra_attrs)
+            span = Span(
+                span_id=new_id,
+                parent_id=(
+                    id_map.get(old_parent, parent_id)
+                    if old_parent is not None
+                    else parent_id
+                ),
+                name=doc["name"],
+                kind=doc["kind"],
+                attrs=attrs,
+                start_s=doc["start_s"],
+                end_s=doc["end_s"],
+                status=doc.get("status", "ok"),
+            )
+            self._finished.append(span)
+            self.emit(span.document())
+            adopted.append(span)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Send one event to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    @property
+    def finished(self) -> tuple[Span, ...]:
+        """Completed spans, in completion order."""
+        return tuple(self._finished)
+
+    def documents(self) -> list[dict[str, Any]]:
+        """Serialized completed spans (picklable, JSON-able)."""
+        return [s.document() for s in self._finished]
+
+    def find(self, kind: str | None = None, name: str | None = None) -> list[Span]:
+        """Completed spans filtered by kind and/or name (tests, summaries)."""
+        return [
+            s
+            for s in self._finished
+            if (kind is None or s.kind == kind)
+            and (name is None or s.name == name)
+        ]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Completed direct children of a span."""
+        return [s for s in self._finished if s.parent_id == span.span_id]
+
+
+#: Shared placeholder yielded by disabled tracers: writing to it is
+#: harmless and nothing reads it back.
+_INERT_SPAN = Span(span_id=0, parent_id=None, name="", kind="inert")

@@ -1,0 +1,168 @@
+"""Render a per-phase / per-unit breakdown of a campaign event log.
+
+Powers ``repro trace summarize <events.jsonl>``: reads the JSONL event
+stream a traced run emitted, aggregates span durations by phase, by
+work-unit kind and by instrument operation, and renders fixed-width
+tables plus the deterministic counter section of the final metrics
+snapshot (when the log carries one).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class SpanAggregate:
+    """Streaming duration summary of one span group."""
+
+    key: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = field(default=float("inf"))
+    max_s: float = field(default=float("-inf"))
+    errors: int = 0
+
+    def add(self, duration_s: float, status: str) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        self.min_s = min(self.min_s, duration_s)
+        self.max_s = max(self.max_s, duration_s)
+        if status != "ok":
+            self.errors += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one event log."""
+
+    #: Span groups keyed by ``kind`` then group label.
+    groups: dict[str, dict[str, SpanAggregate]]
+    #: Last ``metrics`` event in the log, if any.
+    metrics: dict[str, Any] | None
+    #: Total events read.
+    n_events: int
+
+    def aggregate(self, kind: str) -> list[SpanAggregate]:
+        """Aggregates of one span kind, largest total first."""
+        rows = list(self.groups.get(kind, {}).values())
+        rows.sort(key=lambda a: (-a.total_s, a.key))
+        return rows
+
+
+def _group_label(event: dict[str, Any]) -> str:
+    """The aggregation label of one span event.
+
+    Phases and instruments group by name; units group by their work
+    kind (``sweep`` / ``dataset`` / ``cache-hit``) so a 5000-unit
+    campaign summarizes to a handful of rows.
+    """
+    kind = event.get("kind", "span")
+    attrs = event.get("attrs", {})
+    if kind == "unit":
+        if attrs.get("cache_hit"):
+            return "cache-hit"
+        return str(attrs.get("unit_kind", "unit"))
+    if kind == "attempt":
+        return "attempt"
+    return str(event.get("name", ""))
+
+
+def read_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse a JSONL event log, skipping torn or non-JSON lines."""
+    events: list[dict[str, Any]] = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a killed run
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def summarize_events(events: Iterable[dict[str, Any]]) -> TraceSummary:
+    """Aggregate span durations by kind and group label."""
+    groups: dict[str, dict[str, SpanAggregate]] = {}
+    metrics: dict[str, Any] | None = None
+    n_events = 0
+    for event in events:
+        n_events += 1
+        etype = event.get("type")
+        if etype == "metrics":
+            metrics = event
+            continue
+        if etype != "span":
+            continue
+        kind = event.get("kind", "span")
+        label = _group_label(event)
+        by_label = groups.setdefault(kind, {})
+        aggregate = by_label.get(label)
+        if aggregate is None:
+            aggregate = by_label[label] = SpanAggregate(key=label)
+        aggregate.add(
+            float(event.get("duration_s", 0.0)),
+            str(event.get("status", "ok")),
+        )
+    return TraceSummary(groups=groups, metrics=metrics, n_events=n_events)
+
+
+def _render_table(title: str, rows: list[SpanAggregate]) -> list[str]:
+    lines = [
+        title,
+        f"  {'group':32s} {'count':>7s} {'total[s]':>10s} "
+        f"{'mean[s]':>9s} {'max[s]':>9s} {'errors':>7s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.key:32s} {row.count:7d} {row.total_s:10.3f} "
+            f"{row.mean_s:9.4f} {row.max_s:9.4f} {row.errors:7d}"
+        )
+    return lines
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Fixed-width report: phases, units, attempts, instruments, counters."""
+    lines: list[str] = []
+    sections = (
+        ("campaign", "campaign"),
+        ("phases", "phase"),
+        ("work units", "unit"),
+        ("attempts", "attempt"),
+        ("instrument operations", "instrument"),
+    )
+    for title, kind in sections:
+        rows = summary.aggregate(kind)
+        if not rows:
+            continue
+        if lines:
+            lines.append("")
+        lines.extend(_render_table(title, rows))
+    if summary.metrics is not None:
+        counters = summary.metrics.get("counters", {})
+        if counters:
+            if lines:
+                lines.append("")
+            lines.append("counters (deterministic)")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                lines.append(f"  {name:{width}s} {counters[name]:>9d}")
+    if not lines:
+        return "no span events in log"
+    return "\n".join(lines)
+
+
+def summarize_file(path: str | pathlib.Path) -> str:
+    """Read, aggregate and render one event log."""
+    return render_summary(summarize_events(read_events(path)))

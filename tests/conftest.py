@@ -3,13 +3,71 @@
 Expensive artefacts (datasets, sweeps, fitted models) are memoized by
 ``repro.experiments.context``; session-scoped fixtures below simply
 delegate there so every test file shares one instance per GPU.
+
+Golden-file regression tests compare rendered artifacts byte-for-byte
+against committed snapshots under ``tests/golden/``; refresh them after
+an intentional change with ``pytest --update-golden``.
 """
 
 from __future__ import annotations
 
+import difflib
+import pathlib
+
 import pytest
 
 from repro.arch.specs import GPU_NAMES, get_gpu
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots from current outputs "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Byte-for-byte comparison against a ``tests/golden/`` snapshot.
+
+    Usage: ``golden("table4_pairs.json", text)``.  Under
+    ``--update-golden`` the snapshot is rewritten instead of compared.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, text: str) -> None:
+        path = GOLDEN_DIR / name
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden snapshot {path}; generate it with "
+                f"pytest --update-golden"
+            )
+        expected = path.read_text(encoding="utf-8")
+        if text != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    text.splitlines(),
+                    fromfile=f"golden/{name}",
+                    tofile="current",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                f"output drifted from golden snapshot {name} "
+                f"(run pytest --update-golden if intentional):\n{diff}"
+            )
+
+    return check
 
 
 @pytest.fixture(scope="session", params=GPU_NAMES)

@@ -1,0 +1,167 @@
+"""Property-based tests for the regression/selection core (hypothesis).
+
+The paper's model-selection pipeline rests on a handful of algebraic
+invariants that must hold for *any* dataset, not just the four cards'
+counter matrices:
+
+* R̄² never exceeds R² (the adjustment is a pure penalty),
+* greedy forward selection improves R̄² monotonically and never
+  exceeds the explanatory-variable cap (the paper's 10), and
+* prediction validates feature-matrix shapes instead of broadcasting
+  silently.
+
+Tier-1 runs a trimmed example budget; the exhaustive sweep is marked
+``slow`` and runs in the CI coverage job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+from hypothesis.extra import numpy as hnp  # noqa: E402
+
+from repro.core.regression import adjusted_r_squared, fit_ols  # noqa: E402
+from repro.core.selection import forward_select  # noqa: E402
+
+FINITE = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def regression_problems(draw, min_obs=4, max_obs=24, max_features=6):
+    """A random (X, y) with more observations than features."""
+    k = draw(st.integers(min_value=1, max_value=max_features))
+    n = draw(st.integers(min_value=max(min_obs, k + 2), max_value=max_obs))
+    X = draw(hnp.arrays(np.float64, (n, k), elements=FINITE))
+    y = draw(hnp.arrays(np.float64, (n,), elements=FINITE))
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# adjusted R² is a penalty
+# ----------------------------------------------------------------------
+
+
+@given(
+    r2=st.floats(min_value=-10.0, max_value=1.0, allow_nan=False),
+    n=st.integers(min_value=2, max_value=500),
+    k=st.integers(min_value=0, max_value=30),
+)
+@settings(deadline=None)
+def test_adjustment_never_exceeds_r2(r2, n, k):
+    adjusted = adjusted_r_squared(r2, n, k)
+    if n - k - 1 <= 0:
+        assert adjusted == float("-inf")
+    else:
+        assert adjusted <= r2 + 1e-12
+
+
+@given(problem=regression_problems())
+@settings(deadline=None, max_examples=50)
+def test_fitted_adjusted_r2_below_r2(problem):
+    X, y = problem
+    model = fit_ols(X, y)
+    assert model.r2 <= 1.0 + 1e-9
+    assert model.adjusted_r2 <= model.r2 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# forward selection invariants
+# ----------------------------------------------------------------------
+
+
+def _names(X):
+    return [f"c{j}" for j in range(X.shape[1])]
+
+
+@given(
+    problem=regression_problems(),
+    cap=st.integers(min_value=1, max_value=10),
+)
+@settings(deadline=None, max_examples=50)
+def test_forward_selection_invariants(problem, cap):
+    X, y = problem
+    result = forward_select(X, y, _names(X), max_features=cap)
+    # Never exceeds the explanatory-variable cap (the paper's 10).
+    assert 1 <= len(result.selected) <= cap
+    # No column selected twice; all indices in range.
+    assert len(set(result.selected)) == len(result.selected)
+    assert all(0 <= j < X.shape[1] for j in result.selected)
+    # Names mirror indices.
+    assert result.selected_names == tuple(
+        _names(X)[j] for j in result.selected
+    )
+    # The greedy criterion is monotone: each accepted step improved R̄².
+    history = result.history
+    assert all(b > a for a, b in zip(history, history[1:]))
+    # The reported score is the last accepted step's score.
+    if history:
+        assert result.adjusted_r2 == history[-1]
+
+
+@given(problem=regression_problems())
+@settings(deadline=None, max_examples=50)
+def test_forward_selection_cap_is_binding(problem):
+    X, y = problem
+    unlimited = forward_select(X, y, _names(X), max_features=10)
+    capped = forward_select(X, y, _names(X), max_features=1)
+    assert len(capped.selected) == 1
+    # Greedy: the capped model picks the same first feature.
+    assert capped.selected[0] == unlimited.selected[0]
+
+
+# ----------------------------------------------------------------------
+# predict shape validation
+# ----------------------------------------------------------------------
+
+
+@given(
+    problem=regression_problems(),
+    extra=st.integers(min_value=1, max_value=3),
+)
+@settings(deadline=None, max_examples=50)
+def test_predict_validates_shapes(problem, extra):
+    X, y = problem
+    model = fit_ols(X, y)
+    predicted = model.predict(X)
+    assert predicted.shape == (X.shape[0],)
+    wide = np.column_stack([X, np.zeros((X.shape[0], extra))])
+    with pytest.raises(ValueError):
+        model.predict(wide)
+    with pytest.raises(ValueError):
+        model.predict(X[0])  # 1-D input
+
+
+@given(problem=regression_problems())
+@settings(deadline=None, max_examples=50)
+def test_selection_predict_accepts_full_matrix(problem):
+    X, y = problem
+    result = forward_select(X, y, _names(X))
+    predicted = result.predict(X)
+    assert predicted.shape == (X.shape[0],)
+    assert np.all(np.isfinite(predicted))
+
+
+# ----------------------------------------------------------------------
+# exhaustive sweep (coverage job only)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@given(
+    problem=regression_problems(max_obs=60, max_features=12),
+    cap=st.integers(min_value=1, max_value=12),
+)
+@settings(deadline=None, max_examples=300)
+def test_forward_selection_invariants_exhaustive(problem, cap):
+    X, y = problem
+    result = forward_select(X, y, _names(X), max_features=cap)
+    assert 1 <= len(result.selected) <= cap
+    assert len(set(result.selected)) == len(result.selected)
+    history = result.history
+    assert all(b > a for a, b in zip(history, history[1:]))
+    model = fit_ols(X[:, list(result.selected)], y)
+    assert model.adjusted_r2 == pytest.approx(result.adjusted_r2)
