@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""CI smoke test of declarative campaign specs.
+
+Runs the example spec (``examples/campaign_spec.toml``) through the real
+``repro campaign --config`` CLI, then runs the equivalent flag-spelled
+invocation into a second directory, and asserts that
+
+* both runs complete,
+* the manifests embed the resolved spec (``campaign.json``'s ``spec``
+  key carries the ``repro.campaign-spec`` document), and
+* manifests, datasets and health reports are byte-identical — a spec
+  file and its flag spelling are the same campaign, and the embedded
+  spec is directory-independent.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/spec_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SPEC = REPO / "examples" / "campaign_spec.toml"
+
+#: The flag spelling of examples/campaign_spec.toml.
+GPUS = ["GTX 460"]
+BENCHMARKS = ["sgemm", "hotspot", "lbm", "spmv", "stencil", "cutcp"]
+SEED = 7
+JOBS = 2
+
+#: Artifacts that must be byte-identical between the two runs.
+COMPARED = ("campaign.json", "health.json", "dataset_gtx_460.json")
+
+
+def run_campaign(directory: pathlib.Path, argv_tail: list[str]) -> None:
+    argv = [sys.executable, "-m", "repro", "campaign", str(directory)]
+    argv += argv_tail
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        argv, cwd=REPO, capture_output=True, text=True, check=False, env=env
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        sys.exit(f"campaign into {directory} failed ({result.returncode})")
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-spec-") as scratch:
+        root = pathlib.Path(scratch)
+
+        run_campaign(root / "config", ["--config", str(SPEC)])
+        flags: list[str] = []
+        for gpu in GPUS:
+            flags += ["--gpu", gpu]
+        for bench in BENCHMARKS:
+            flags += ["--benchmark", bench]
+        flags += ["--seed", str(SEED), "--jobs", str(JOBS)]
+        run_campaign(root / "flags", flags)
+
+        manifest = json.loads(
+            (root / "config" / "campaign.json").read_text(encoding="utf-8")
+        )
+        spec = manifest.get("spec")
+        if not spec or spec.get("format") != "repro.campaign-spec":
+            failures.append(
+                f"manifest does not embed the resolved spec: {spec!r}"
+            )
+        elif spec.get("gpus") != GPUS or spec.get("seed") != SEED:
+            failures.append(f"embedded spec does not match the file: {spec!r}")
+
+        for name in COMPARED:
+            left = root / "config" / name
+            right = root / "flags" / name
+            if not left.exists() or not right.exists():
+                failures.append(f"{name} missing from a run")
+                continue
+            if left.read_bytes() != right.read_bytes():
+                failures.append(
+                    f"{name} differs between --config and flag invocations"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "spec smoke OK: --config and flag invocations produced "
+        "byte-identical artifacts with the spec embedded in the manifest"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from __future__ import annotations
 import contextlib
 import json
 import pathlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro._version import __version__
@@ -37,6 +37,13 @@ from repro.faults.health import CampaignHealth
 from repro.faults.plan import FaultPlan
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import get_benchmark
+from repro.session.context import (
+    CACHE_DIR_NAME,
+    EVENTS_NAME,
+    METRICS_NAME,
+    RunContext,
+    legacy_context,
+)
 from repro.telemetry.runtime import Telemetry
 from repro.telemetry.sinks import metrics_document, write_metrics_json
 
@@ -45,12 +52,15 @@ MANIFEST_NAME = "campaign.json"
 #: Machine-readable execution-health report written next to the manifest.
 HEALTH_NAME = "health.json"
 
-#: Telemetry artifacts of a traced campaign.
-EVENTS_NAME = "events.jsonl"
-METRICS_NAME = "metrics.json"
-
-#: Subdirectory of a campaign holding the work-unit result cache.
-CACHE_DIR_NAME = "cache"
+__all__ = [
+    "CACHE_DIR_NAME",
+    "Campaign",
+    "CampaignSummary",
+    "EVENTS_NAME",
+    "HEALTH_NAME",
+    "MANIFEST_NAME",
+    "METRICS_NAME",
+]
 
 
 @dataclass
@@ -74,39 +84,46 @@ class Campaign:
         Where datasets, fitted models and the manifest are stored.
     gpus:
         GPU names to include; defaults to the paper's four.
-    seed:
-        Optional noise-seed override, recorded in the manifest.
     benchmarks:
         Benchmark names to restrict the modeling datasets to; defaults
         to the full profiler-compatible set.
-    execution:
-        Executor/cache selection for the measurement work.  Defaults to
-        a serial run cached under ``<directory>/cache``; pass an
-        explicit :class:`ExecutionConfig` to parallelize or to move or
-        disable the cache.
-    faults:
-        Optional deterministic fault plan (``repro.faults``).  When
-        active, dataset builds degrade gracefully (failed units become
-        recorded exclusions) and the run emits a machine-readable
-        ``health.json`` accounting for every loss.
-    telemetry:
-        Optional :class:`~repro.telemetry.Telemetry` context.  When
-        given, :meth:`run` produces the campaign span tree (campaign →
-        per-GPU dataset/fit/evaluate phases → work units → attempts →
+    pairs:
+        Frequency-pair keys to restrict measurement to; defaults to
+        every configurable pair of each card (Table III).
+    ctx:
+        The :class:`~repro.session.RunContext` the campaign runs under —
+        seed, executor/cache selection, fault plan, telemetry and
+        artifact locations in one normalized value.  Un-rooted contexts
+        are rooted under ``directory`` (result cache at
+        ``<directory>/cache``, metrics artifact at
+        ``<directory>/metrics.json`` when telemetry is active).
+        Defaults to a serial, fault-free context cached under the
+        campaign directory.  When the context carries a fault plan,
+        dataset builds degrade gracefully (failed units become recorded
+        exclusions) and the run emits a machine-readable ``health.json``
+        accounting for every loss.  When it carries telemetry,
+        :meth:`run` produces the campaign span tree (campaign → per-GPU
+        dataset/fit/evaluate phases → work units → attempts →
         instrument operations), streams events to the context's sinks,
         and writes the aggregated ``metrics.json`` artifact — whose
         counter section is byte-identical at any ``jobs`` value.
-    metrics_path:
-        Where to write the aggregated metrics artifact; defaults to
-        ``<directory>/metrics.json`` when telemetry is active.
+        Contexts resolved from a declarative spec
+        (:meth:`RunContext.from_spec`) echo the spec into the campaign
+        manifest.
+    seed, execution, faults, telemetry, metrics_path:
+        Deprecated kwarg bundle; pass a ``ctx`` instead.  Kept as a
+        compatibility shim for one release.
     """
 
     def __init__(
         self,
         directory: str | pathlib.Path,
         gpus: Sequence[str] | None = None,
-        seed: int | None = None,
         benchmarks: Sequence[str] | None = None,
+        pairs: Sequence[str] | None = None,
+        ctx: RunContext | None = None,
+        *,
+        seed: int | None = None,
         execution: ExecutionConfig | None = None,
         faults: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
@@ -114,7 +131,6 @@ class Campaign:
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.gpu_names = tuple(gpus) if gpus is not None else GPU_NAMES
-        self.seed = seed
         # Validate the names eagerly (raises UnknownGPUError).
         self._specs: dict[str, GPUSpec] = {
             name: get_gpu(name) for name in self.gpu_names
@@ -125,28 +141,55 @@ class Campaign:
             if benchmarks is not None
             else None
         )
-        if execution is None:
-            execution = ExecutionConfig(
-                cache_dir=self.directory / CACHE_DIR_NAME
-            )
-        if telemetry is not None and execution.telemetry is None:
-            execution = replace(execution, telemetry=telemetry)
-        elif telemetry is None:
-            telemetry = execution.telemetry
-        self.execution = execution
-        self.telemetry = telemetry
-        if telemetry is not None and metrics_path is None:
-            metrics_path = self.directory / METRICS_NAME
-        self.metrics_path = (
-            pathlib.Path(metrics_path) if metrics_path is not None else None
+        self._pairs: tuple[str, ...] | None = (
+            tuple(pairs) if pairs is not None else None
         )
-        if faults is not None and faults.is_null:
-            faults = None
-        self.faults = faults
+        legacy = legacy_context(
+            "Campaign",
+            ctx=ctx,
+            seed=seed,
+            execution=execution,
+            faults=faults,
+            telemetry=telemetry,
+            metrics_path=metrics_path,
+        )
+        if legacy is not None:
+            ctx = legacy
+        elif ctx is None:
+            ctx = RunContext.resolve()
+        #: The session context every dataset build and run execute under.
+        self.ctx = ctx.rooted(self.directory)
         #: Aggregated execution statistics of the most recent :meth:`run`.
         self.last_stats: ExecutionStats | None = None
         #: Health report of the most recent :meth:`run`.
         self.last_health: CampaignHealth | None = None
+
+    # Convenience views onto the session context (stable public names).
+
+    @property
+    def seed(self) -> int | None:
+        """The context's noise-seed override."""
+        return self.ctx.seed
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        """The context's executor/cache selection."""
+        return self.ctx.execution
+
+    @property
+    def faults(self) -> FaultPlan | None:
+        """The context's fault plan (never a null plan)."""
+        return self.ctx.faults
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The context's telemetry, if any."""
+        return self.ctx.telemetry
+
+    @property
+    def metrics_path(self) -> pathlib.Path | None:
+        """Where the aggregated metrics artifact goes, if telemetry is on."""
+        return self.ctx.metrics_path
 
     # ------------------------------------------------------------------
     # paths
@@ -197,10 +240,9 @@ class Campaign:
         dataset = build_dataset(
             spec,
             benchmarks=self._benchmarks,
-            seed=self.seed,
-            execution=self.execution,
+            pairs=self._pairs,
+            ctx=self.ctx,
             stats=stats,
-            faults=self.faults,
         )
         atomic_write_text(path, dataset_to_json(dataset))
         return dataset
@@ -297,6 +339,19 @@ class Campaign:
             "gpus": list(self.gpu_names),
             "faults": (
                 self.faults.document() if self.faults is not None else None
+            ),
+            # The resolved declarative spec this campaign is equivalent
+            # to — echoed verbatim when the run came from a spec file,
+            # synthesized otherwise — so every archive describes how to
+            # regenerate itself.
+            "spec": self.ctx.spec_document(
+                gpus=self.gpu_names,
+                benchmarks=(
+                    tuple(b.name for b in self._benchmarks)
+                    if self._benchmarks is not None
+                    else None
+                ),
+                pairs=self._pairs,
             ),
             # Per-GPU losses with reasons.  Deliberately only the
             # cache-state-independent slice of the health report:

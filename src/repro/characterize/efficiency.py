@@ -13,6 +13,7 @@ from typing import Mapping
 
 from repro.arch.specs import GPUSpec
 from repro.characterize.sweep import FrequencySweep, SweepTable
+from repro.session.context import RunContext
 from repro.instruments.testbed import Measurement
 
 
@@ -84,7 +85,7 @@ def characterize_gpu(
     Pass a pre-computed ``table`` to avoid re-running the sweep.
     """
     if table is None:
-        table = FrequencySweep(gpu, seed=seed).run()
+        table = FrequencySweep(gpu, RunContext.resolve(seed=seed)).run()
     return [
         characterize_benchmark(table, name) for name in table.benchmark_names
     ]

@@ -15,7 +15,7 @@ noise stream is keyed by experimental coordinates, not by call order.
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -31,6 +31,7 @@ from repro.faults.plan import FaultPlan
 from repro.instruments.testbed import Measurement, Testbed
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import all_benchmarks
+from repro.session.context import RunContext, legacy_context
 from repro.telemetry.runtime import Telemetry
 
 
@@ -67,31 +68,41 @@ class FrequencySweep:
     ----------
     gpu:
         Card to characterize.
-    seed:
-        Optional noise-seed override (tests).
-    faults:
-        Optional deterministic fault plan (``repro.faults``).  When
-        active, runs degrade gracefully: failed (benchmark, pair)
-        units are dropped from the table and recorded in
-        :attr:`last_failures` instead of aborting the sweep.
-    telemetry:
-        Optional :class:`~repro.telemetry.Telemetry` context the sweep
-        reports into (a ``sweep`` phase span plus unit/loss counters).
+    ctx:
+        The :class:`~repro.session.RunContext` the sweep runs under —
+        seed, executor/cache selection, fault plan and telemetry in one
+        normalized value.  Defaults to a plain context (serial,
+        uncached, fault-free).  When the context carries a fault plan,
+        runs degrade gracefully: failed (benchmark, pair) units are
+        dropped from the table and recorded in :attr:`last_failures`
+        instead of aborting the sweep.  When it carries telemetry, the
+        sweep reports into it (a ``sweep`` phase span plus unit/loss
+        counters).
+    seed, faults, telemetry:
+        Deprecated kwarg bundle; pass a ``ctx`` instead.  Kept as a
+        compatibility shim for one release.
     """
 
     def __init__(
         self,
         gpu: GPUSpec,
+        ctx: RunContext | None = None,
+        *,
         seed: int | None = None,
         faults: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
-        self._seed = seed
-        if faults is not None and faults.is_null:
-            faults = None
-        self._faults = faults
-        self._telemetry = telemetry
-        self.testbed = Testbed(gpu, seed=seed)
+        legacy = legacy_context(
+            "FrequencySweep", ctx=ctx, seed=seed, faults=faults,
+            telemetry=telemetry,
+        )
+        if legacy is not None:
+            ctx = legacy
+        elif ctx is None:
+            ctx = RunContext.resolve()
+        #: The session context every run of this sweep executes under.
+        self.ctx = ctx
+        self.testbed = Testbed(gpu, seed=ctx.seed)
         #: Statistics of the most recent :meth:`run` (units, cache hits).
         self.last_stats: ExecutionStats | None = None
         #: Units of the most recent :meth:`run` that produced no
@@ -103,6 +114,20 @@ class FrequencySweep:
         """The card being swept."""
         return self.testbed.gpu
 
+    def _run_ctx(
+        self, execution: ExecutionConfig | None, api: str
+    ) -> RunContext:
+        """Fold the deprecated per-run execution override into a context."""
+        if execution is None:
+            return self.ctx
+        warnings.warn(
+            f"{api}: the execution keyword is deprecated; build the sweep "
+            f"with ctx=RunContext.resolve(execution=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return self.ctx.derive(execution=execution)
+
     def run_benchmark(
         self,
         benchmark: KernelSpec,
@@ -110,7 +135,8 @@ class FrequencySweep:
         execution: ExecutionConfig | None = None,
     ) -> dict[str, Measurement]:
         """Measure one benchmark at every configurable pair."""
-        table = self.run([benchmark], scale=scale, execution=execution)
+        ctx = self._run_ctx(execution, "FrequencySweep.run_benchmark")
+        table = self._run([benchmark], scale, ctx)
         return dict(table.measurements[benchmark.name])
 
     def run(
@@ -122,37 +148,32 @@ class FrequencySweep:
         """Measure a set of benchmarks (default: all 37) at every pair.
 
         ``scale=1.0`` is the paper's "maximum feasible input data size".
-        ``execution`` selects the executor, worker count and result
-        cache; the default runs serially, uncached.
+        The executor, worker count and result cache come from the
+        sweep's :attr:`ctx`; ``execution`` is the deprecated per-run
+        override.
         """
+        ctx = self._run_ctx(execution, "FrequencySweep.run")
+        return self._run(benchmarks, scale, ctx)
+
+    def _run(
+        self,
+        benchmarks: Sequence[KernelSpec] | None,
+        scale: float,
+        ctx: RunContext,
+    ) -> SweepTable:
         if benchmarks is None:
             benchmarks = all_benchmarks()
-        if self._faults is not None:
-            execution = dataclasses.replace(
-                execution if execution is not None else ExecutionConfig(),
-                on_error="degrade",
-            )
-        telemetry = self._telemetry
-        if telemetry is not None:
-            execution = dataclasses.replace(
-                execution if execution is not None else ExecutionConfig(),
-                telemetry=telemetry,
-            )
-        elif execution is not None:
-            telemetry = execution.telemetry
-        units = sweep_units(
-            self.gpu, benchmarks, scale=scale, seed=self._seed,
-            faults=self._faults,
-        )
+        telemetry = ctx.telemetry
+        units = sweep_units(self.gpu, benchmarks, scale=scale, ctx=ctx)
         if telemetry is not None:
             with telemetry.tracer.span(
                 "sweep", kind="phase", gpu=self.gpu.name, units=len(units)
             ):
-                outcome = run_units(units, execution)
+                outcome = run_units(units, ctx)
             telemetry.metrics.inc("sweep.units", len(units))
             telemetry.metrics.inc("sweep.lost", len(outcome.failures))
         else:
-            outcome = run_units(units, execution)
+            outcome = run_units(units, ctx)
         self.last_stats = outcome.stats
         self.last_failures = outcome.failures
         table: dict[str, dict[str, Measurement]] = {

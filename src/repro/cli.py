@@ -40,19 +40,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _execution_config(args: argparse.Namespace, default_cache=None):
-    """Build an ExecutionConfig from the shared CLI flags."""
-    from repro.execution import ExecutionConfig
-
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache)
-    return ExecutionConfig(jobs=args.jobs, cache_dir=cache_dir)
-
-
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="SPEC",
+        help="declarative campaign spec, TOML or JSON (see "
+        "docs/ARCHITECTURE.md); explicit flags override spec values",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="worker processes for the measurement work (default: 1)",
     )
@@ -93,62 +92,73 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _telemetry(args: argparse.Namespace, default_events=None):
-    """Build a Telemetry context from --trace/--metrics-out (or None).
+def _campaign_spec(args: argparse.Namespace, default_gpus=None):
+    """Resolve --config plus explicit flags into one CampaignSpec.
 
-    Returns ``(telemetry, events_path)``; both are ``None`` when neither
-    flag was given.  The caller owns ``telemetry.close()``.
+    The spec file (when given) provides the baseline; every flag the
+    user set explicitly overrides its field.  Flag-only invocations
+    synthesize the equivalent spec, so both paths archive the same
+    resolved document in the campaign manifest.
     """
-    import pathlib
+    from repro.session import CampaignSpec, load_spec
 
-    from repro.telemetry import JsonlSink, Telemetry
-
-    trace = getattr(args, "trace", None)
-    if trace is None and getattr(args, "metrics_out", None) is None:
-        return None, None
-    sinks = []
-    events_path = None
-    if trace is not None:
-        events_path = pathlib.Path(
-            trace
-            if trace != "auto"
-            else (default_events or "events.jsonl")
-        )
-        sinks.append(JsonlSink(events_path))
-    return Telemetry(sinks=sinks), events_path
-
-
-def _fault_plan(args: argparse.Namespace):
-    """Resolve the --faults flag into a plan (or None)."""
-    from repro.faults import resolve_plan
-
-    return resolve_plan(getattr(args, "faults", None))
+    config = getattr(args, "config", None)
+    spec = load_spec(config) if config is not None else CampaignSpec()
+    overrides: dict[str, object] = {}
+    if getattr(args, "gpus", None) is not None:
+        overrides["gpus"] = tuple(args.gpus)
+    elif spec.gpus is None and default_gpus is not None:
+        overrides["gpus"] = tuple(default_gpus)
+    if getattr(args, "benchmarks", None) is not None:
+        overrides["benchmarks"] = tuple(args.benchmarks)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.no_cache:
+        overrides["cache"] = False
+    elif args.cache_dir is not None:
+        overrides["cache"] = args.cache_dir
+    if getattr(args, "faults", None) is not None:
+        overrides["faults"] = args.faults
+    if args.trace is not None:
+        overrides["trace"] = True if args.trace == "auto" else args.trace
+    return spec.override(**overrides) if overrides else spec
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.arch.specs import get_gpu
     from repro.characterize.sweep import FrequencySweep
     from repro.kernels.suites import get_benchmark
+    from repro.session import RunContext
 
-    gpu = get_gpu(args.gpu)
-    bench = get_benchmark(args.benchmark)
-    telemetry, events_path = _telemetry(args)
-    sweep = FrequencySweep(
-        gpu, seed=args.seed, faults=_fault_plan(args), telemetry=telemetry
-    )
+    spec = _campaign_spec(args)
+    gpu_name = args.gpu or (spec.gpus[0] if spec.gpus else None)
+    bench_name = args.benchmark or (spec.benchmarks[0] if spec.benchmarks else None)
+    if gpu_name is None or bench_name is None:
+        print(
+            "sweep needs a GPU and a benchmark (arguments or --config)",
+            file=sys.stderr,
+        )
+        return 2
+    gpu = get_gpu(gpu_name)
+    bench = get_benchmark(bench_name)
+    ctx = RunContext.from_spec(spec, metrics_path=args.metrics_out)
+    sweep = FrequencySweep(gpu, ctx)
     try:
-        results = sweep.run_benchmark(bench, execution=_execution_config(args))
+        results = sweep.run_benchmark(bench)
     finally:
-        if telemetry is not None:
+        if ctx.telemetry is not None:
             from repro.telemetry import metrics_document, write_metrics_json
 
-            snapshot = telemetry.metrics.snapshot()
-            telemetry.tracer.emit(
+            snapshot = ctx.telemetry.metrics.snapshot()
+            ctx.telemetry.tracer.emit(
                 {"type": "metrics", **metrics_document(snapshot)}
             )
-            if args.metrics_out is not None:
-                write_metrics_json(args.metrics_out, snapshot)
-            telemetry.close()
+            if ctx.metrics_path is not None:
+                write_metrics_json(ctx.metrics_path, snapshot)
+            ctx.close()
+    events_path = ctx.trace_path
     default = results.get("H-H")
     print(f"{bench} on {gpu}:")
     print(f"{'pair':6s} {'time[s]':>9s} {'power[W]':>9s} {'energy[J]':>10s} {'eff vs H-H':>11s}")
@@ -170,29 +180,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    import pathlib
+    from repro.campaign import Campaign
+    from repro.session import RunContext
 
-    from repro.campaign import CACHE_DIR_NAME, EVENTS_NAME, Campaign
-
-    default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
-    telemetry, events_path = _telemetry(
-        args, default_events=pathlib.Path(args.directory) / EVENTS_NAME
+    spec = _campaign_spec(args)
+    ctx = RunContext.from_spec(
+        spec, base_dir=args.directory, metrics_path=args.metrics_out
     )
     campaign = Campaign(
         args.directory,
-        gpus=args.gpus,
-        seed=args.seed,
-        benchmarks=args.benchmarks,
-        execution=_execution_config(args, default_cache=default_cache),
-        faults=_fault_plan(args),
-        telemetry=telemetry,
-        metrics_path=args.metrics_out,
+        gpus=spec.gpus,
+        benchmarks=spec.benchmarks,
+        pairs=spec.pairs,
+        ctx=ctx,
     )
     try:
         summaries = campaign.run(refresh=args.refresh)
     finally:
-        if telemetry is not None:
-            telemetry.close()
+        ctx.close()
+    events_path = ctx.trace_path
     print(
         f"{'GPU':16s} {'power R̄²':>9s} {'err[%]':>7s} {'err[W]':>7s} "
         f"{'perf R̄²':>9s} {'err[%]':>7s}"
@@ -223,43 +229,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     glitches, reconfiguration retries, unit crashes) and proves the
     campaign completes and accounts for its losses.
     """
-    import pathlib
+    from repro.campaign import Campaign
+    from repro.session import RunContext
 
-    from repro.campaign import CACHE_DIR_NAME, EVENTS_NAME, Campaign
-    from repro.faults import aggressive_plan, resolve_plan
-
-    plan = (
-        resolve_plan(args.faults) if args.faults is not None
-        else aggressive_plan()
-    )
-    if plan is None:
-        print("fault plan is null; chaos needs injected faults", file=sys.stderr)
-        return 2
-    default_cache = pathlib.Path(args.directory) / CACHE_DIR_NAME
-    telemetry, events_path = _telemetry(
-        args, default_events=pathlib.Path(args.directory) / EVENTS_NAME
+    spec = _campaign_spec(args, default_gpus=["GTX 460"])
+    if spec.faults is None:
+        if args.faults is not None:
+            print(
+                "fault plan is null; chaos needs injected faults",
+                file=sys.stderr,
+            )
+            return 2
+        spec = spec.override(faults="aggressive")
+    ctx = RunContext.from_spec(
+        spec, base_dir=args.directory, metrics_path=args.metrics_out
     )
     campaign = Campaign(
         args.directory,
-        gpus=args.gpus or ["GTX 460"],
-        seed=args.seed,
-        benchmarks=args.benchmarks,
-        execution=_execution_config(args, default_cache=default_cache),
-        faults=plan,
-        telemetry=telemetry,
-        metrics_path=args.metrics_out,
+        gpus=spec.gpus,
+        benchmarks=spec.benchmarks,
+        pairs=spec.pairs,
+        ctx=ctx,
     )
     try:
         campaign.run(refresh=args.refresh)
     finally:
-        if telemetry is not None:
-            telemetry.close()
+        ctx.close()
     health = campaign.last_health
-    print(f"chaos campaign survived the '{plan.name}' fault plan:")
+    print(f"chaos campaign survived the '{spec.faults.name}' fault plan:")
     print(health.summary())
     print(f"\nhealth report: {campaign.health_path}")
-    if events_path is not None:
-        print(f"trace: {events_path}")
+    if ctx.trace_path is not None:
+        print(f"trace: {ctx.trace_path}")
     return 0
 
 
@@ -315,8 +316,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_sweep = sub.add_parser(
         "sweep", help="sweep one benchmark on one GPU over all pairs"
     )
-    p_sweep.add_argument("gpu", help="GPU name, e.g. 'GTX 680'")
-    p_sweep.add_argument("benchmark", help="benchmark name, e.g. backprop")
+    p_sweep.add_argument(
+        "gpu", nargs="?", default=None,
+        help="GPU name, e.g. 'GTX 680' (or first gpus entry of --config)",
+    )
+    p_sweep.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="benchmark name, e.g. backprop (or first benchmarks entry "
+        "of --config)",
+    )
     p_sweep.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)

@@ -14,7 +14,6 @@ frequency pair.  One dataset observation is therefore a
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -29,6 +28,7 @@ from repro.faults.plan import FaultPlan
 from repro.instruments.profiler import CudaProfiler
 from repro.kernels.profile import KernelSpec
 from repro.kernels.suites import modeling_benchmarks
+from repro.session.context import RunContext, legacy_context
 from repro.telemetry.runtime import Telemetry
 
 
@@ -172,10 +172,12 @@ def build_dataset(
     gpu: GPUSpec,
     benchmarks: Sequence[KernelSpec] | None = None,
     pairs: Sequence[str] | None = None,
+    ctx: RunContext | None = None,
+    stats: ExecutionStats | None = None,
+    *,
     seed: int | None = None,
     profiler: CudaProfiler | None = None,
     execution: ExecutionConfig | None = None,
-    stats: ExecutionStats | None = None,
     faults: FaultPlan | None = None,
     telemetry: Telemetry | None = None,
 ) -> ModelingDataset:
@@ -197,29 +199,38 @@ def build_dataset(
     pairs:
         Frequency-pair keys to measure; defaults to every configurable
         pair of the card (Table III).
-    seed:
-        Optional noise-seed override (tests).
-    profiler:
-        Counter collector; defaults to the era-faithful profiler.  Pass
-        a custom :class:`CudaProfiler` (e.g. with a ``noise_scale``
-        override) for profiler-fidelity experiments.
-    execution:
-        Executor/cache selection (``repro.execution``); the default
-        runs serially, uncached.
+    ctx:
+        The :class:`~repro.session.RunContext` the build runs under —
+        seed, executor/cache selection, fault plan, telemetry and
+        profiler override in one normalized value.  Defaults to a plain
+        context (serial, uncached, fault-free).  When the context
+        carries a fault plan, execution runs in graceful degradation
+        (``on_error="degrade"``): failed units become recorded
+        :class:`Exclusion` entries instead of aborting the build.  When
+        it carries telemetry, the build reports into it (a
+        ``dataset-build`` phase span over the unit batch, plus
+        observation/exclusion counters).
     stats:
         Optional accumulator the build's execution statistics (units,
         cache hits, retries, wall time) are merged into.
-    faults:
-        Optional deterministic fault plan (``repro.faults``).  When
-        active, execution auto-upgrades to graceful degradation
-        (``on_error="degrade"``): failed units become recorded
-        :class:`Exclusion` entries instead of aborting the build.
-    telemetry:
-        Optional :class:`~repro.telemetry.Telemetry` context the build
-        reports into (a ``dataset-build`` phase span over the unit
-        batch, plus observation/exclusion counters).  Overrides the
-        execution config's telemetry when both are given.
+    seed, profiler, execution, faults, telemetry:
+        Deprecated kwarg bundle; pass a ``ctx`` instead.  Kept as a
+        compatibility shim for one release.
     """
+    legacy = legacy_context(
+        "build_dataset",
+        ctx=ctx,
+        seed=seed,
+        profiler=profiler,
+        execution=execution,
+        faults=faults,
+        telemetry=telemetry,
+    )
+    if legacy is not None:
+        ctx = legacy
+    elif ctx is None:
+        ctx = RunContext.resolve()
+
     if benchmarks is None:
         benchmarks = modeling_benchmarks()
     counters = counter_set(gpu.traits.counter_set)
@@ -232,32 +243,15 @@ def build_dataset(
         if not ops:
             raise ValueError(f"no configurable pair among {sorted(wanted)}")
 
-    if faults is not None and faults.is_null:
-        faults = None
-    if faults is not None:
-        execution = dataclasses.replace(
-            execution if execution is not None else ExecutionConfig(),
-            on_error="degrade",
-        )
-    if telemetry is not None:
-        execution = dataclasses.replace(
-            execution if execution is not None else ExecutionConfig(),
-            telemetry=telemetry,
-        )
-    elif execution is not None:
-        telemetry = execution.telemetry
-
-    units = dataset_units(
-        gpu, benchmarks, pairs=pairs, seed=seed, profiler=profiler,
-        faults=faults,
-    )
+    telemetry = ctx.telemetry
+    units = dataset_units(gpu, benchmarks, pairs=pairs, ctx=ctx)
     if telemetry is not None:
         with telemetry.tracer.span(
             "dataset-build", kind="phase", gpu=gpu.name, units=len(units)
         ):
-            outcome = run_units(units, execution)
+            outcome = run_units(units, ctx)
     else:
-        outcome = run_units(units, execution)
+        outcome = run_units(units, ctx)
     if stats is not None:
         stats.merge(outcome.stats)
 

@@ -331,9 +331,14 @@ def make_executor(jobs: int):
 
 def run_units(
     units: Iterable[WorkUnit],
-    config: ExecutionConfig | None = None,
+    config: "ExecutionConfig | Any | None" = None,
 ) -> ExecutionResult:
     """Execute a batch of work units, consulting the result cache.
+
+    ``config`` is an :class:`ExecutionConfig`, or a
+    :class:`~repro.session.RunContext` whose (already normalized)
+    execution config is used — the engine entry point speaks the
+    session layer without importing it.
 
     Results come back in unit order whatever the executor's completion
     order was, so parallel and serial runs assemble byte-identical
@@ -347,6 +352,9 @@ def run_units(
     """
     if config is None:
         config = ExecutionConfig()
+    else:
+        # A RunContext (duck-typed to avoid the engine -> session cycle).
+        config = getattr(config, "execution", config)
     unit_list = list(units)
     stats = ExecutionStats(total_units=len(unit_list))
     start = time.perf_counter()

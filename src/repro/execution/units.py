@@ -25,7 +25,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.instruments.profiler import CudaProfiler
 from repro.instruments.testbed import Measurement, shared_testbed
 from repro.kernels.profile import KernelSpec
 from repro.telemetry.runtime import current_telemetry
+
+if TYPE_CHECKING:  # session imports the engine; keep the cycle static-only
+    from repro.session.context import RunContext
 
 
 # ----------------------------------------------------------------------
@@ -344,8 +347,17 @@ def sweep_units(
     scale: float = 1.0,
     seed: int | None = None,
     faults: FaultPlan | None = None,
+    ctx: "RunContext | None" = None,
 ) -> list[SweepUnit]:
-    """Decompose a Section III sweep into benchmark-major unit order."""
+    """Decompose a Section III sweep into benchmark-major unit order.
+
+    ``ctx`` supplies the session's (seed, fault plan) in one argument;
+    the loose kwargs remain for direct unit construction in tests.
+    Units deliberately carry those as plain data fields — a context
+    holds live resources and must not leak into worker pickles.
+    """
+    if ctx is not None:
+        seed, faults = ctx.seed, ctx.faults
     faults = _normalize_plan(faults)
     return [
         SweepUnit(
@@ -368,8 +380,18 @@ def dataset_units(
     seed: int | None = None,
     profiler: CudaProfiler | None = None,
     faults: FaultPlan | None = None,
+    ctx: "RunContext | None" = None,
 ) -> list[DatasetUnit]:
-    """Decompose a Section IV dataset build into (benchmark, size) units."""
+    """Decompose a Section IV dataset build into (benchmark, size) units.
+
+    ``ctx`` supplies (seed, fault plan, profiler override) in one
+    argument; the loose kwargs remain for direct unit construction in
+    tests.
+    """
+    if ctx is not None:
+        seed, faults = ctx.seed, ctx.faults
+        if profiler is None:
+            profiler = ctx.profiler
     if profiler is None:
         profiler = CudaProfiler(seed=seed)
     faults = _normalize_plan(faults)

@@ -15,19 +15,31 @@ from repro.arch.specs import GPUSpec, get_gpu
 from repro.characterize.sweep import FrequencySweep, SweepTable
 from repro.core.dataset import ModelingDataset, build_dataset
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.session.context import RunContext
+
+
+@lru_cache(maxsize=None)
+def run_context(seed: int | None = None) -> RunContext:
+    """The shared session context experiments run under, per seed.
+
+    Experiments are seed-parameterized only (serial, uncached,
+    fault-free, untraced), so one resolved context per seed serves the
+    whole suite.
+    """
+    return RunContext.resolve(seed=seed)
 
 
 @lru_cache(maxsize=None)
 def sweep_table(gpu_name: str, seed: int | None = None) -> SweepTable:
     """Full Section III sweep (all benchmarks, all pairs) of one card."""
     gpu: GPUSpec = get_gpu(gpu_name)
-    return FrequencySweep(gpu, seed=seed).run()
+    return FrequencySweep(gpu, run_context(seed)).run()
 
 
 @lru_cache(maxsize=None)
 def dataset(gpu_name: str, seed: int | None = None) -> ModelingDataset:
     """The 114-sample modeling dataset of one card."""
-    return build_dataset(get_gpu(gpu_name), seed=seed)
+    return build_dataset(get_gpu(gpu_name), ctx=run_context(seed))
 
 
 @lru_cache(maxsize=None)
@@ -50,6 +62,7 @@ def performance_model(
 
 def clear_caches() -> None:
     """Drop all memoized sweeps/datasets/models (tests)."""
+    run_context.cache_clear()
     sweep_table.cache_clear()
     dataset.cache_clear()
     power_model.cache_clear()

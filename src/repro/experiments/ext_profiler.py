@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.arch.specs import get_gpu
 from repro.core.dataset import build_dataset
+from repro.session.context import RunContext
 from repro.core.evaluate import evaluate_model
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
 from repro.experiments.base import ExperimentResult
@@ -39,7 +40,9 @@ def run(seed: int | None = None) -> ExperimentResult:
         profiler = CudaProfiler(
             seed=seed, noise_scale=noise_scale, bias_cv=bias_cv
         )
-        ds = build_dataset(gpu, seed=seed, profiler=profiler)
+        ds = build_dataset(
+            gpu, ctx=RunContext.resolve(seed=seed, profiler=profiler)
+        )
         power = UnifiedPowerModel().fit(ds)
         perf = UnifiedPerformanceModel().fit(ds)
         rows.append(

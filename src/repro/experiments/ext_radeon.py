@@ -16,6 +16,7 @@ from repro.arch.specs import get_gpu
 from repro.characterize.efficiency import characterize_gpu
 from repro.characterize.sweep import FrequencySweep
 from repro.core.dataset import build_dataset
+from repro.experiments.context import run_context
 from repro.core.evaluate import evaluate_model
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
 from repro.experiments.base import ExperimentResult
@@ -28,13 +29,13 @@ def run(seed: int | None = None) -> ExperimentResult:
     """Characterize and model the extension card end to end."""
     gpu = get_gpu("Radeon HD 7970")
 
-    table = FrequencySweep(gpu, seed=seed).run()
+    table = FrequencySweep(gpu, run_context(seed)).run()
     records = characterize_gpu(gpu, table=table)
     non_default = sum(1 for r in records if not r.is_default_best)
     mean_gain = float(np.mean([r.improvement_pct for r in records]))
     backprop = next(r for r in records if r.benchmark == "backprop")
 
-    ds = build_dataset(gpu, seed=seed)
+    ds = build_dataset(gpu, ctx=run_context(seed))
     power = UnifiedPowerModel().fit(ds)
     perf = UnifiedPerformanceModel().fit(ds)
     power_report = evaluate_model(power, ds)

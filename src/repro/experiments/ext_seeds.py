@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.arch.specs import GPU_NAMES, get_gpu
 from repro.core.dataset import build_dataset
+from repro.experiments.context import run_context
 from repro.core.evaluate import evaluate_model
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
 from repro.experiments.base import ExperimentResult
@@ -29,7 +30,7 @@ def run(seed: int | None = None) -> ExperimentResult:
     for name in GPU_NAMES:
         power_r2, perf_r2, perf_err = [], [], []
         for s in SEEDS:
-            ds = build_dataset(get_gpu(name), seed=s)
+            ds = build_dataset(get_gpu(name), ctx=run_context(s))
             pm = UnifiedPowerModel().fit(ds)
             fm = UnifiedPerformanceModel().fit(ds)
             power_r2.append(pm.adjusted_r2)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.arch.specs import GPU_NAMES, get_gpu
 from repro.core.dataset import build_dataset
+from repro.experiments.context import run_context
 from repro.core.evaluate import evaluate_model
 from repro.experiments import context
 from repro.experiments.base import ExperimentResult
@@ -28,7 +29,9 @@ def run(seed: int | None = None) -> ExperimentResult:
     rows = []
     for name in GPU_NAMES:
         train = context.dataset(name, seed)
-        test = build_dataset(get_gpu(name), benchmarks=synthetic, seed=seed)
+        test = build_dataset(
+            get_gpu(name), benchmarks=synthetic, ctx=run_context(seed)
+        )
         for kind, model_fn in (
             ("power", context.power_model),
             ("performance", context.performance_model),

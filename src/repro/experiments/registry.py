@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.session.context import RunContext
 
 from repro.experiments import (
     ext_bootstrap,
@@ -98,7 +101,20 @@ def get_experiment(
         ) from None
 
 
-def run(experiment_id: str, seed: int | None = None) -> ExperimentResult:
-    """Run one experiment by id."""
+def run(
+    experiment_id: str,
+    seed: int | None = None,
+    ctx: "RunContext | None" = None,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Experiments are seed-parameterized; passing a
+    :class:`~repro.session.RunContext` runs under its seed (the
+    preferred spelling for callers that already hold a session).
+    """
     _, runner = get_experiment(experiment_id)
+    if ctx is not None:
+        if seed is not None and seed != ctx.seed:
+            raise ValueError("pass either seed or ctx, not conflicting both")
+        seed = ctx.seed
     return runner(seed=seed)

@@ -90,6 +90,14 @@ class Testbed:
         :class:`~repro.errors.MeasurementError`; with ``False`` the
         measurement is returned flagged ``degraded`` instead (the
         graceful-degradation path campaign work units use).
+    ctx:
+        Optional :class:`~repro.session.RunContext` supplying the
+        session settings in one argument: its seed (unless ``seed`` is
+        given explicitly) and, when the context carries a fault plan
+        and no explicit ``injector``, an injector realizing that plan —
+        with ``strict_quorum`` defaulting to ``False``, matching the
+        graceful-degradation path fault-injected campaign units run
+        under.
     """
 
     #: Not a pytest test class, despite the name matching ``Test*``.
@@ -104,7 +112,16 @@ class Testbed:
         ambient_c: float = 25.0,
         injector=None,
         strict_quorum: bool = True,
+        ctx=None,
     ) -> None:
+        if ctx is not None:
+            if seed is None:
+                seed = ctx.seed
+            if injector is None and ctx.faults is not None:
+                from repro.faults.injector import FaultInjector
+
+                injector = FaultInjector(ctx.faults, seed=ctx.seed)
+                strict_quorum = False
         self.host = host if host is not None else HostSystem()
         self.meter = meter if meter is not None else PowerMeter()
         self._seed = seed

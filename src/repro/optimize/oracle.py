@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.arch.specs import GPUSpec
 from repro.characterize.sweep import FrequencySweep
+from repro.session.context import RunContext
 from repro.instruments.testbed import Measurement
 from repro.kernels.profile import KernelSpec
 from repro.optimize.governor import GovernorDecision
@@ -49,7 +50,9 @@ def exhaustive_oracle(
 ) -> OracleResult:
     """Measure every pair (or reuse a sweep) and return the true optimum."""
     if measurements is None:
-        measurements = FrequencySweep(gpu, seed=seed).run_benchmark(kernel, scale)
+        measurements = FrequencySweep(
+            gpu, RunContext.resolve(seed=seed)
+        ).run_benchmark(kernel, scale)
     energy = {key: m.energy_j for key, m in measurements.items()}
     best = min(energy, key=energy.get)
     return OracleResult(energy_j=energy, best_pair=best)

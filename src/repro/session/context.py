@@ -1,0 +1,393 @@
+"""The unified run context: one session object instead of five kwargs.
+
+Before this layer existed, every cross-cutting campaign concern — noise
+seed, executor/cache selection, fault plan, telemetry, profiler
+overrides — was hand-threaded as separate keyword arguments through
+``Campaign``, ``FrequencySweep``, ``build_dataset`` and the CLI, and
+the same normalization (null fault plans collapsing to ``None``,
+telemetry merging into the :class:`ExecutionConfig`) was re-implemented
+in each of them.  A :class:`RunContext` performs that normalization
+exactly once, at construction, and rides through every layer as a
+single frozen value:
+
+* :meth:`RunContext.resolve` builds a context from loose ingredients
+  and establishes the invariants every consumer may rely on;
+* :meth:`RunContext.from_spec` builds one from a declarative
+  :class:`~repro.session.spec.CampaignSpec` (TOML/JSON file);
+* :func:`merge_execution` / :func:`normalize_faults` are the shared
+  helpers the old per-layer copies collapsed into.
+
+Invariants of a resolved context:
+
+* ``faults`` is never a null plan (null plans collapse to ``None``, so
+  they cannot split the result cache);
+* ``execution`` is always a concrete :class:`ExecutionConfig`, with
+  ``on_error="degrade"`` whenever a fault plan is active;
+* ``telemetry`` and ``execution.telemetry`` are the same object (or
+  both ``None``) — there is a single telemetry source of truth.
+
+Contexts deliberately stop at the process boundary: work units stay
+frozen picklable value objects carrying (seed, faults) as plain data,
+because a context holds live resources (telemetry sinks) that must not
+leak into cache keys or worker pickles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import warnings
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.execution.engine import ExecutionConfig
+from repro.faults.plan import FaultPlan
+from repro.instruments.profiler import CudaProfiler
+from repro.session.spec import CampaignSpec
+from repro.telemetry.runtime import Telemetry
+
+#: Subdirectory of a campaign directory holding the work-unit cache.
+CACHE_DIR_NAME = "cache"
+
+#: Telemetry artifacts of a traced campaign.
+EVENTS_NAME = "events.jsonl"
+METRICS_NAME = "metrics.json"
+
+
+def normalize_faults(faults: FaultPlan | None) -> FaultPlan | None:
+    """Collapse null fault plans to ``None``.
+
+    The single home of the check previously re-implemented by
+    ``Campaign``, ``FrequencySweep`` and ``build_dataset``: a plan that
+    injects nothing must not reach work units, where it would split the
+    content-addressed result cache for no behavioral difference.
+    """
+    if faults is None or faults.is_null:
+        return None
+    return faults
+
+
+def merge_execution(
+    execution: ExecutionConfig | None,
+    faults: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
+) -> tuple[ExecutionConfig, Telemetry | None]:
+    """Layer faults and telemetry onto an execution config, once.
+
+    Returns the normalized ``(execution, telemetry)`` pair: an active
+    fault plan upgrades ``on_error`` to graceful degradation, an
+    explicit telemetry context wins over the config's own, and an
+    absent one is adopted *from* the config.  All caller-supplied
+    fields survive — the merge is a single :func:`dataclasses.replace`
+    pass, never a fresh default config layered over the caller's.
+    """
+    if execution is None:
+        execution = ExecutionConfig()
+    if telemetry is None:
+        telemetry = execution.telemetry
+    updates: dict[str, Any] = {}
+    if faults is not None and execution.on_error != "degrade":
+        updates["on_error"] = "degrade"
+    if telemetry is not execution.telemetry:
+        updates["telemetry"] = telemetry
+    if updates:
+        execution = dataclasses.replace(execution, **updates)
+    return execution, telemetry
+
+
+def _as_path(value: str | pathlib.Path | None) -> pathlib.Path | None:
+    return pathlib.Path(value) if value is not None else None
+
+
+@dataclass(frozen=True, eq=False)
+class RunContext:
+    """Frozen session settings shared by every layer of one run.
+
+    Build one with :meth:`resolve` (loose ingredients) or
+    :meth:`from_spec` (declarative spec file) rather than directly —
+    the constructors establish the normalization invariants documented
+    in the module docstring.
+    """
+
+    #: Noise-seed override threaded into every keyed RNG stream.
+    seed: int | None = None
+    #: Executor/cache/retry selection for the measurement work.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Deterministic fault plan; never a null plan after ``resolve``.
+    faults: FaultPlan | None = None
+    #: Telemetry context (span tree + metrics); identical to
+    #: ``execution.telemetry`` after ``resolve``.
+    telemetry: Telemetry | None = None
+    #: Profiler-fidelity override for dataset builds.
+    profiler: CudaProfiler | None = None
+    #: Campaign directory the run archives into, when there is one.
+    artifact_dir: pathlib.Path | None = None
+    #: Where the aggregated ``metrics.json`` artifact goes.
+    metrics_path: pathlib.Path | None = None
+    #: Where the JSONL event log streams, when tracing.
+    trace_path: pathlib.Path | None = None
+    #: The declarative spec this context was resolved from, if any.
+    spec: CampaignSpec | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resolve(
+        cls,
+        seed: int | None = None,
+        execution: ExecutionConfig | None = None,
+        faults: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
+        profiler: CudaProfiler | None = None,
+        artifact_dir: str | pathlib.Path | None = None,
+        metrics_path: str | pathlib.Path | None = None,
+        trace_path: str | pathlib.Path | None = None,
+        spec: CampaignSpec | None = None,
+    ) -> "RunContext":
+        """Normalize loose session ingredients into one context.
+
+        This is the single normalization point the per-layer copies
+        collapsed into.  When no execution config is given, a default
+        one is built — cached under ``artifact_dir/cache`` when the run
+        has an artifact directory, uncached otherwise.  ``resolve`` is
+        idempotent: re-resolving a resolved context's fields is a
+        no-op.
+        """
+        artifact_dir = _as_path(artifact_dir)
+        if execution is None:
+            cache_dir = (
+                artifact_dir / CACHE_DIR_NAME
+                if artifact_dir is not None
+                else None
+            )
+            execution = ExecutionConfig(cache_dir=cache_dir)
+        faults = normalize_faults(faults)
+        execution, telemetry = merge_execution(
+            execution, faults=faults, telemetry=telemetry
+        )
+        metrics_path = _as_path(metrics_path)
+        if (
+            metrics_path is None
+            and telemetry is not None
+            and artifact_dir is not None
+        ):
+            metrics_path = artifact_dir / METRICS_NAME
+        return cls(
+            seed=seed,
+            execution=execution,
+            faults=faults,
+            telemetry=telemetry,
+            profiler=profiler,
+            artifact_dir=artifact_dir,
+            metrics_path=metrics_path,
+            trace_path=_as_path(trace_path),
+            spec=spec,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: CampaignSpec | str | pathlib.Path,
+        base_dir: str | pathlib.Path | None = None,
+        metrics_path: str | pathlib.Path | None = None,
+    ) -> "RunContext":
+        """Resolve a declarative campaign spec into a live context.
+
+        ``base_dir`` roots the spec's defaulted locations (result
+        cache, event log, metrics artifact) — pass the campaign
+        directory.  A tracing spec opens a JSONL sink; the caller owns
+        :meth:`close`.
+        """
+        if not isinstance(spec, CampaignSpec):
+            spec = CampaignSpec.load(spec)
+        base_dir = _as_path(base_dir)
+
+        if spec.cache is False:
+            cache_dir = None
+        elif spec.cache is True:
+            cache_dir = (
+                base_dir / CACHE_DIR_NAME if base_dir is not None else None
+            )
+        else:
+            cache_dir = pathlib.Path(spec.cache)
+        execution = ExecutionConfig(jobs=spec.jobs, cache_dir=cache_dir)
+
+        trace_path: pathlib.Path | None = None
+        if spec.trace is True:
+            trace_path = (
+                base_dir / EVENTS_NAME
+                if base_dir is not None
+                else pathlib.Path(EVENTS_NAME)
+            )
+        elif spec.trace is not False:
+            trace_path = pathlib.Path(spec.trace)
+
+        telemetry: Telemetry | None = None
+        if trace_path is not None:
+            from repro.telemetry.sinks import JsonlSink
+
+            telemetry = Telemetry(sinks=[JsonlSink(trace_path)])
+        elif metrics_path is not None:
+            telemetry = Telemetry()
+
+        return cls.resolve(
+            seed=spec.seed,
+            execution=execution,
+            faults=spec.faults,
+            telemetry=telemetry,
+            artifact_dir=base_dir,
+            metrics_path=metrics_path,
+            trace_path=trace_path,
+            spec=spec,
+        )
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def derive(self, **changes: Any) -> "RunContext":
+        """A re-resolved copy with some ingredients replaced."""
+        ingredients: dict[str, Any] = {
+            "seed": self.seed,
+            "execution": self.execution,
+            "faults": self.faults,
+            "telemetry": self.telemetry,
+            "profiler": self.profiler,
+            "artifact_dir": self.artifact_dir,
+            "metrics_path": self.metrics_path,
+            "trace_path": self.trace_path,
+            "spec": self.spec,
+        }
+        unknown = sorted(set(changes) - set(ingredients))
+        if unknown:
+            raise TypeError(f"unknown RunContext fields: {', '.join(unknown)}")
+        ingredients.update(changes)
+        return RunContext.resolve(**ingredients)
+
+    def rooted(self, directory: str | pathlib.Path) -> "RunContext":
+        """Root an un-rooted context under a campaign directory.
+
+        Fills in the artifact directory and the locations that default
+        under it (result cache, metrics artifact).  A context that
+        already has an artifact directory is returned unchanged — its
+        locations were chosen deliberately.
+        """
+        if self.artifact_dir is not None:
+            return self
+        directory = pathlib.Path(directory)
+        execution = self.execution
+        if execution.cache_dir is None:
+            execution = dataclasses.replace(
+                execution, cache_dir=directory / CACHE_DIR_NAME
+            )
+        metrics_path = self.metrics_path
+        if metrics_path is None and self.telemetry is not None:
+            metrics_path = directory / METRICS_NAME
+        return dataclasses.replace(
+            self,
+            execution=execution,
+            artifact_dir=directory,
+            metrics_path=metrics_path,
+        )
+
+    # ------------------------------------------------------------------
+    # manifest embedding
+    # ------------------------------------------------------------------
+
+    #: Spec fields that select execution mechanics rather than science.
+    #: By the determinism contract they cannot change any result, so the
+    #: campaign manifest omits them: serial/parallel and cached/uncached
+    #: runs of one campaign stay byte-identical (mechanics are accounted
+    #: in ``health.json`` instead).
+    _MECHANICS_KEYS = ("jobs", "cache", "trace")
+
+    def spec_document(
+        self,
+        gpus: tuple[str, ...] | None = None,
+        benchmarks: tuple[str, ...] | None = None,
+        pairs: tuple[str, ...] | None = None,
+    ) -> dict[str, Any]:
+        """The resolved spec document a campaign embeds in its manifest.
+
+        Contexts resolved from a spec echo its deterministic slice —
+        what was measured (gpus/benchmarks/pairs), under which seed and
+        fault plan; programmatic contexts synthesize the equivalent
+        document from their own settings (plus the campaign shape
+        passed in).  Either way an archive describes how to regenerate
+        itself whatever path built it.  Execution mechanics
+        (:attr:`_MECHANICS_KEYS`) are omitted — they cannot change the
+        archived results.
+        """
+        if self.spec is not None:
+            spec = self.spec
+            if gpus is not None and spec.gpus is None:
+                spec = spec.override(gpus=gpus)
+        else:
+            spec = CampaignSpec(
+                gpus=gpus,
+                benchmarks=benchmarks,
+                pairs=pairs,
+                seed=self.seed,
+                faults=self.faults,
+            )
+        document = spec.document()
+        for key in self._MECHANICS_KEYS:
+            document.pop(key, None)
+        return document
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the telemetry sinks this context opened, if any."""
+        if self.telemetry is not None:
+            self.telemetry.close()
+
+    def __repr__(self) -> str:  # compact: the dataclass default drags
+        parts = [f"seed={self.seed}", f"jobs={self.execution.jobs}"]
+        if self.faults is not None:
+            parts.append(f"faults={self.faults.name!r}")
+        if self.telemetry is not None:
+            parts.append("telemetry=on")
+        if self.artifact_dir is not None:
+            parts.append(f"artifact_dir={str(self.artifact_dir)!r}")
+        return f"RunContext({', '.join(parts)})"
+
+
+# ----------------------------------------------------------------------
+# deprecated-kwarg compatibility shim
+# ----------------------------------------------------------------------
+
+def legacy_context(
+    api: str,
+    ctx: RunContext | None = None,
+    **legacy: Any,
+) -> RunContext | None:
+    """Resolve a deprecated kwarg bundle into a context, warning once.
+
+    The public shim keeping pre-session signatures alive for one
+    release: entry points pass their old kwargs here; if any is set, a
+    :class:`DeprecationWarning` is issued (attributed to the caller's
+    caller, so the test suite can escalate it to an error for
+    ``repro.*`` internal modules) and an equivalent context is
+    resolved.  Returns ``None`` when no legacy kwarg was used.
+    """
+    used = {name: value for name, value in legacy.items() if value is not None}
+    if not used:
+        return None
+    if ctx is not None:
+        raise TypeError(
+            f"{api}: pass either ctx or the deprecated "
+            f"{'/'.join(sorted(used))} kwargs, not both"
+        )
+    warnings.warn(
+        f"{api}: passing {'/'.join(sorted(used))} as separate keyword "
+        f"arguments is deprecated; pass a single RunContext instead "
+        f"(ctx=RunContext.resolve(...), see docs/ARCHITECTURE.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunContext.resolve(**legacy)

@@ -1,0 +1,344 @@
+"""Declarative campaign specifications (TOML/JSON experiment artifacts).
+
+A :class:`CampaignSpec` is the frozen, versioned description of *one
+whole measurement campaign*: which cards and workloads to measure
+(``gpus``, ``benchmarks``, ``pairs``) and under which session settings
+(``seed``, ``jobs``, ``cache``, ``faults``, ``trace``).  DVFS
+measurement surveys treat exactly this document as a first-class
+experiment artifact — a campaign should be reproducible from its spec
+alone — so the resolved spec is echoed into the campaign manifest and
+an archive fully describes how to regenerate itself.
+
+Specs load from TOML (preferred; ``tomllib`` on Python >= 3.11, with a
+dependency-free fallback parser for the flat subset the schema needs on
+3.10) or JSON, normalize eagerly (fault plans resolved, null plans
+collapsed, sequences frozen) and re-emit canonically through
+:meth:`CampaignSpec.document`, so load -> resolve -> re-emit is a fixed
+point whatever the source syntax was.
+
+Schema (version 1, all keys optional)::
+
+    format = "repro.campaign-spec"   # optional guard
+    version = 1
+    gpus = ["GTX 460", "GTX 680"]    # default: the paper's four
+    benchmarks = ["sgemm", "lbm"]    # default: all profiler-compatible
+    pairs = ["H-H", "L-L"]           # default: every configurable pair
+    seed = 7                         # noise-seed override
+    jobs = 4                         # worker processes
+    cache = true                     # true | false | explicit directory
+    trace = true                     # true | false | explicit JSONL path
+    faults = "aggressive"            # preset/plan-file name, or a table:
+    # [faults]
+    # crash_rate = 0.1
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan, resolve_plan
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.10 only
+    tomllib = None
+
+SPEC_FORMAT = "repro.campaign-spec"
+SPEC_VERSION = 1
+
+
+class SpecError(ReproError, ValueError):
+    """A campaign-spec document or file is malformed."""
+
+
+# ----------------------------------------------------------------------
+# minimal TOML support (3.10 fallback)
+# ----------------------------------------------------------------------
+
+def _split_unquoted(text: str, separator: str) -> list[str]:
+    """Split on a separator that is not inside a basic string."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_string = False
+    escaped = False
+    for char in text:
+        if in_string:
+            current.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char == separator:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _strip_comment(line: str) -> str:
+    return _split_unquoted(line, "#")[0].strip()
+
+
+def _parse_scalar(text: str):
+    text = text.strip()
+    if text.startswith('"'):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"bad string literal {text!r}: {exc}") from exc
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("[") and text.endswith("]"):
+        body = text[1:-1].strip()
+        if not body:
+            return []
+        return [
+            _parse_scalar(item)
+            for item in _split_unquoted(body, ",")
+            if item.strip()
+        ]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise SpecError(f"unsupported TOML value {text!r}") from None
+
+
+def _mini_toml(text: str) -> dict[str, Any]:
+    """Parse the flat TOML subset the spec schema uses.
+
+    Supports comments, one level of ``[table]`` nesting, basic strings,
+    integers, floats, booleans and (possibly multi-line) arrays — enough
+    for every campaign spec, on interpreters without ``tomllib``.
+    """
+    document: dict[str, Any] = {}
+    current = document
+    pending = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        pending = f"{pending} {line}".strip() if pending else line
+        if pending.count("[") > pending.count("]"):
+            continue  # unterminated array: keep accumulating lines
+        line, pending = pending, ""
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name or "." in name:
+                raise SpecError(f"unsupported TOML table {line!r}")
+            current = document.setdefault(name, {})
+            if not isinstance(current, dict):
+                raise SpecError(f"duplicate key {name!r}")
+            continue
+        parts = _split_unquoted(line, "=")
+        if len(parts) < 2:
+            raise SpecError(f"bad TOML line {line!r}")
+        key = parts[0].strip()
+        value = "=".join(parts[1:]).strip()
+        if not key or not value:
+            raise SpecError(f"bad TOML line {line!r}")
+        current[key] = _parse_scalar(value)
+    if pending:
+        raise SpecError(f"unterminated TOML value {pending!r}")
+    return document
+
+
+def _load_toml(text: str) -> dict[str, Any]:
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"spec is not valid TOML: {exc}") from exc
+    return _mini_toml(text)
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+
+def _frozen_names(value, field: str) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    if isinstance(value, str) or not isinstance(value, Sequence):
+        raise SpecError(f"{field} must be an array of names, got {value!r}")
+    names = tuple(value)
+    for name in names:
+        if not isinstance(name, str):
+            raise SpecError(f"{field} entries must be strings, got {name!r}")
+    return names
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign, declaratively: workload shape + session settings.
+
+    Construction normalizes eagerly — fault specifications (preset
+    names, plan files, inline tables or :class:`FaultPlan` instances)
+    resolve to a plan or ``None`` (null plans collapse), name sequences
+    freeze into tuples — so two specs describing the same campaign
+    compare equal and emit byte-identical documents.
+    """
+
+    #: Cards to measure; ``None`` means the paper's four.
+    gpus: tuple[str, ...] | None = None
+    #: Workloads; ``None`` means every profiler-compatible benchmark.
+    benchmarks: tuple[str, ...] | None = None
+    #: Frequency-pair keys; ``None`` means every configurable pair.
+    pairs: tuple[str, ...] | None = None
+    #: Noise-seed override threaded through every layer.
+    seed: int | None = None
+    #: Worker processes for the measurement work.
+    jobs: int = 1
+    #: ``True`` caches under the campaign directory, ``False`` disables
+    #: the result cache, a string is an explicit cache directory.
+    cache: bool | str = True
+    #: Deterministic fault plan (already resolved; never a null plan).
+    faults: FaultPlan | None = None
+    #: ``True`` streams the JSONL event log to the default path under
+    #: the campaign directory, a string is an explicit path.
+    trace: bool | str = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "gpus", _frozen_names(self.gpus, "gpus"))
+        object.__setattr__(
+            self, "benchmarks", _frozen_names(self.benchmarks, "benchmarks")
+        )
+        object.__setattr__(self, "pairs", _frozen_names(self.pairs, "pairs"))
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise SpecError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise SpecError(f"jobs must be an integer >= 1, got {self.jobs!r}")
+        if not isinstance(self.cache, (bool, str)):
+            raise SpecError(
+                f"cache must be true, false or a directory, got {self.cache!r}"
+            )
+        if not isinstance(self.trace, (bool, str)):
+            raise SpecError(
+                f"trace must be true, false or a path, got {self.trace!r}"
+            )
+        object.__setattr__(self, "faults", _resolve_faults(self.faults))
+
+    # ------------------------------------------------------------------
+    # canonical form
+    # ------------------------------------------------------------------
+
+    def document(self) -> dict[str, Any]:
+        """Canonical resolved JSON-able form (manifest embedding).
+
+        Deliberately directory-independent: defaulted locations stay
+        ``true`` rather than expanding to concrete paths, so campaigns
+        regenerated into different directories embed identical specs.
+        """
+        return {
+            "format": SPEC_FORMAT,
+            "version": SPEC_VERSION,
+            "gpus": list(self.gpus) if self.gpus is not None else None,
+            "benchmarks": (
+                list(self.benchmarks) if self.benchmarks is not None else None
+            ),
+            "pairs": list(self.pairs) if self.pairs is not None else None,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "faults": (
+                self.faults.document() if self.faults is not None else None
+            ),
+            "trace": self.trace,
+        }
+
+    def to_json(self) -> str:
+        """Serialize the canonical document to JSON."""
+        return json.dumps(self.document(), indent=2)
+
+    def override(self, **changes: Any) -> "CampaignSpec":
+        """A copy with some fields replaced (CLI flags over a file)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "CampaignSpec":
+        """Build a spec from a parsed TOML/JSON document, validating it."""
+        if not isinstance(doc, dict):
+            raise SpecError(f"campaign spec must be a table, got {type(doc)}")
+        body = dict(doc)
+        declared_format = body.pop("format", SPEC_FORMAT)
+        if declared_format != SPEC_FORMAT:
+            raise SpecError(
+                f"not a campaign spec: format={declared_format!r}"
+            )
+        version = body.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported campaign-spec version {version!r} "
+                f"(this release reads version {SPEC_VERSION})"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown campaign-spec fields: {', '.join(unknown)}"
+            )
+        return cls(**body)
+
+    @classmethod
+    def from_text(cls, text: str, fmt: str = "toml") -> "CampaignSpec":
+        """Parse a spec from TOML (default) or JSON text."""
+        if fmt == "json":
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        elif fmt == "toml":
+            doc = _load_toml(text)
+        else:
+            raise SpecError(f"unknown spec format {fmt!r}")
+        return cls.from_document(doc)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "CampaignSpec":
+        """Load a spec file; the suffix picks TOML (default) or JSON."""
+        path = pathlib.Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read campaign spec {path}: {exc}") from exc
+        fmt = "json" if path.suffix.lower() == ".json" else "toml"
+        return cls.from_text(text, fmt=fmt)
+
+
+def _resolve_faults(spec) -> FaultPlan | None:
+    """Normalize any accepted fault field into a plan or ``None``."""
+    if spec is None or isinstance(spec, (FaultPlan, str)):
+        return resolve_plan(spec)
+    if isinstance(spec, dict):
+        plan = FaultPlan.from_document(spec)
+        return None if plan.is_null else plan
+    raise SpecError(
+        f"faults must be a preset name, plan file, table or plan, got {spec!r}"
+    )
+
+
+def load_spec(path: str | pathlib.Path) -> CampaignSpec:
+    """Load a campaign spec from a TOML or JSON file."""
+    return CampaignSpec.load(path)

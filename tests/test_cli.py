@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -39,3 +41,73 @@ class TestCLI:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+SPEC_TOML = """
+gpus = ["GTX 460"]
+benchmarks = ["sgemm", "hotspot", "lbm"]
+seed = 7
+"""
+
+
+class TestCLIConfig:
+    """--config drives sweep and campaign from a declarative spec."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(SPEC_TOML, encoding="utf-8")
+        return path
+
+    def test_sweep_from_config(self, spec_file, capsys):
+        assert main(["sweep", "--config", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sgemm" in out
+        assert "H-H" in out
+
+    def test_sweep_without_gpu_or_config_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.toml"
+        empty.write_text("seed = 1\n", encoding="utf-8")
+        assert main(["sweep", "--config", str(empty)]) == 2
+        assert "needs a GPU" in capsys.readouterr().err
+
+    def test_campaign_config_matches_flags(self, spec_file, tmp_path, capsys):
+        assert main(
+            ["campaign", str(tmp_path / "config"), "--config", str(spec_file)]
+        ) == 0
+        assert main(
+            [
+                "campaign", str(tmp_path / "flags"),
+                "--gpu", "GTX 460",
+                "--benchmark", "sgemm",
+                "--benchmark", "hotspot",
+                "--benchmark", "lbm",
+                "--seed", "7",
+            ]
+        ) == 0
+        for name in ("campaign.json", "health.json", "dataset_gtx_460.json"):
+            left = (tmp_path / "config" / name).read_bytes()
+            right = (tmp_path / "flags" / name).read_bytes()
+            assert left == right, f"{name} differs between --config and flags"
+        manifest = json.loads(
+            (tmp_path / "config" / "campaign.json").read_text(encoding="utf-8")
+        )
+        spec = manifest["spec"]
+        assert spec["format"] == "repro.campaign-spec"
+        assert spec["gpus"] == ["GTX 460"]
+        assert spec["seed"] == 7
+
+    def test_flags_override_config(self, spec_file, tmp_path, capsys):
+        assert main(
+            [
+                "campaign", str(tmp_path / "c"),
+                "--config", str(spec_file),
+                "--benchmark", "sgemm",
+                "--seed", "3",
+            ]
+        ) == 0
+        manifest = json.loads(
+            (tmp_path / "c" / "campaign.json").read_text(encoding="utf-8")
+        )
+        assert manifest["seed"] == 3
+        assert manifest["spec"]["benchmarks"] == ["sgemm"]

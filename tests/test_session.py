@@ -1,0 +1,351 @@
+"""The session layer: RunContext normalization and declarative specs.
+
+Covers the PR-4 contract: all kwarg-bundle normalization happens exactly
+once (``RunContext.resolve``), the deprecated per-layer kwargs remain as
+a warning shim that produces byte-identical artifacts, and campaign
+specs load/resolve/re-emit as a fixed point whatever the source syntax.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.characterize.sweep import FrequencySweep
+from repro.core.dataset import build_dataset
+from repro.execution.engine import ExecutionConfig
+from repro.faults import resolve_plan
+from repro.kernels.suites import get_benchmark
+from repro.session import (
+    CampaignSpec,
+    RunContext,
+    SpecError,
+    load_spec,
+    merge_execution,
+    normalize_faults,
+)
+from repro.session.spec import _mini_toml
+from repro.telemetry import Telemetry
+
+EXAMPLE_SPEC = (
+    pathlib.Path(__file__).parent.parent / "examples" / "campaign_spec.toml"
+)
+
+#: Small benchmark subset keeping the equivalence campaigns fast.
+BENCHMARKS = ["sgemm", "hotspot", "lbm"]
+
+
+# ----------------------------------------------------------------------
+# shared normalization helpers
+# ----------------------------------------------------------------------
+
+
+class TestNormalizeFaults:
+    def test_null_plan_collapses_to_none(self):
+        assert normalize_faults(resolve_plan("off")) is None
+        assert normalize_faults(None) is None
+
+    def test_active_plan_passes_through(self):
+        plan = resolve_plan("aggressive")
+        assert normalize_faults(plan) is plan
+
+
+class TestMergeExecution:
+    def test_preserves_caller_fields(self):
+        """The regression the old double-default construction had:
+        layering faults+telemetry onto a caller's config must not drop
+        its jobs/cache settings."""
+        config = ExecutionConfig(jobs=3, cache_dir="some/cache", retries=5)
+        telemetry = Telemetry()
+        merged, out = merge_execution(
+            config, faults=resolve_plan("aggressive"), telemetry=telemetry
+        )
+        assert merged.jobs == 3
+        assert merged.cache_dir == "some/cache"
+        assert merged.retries == 5
+        assert merged.on_error == "degrade"
+        assert merged.telemetry is telemetry
+        assert out is telemetry
+
+    def test_no_change_returns_same_config(self):
+        config = ExecutionConfig(jobs=2)
+        merged, out = merge_execution(config)
+        assert merged is config
+        assert out is None
+
+    def test_adopts_config_telemetry(self):
+        telemetry = Telemetry()
+        config = ExecutionConfig(telemetry=telemetry)
+        merged, out = merge_execution(config)
+        assert merged is config
+        assert out is telemetry
+
+
+class TestRunContextResolve:
+    def test_invariants(self):
+        telemetry = Telemetry()
+        ctx = RunContext.resolve(
+            seed=3,
+            faults=resolve_plan("aggressive"),
+            telemetry=telemetry,
+        )
+        assert ctx.execution.on_error == "degrade"
+        assert ctx.telemetry is telemetry
+        assert ctx.execution.telemetry is telemetry
+
+    def test_null_faults_collapse(self):
+        ctx = RunContext.resolve(faults=resolve_plan("off"))
+        assert ctx.faults is None
+        assert ctx.execution.on_error == "raise"
+
+    def test_idempotent(self):
+        first = RunContext.resolve(
+            seed=3, execution=ExecutionConfig(jobs=2), telemetry=Telemetry()
+        )
+        again = first.derive()
+        assert again.seed == first.seed
+        assert again.execution is first.execution
+        assert again.telemetry is first.telemetry
+
+    def test_artifact_dir_defaults_cache(self, tmp_path):
+        ctx = RunContext.resolve(artifact_dir=tmp_path)
+        assert ctx.execution.cache_dir == tmp_path / "cache"
+
+    def test_rooted_fills_defaults(self, tmp_path):
+        ctx = RunContext.resolve(telemetry=Telemetry()).rooted(tmp_path)
+        assert ctx.artifact_dir == tmp_path
+        assert ctx.execution.cache_dir == tmp_path / "cache"
+        assert ctx.metrics_path == tmp_path / "metrics.json"
+
+    def test_rooted_is_noop_when_already_rooted(self, tmp_path):
+        ctx = RunContext.resolve(artifact_dir=tmp_path / "a")
+        assert ctx.rooted(tmp_path / "b") is ctx
+
+    def test_derive_rejects_unknown_fields(self):
+        with pytest.raises(TypeError, match="unknown RunContext fields"):
+            RunContext.resolve().derive(nonsense=1)
+
+
+# ----------------------------------------------------------------------
+# deprecated kwarg shim
+# ----------------------------------------------------------------------
+
+
+class TestLegacyShim:
+    def test_build_dataset_warns(self, gtx480):
+        with pytest.warns(DeprecationWarning, match="build_dataset"):
+            build_dataset(
+                gtx480, [get_benchmark("hotspot")], pairs=["H-H"], seed=5
+            )
+
+    def test_frequency_sweep_warns(self, gtx480):
+        with pytest.warns(DeprecationWarning, match="FrequencySweep"):
+            FrequencySweep(gtx480, seed=5)
+
+    def test_sweep_run_execution_kwarg_warns(self, gtx480):
+        sweep = FrequencySweep(gtx480, RunContext.resolve(seed=5))
+        with pytest.warns(DeprecationWarning, match="execution keyword"):
+            sweep.run(
+                [get_benchmark("hotspot")],
+                scale=0.25,
+                execution=ExecutionConfig(),
+            )
+
+    def test_campaign_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="Campaign"):
+            Campaign(tmp_path, gpus=["GTX 460"], seed=7)
+
+    def test_ctx_plus_legacy_kwargs_is_an_error(self, tmp_path):
+        with pytest.raises(TypeError, match="not both"):
+            Campaign(
+                tmp_path,
+                gpus=["GTX 460"],
+                ctx=RunContext.resolve(seed=7),
+                seed=7,
+            )
+
+    def test_ctx_path_does_not_warn(self, gtx480, recwarn):
+        FrequencySweep(gtx480, RunContext.resolve(seed=5))
+        deprecations = [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
+
+
+class TestLegacyEquivalence:
+    """Same settings through the shim and through a RunContext produce
+    byte-identical campaign archives, serial and parallel alike."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_archives_byte_identical(self, tmp_path, jobs):
+        with pytest.warns(DeprecationWarning):
+            legacy = Campaign(
+                tmp_path / "legacy",
+                gpus=["GTX 460"],
+                benchmarks=BENCHMARKS,
+                seed=11,
+                execution=ExecutionConfig(jobs=jobs),
+                telemetry=Telemetry(),
+            )
+        legacy.run()
+        ctx = RunContext.resolve(
+            seed=11, execution=ExecutionConfig(jobs=jobs), telemetry=Telemetry()
+        )
+        modern = Campaign(
+            tmp_path / "ctx",
+            gpus=["GTX 460"],
+            benchmarks=BENCHMARKS,
+            ctx=ctx,
+        )
+        modern.run()
+        for name in ("campaign.json", "health.json", "dataset_gtx_460.json"):
+            left = (tmp_path / "legacy" / name).read_bytes()
+            right = (tmp_path / "ctx" / name).read_bytes()
+            assert left == right, f"{name} differs between shim and ctx paths"
+        # metrics.json: the deterministic counter section must match
+        # exactly (timings derive from wall clocks and are quarantined).
+        left = json.loads((tmp_path / "legacy" / "metrics.json").read_text())
+        right = json.loads((tmp_path / "ctx" / "metrics.json").read_text())
+        assert left["counters"] == right["counters"]
+
+    def test_manifest_spec_is_mechanics_independent(self, tmp_path):
+        """jobs/cache/trace cannot change results, so they must not
+        split the archived manifest."""
+        serial = Campaign(
+            tmp_path / "serial",
+            gpus=["GTX 460"],
+            benchmarks=BENCHMARKS,
+            ctx=RunContext.resolve(seed=11),
+        )
+        serial.run()
+        parallel = Campaign(
+            tmp_path / "parallel",
+            gpus=["GTX 460"],
+            benchmarks=BENCHMARKS,
+            ctx=RunContext.resolve(
+                seed=11, execution=ExecutionConfig(jobs=4, cache_dir=None)
+            ),
+        )
+        parallel.run()
+        left = (tmp_path / "serial" / "campaign.json").read_bytes()
+        right = (tmp_path / "parallel" / "campaign.json").read_bytes()
+        assert left == right
+        spec = json.loads(left)["spec"]
+        assert spec["gpus"] == ["GTX 460"]
+        assert spec["seed"] == 11
+        for mechanics in ("jobs", "cache", "trace"):
+            assert mechanics not in spec
+
+
+# ----------------------------------------------------------------------
+# declarative specs
+# ----------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_example_spec_golden_roundtrip(self, golden):
+        spec = load_spec(EXAMPLE_SPEC)
+        golden("campaign_spec.json", spec.to_json() + "\n")
+
+    def test_resolve_reemit_is_a_fixed_point(self):
+        spec = load_spec(EXAMPLE_SPEC)
+        again = CampaignSpec.from_text(spec.to_json(), fmt="json")
+        assert again == spec
+        assert again.document() == spec.document()
+
+    def test_mini_toml_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        text = EXAMPLE_SPEC.read_text(encoding="utf-8")
+        assert _mini_toml(text) == tomllib.loads(text)
+
+    def test_mini_toml_tricky_corners(self):
+        text = (
+            'gpus = ["GTX 460", "GTX 680"]  # trailing comment\n'
+            'benchmarks = [\n    "sgemm",  # per-line comment\n    "lbm",\n]\n'
+            'note = "hash # inside a string"\n'
+            "seed = 7\n"
+            "[faults]\n"
+            "crash_rate = 0.5\n"
+        )
+        document = _mini_toml(text)
+        assert document["gpus"] == ["GTX 460", "GTX 680"]
+        assert document["benchmarks"] == ["sgemm", "lbm"]
+        assert document["note"] == "hash # inside a string"
+        assert document["faults"] == {"crash_rate": 0.5}
+        tomllib = pytest.importorskip("tomllib")
+        assert document == tomllib.loads(text)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SpecError, match="unknown campaign-spec fields"):
+            CampaignSpec.from_document({"gpu": ["GTX 460"]})
+
+    def test_wrong_format_and_version_rejected(self):
+        with pytest.raises(SpecError, match="not a campaign spec"):
+            CampaignSpec.from_document({"format": "something.else"})
+        with pytest.raises(SpecError, match="version"):
+            CampaignSpec.from_document({"version": 99})
+
+    def test_inline_fault_table_resolves(self):
+        spec = CampaignSpec.from_text(
+            "[faults]\ncrash_rate = 0.25\n", fmt="toml"
+        )
+        assert spec.faults is not None
+        assert spec.faults.crash_rate == 0.25
+
+    def test_null_faults_collapse(self):
+        assert CampaignSpec(faults="off").faults is None
+
+    def test_override_renormalizes(self):
+        spec = CampaignSpec().override(faults="aggressive", jobs=4)
+        assert spec.faults is not None
+        assert spec.jobs == 4
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec(jobs=0)
+        with pytest.raises(SpecError):
+            CampaignSpec(gpus="GTX 460")
+        with pytest.raises(SpecError):
+            CampaignSpec(seed="seven")
+
+
+class TestFromSpec:
+    def test_resolution_under_base_dir(self, tmp_path):
+        spec = CampaignSpec(
+            gpus=("GTX 460",), seed=7, jobs=4, cache=True, trace=True,
+            faults="aggressive",
+        )
+        ctx = RunContext.from_spec(spec, base_dir=tmp_path)
+        try:
+            assert ctx.seed == 7
+            assert ctx.execution.jobs == 4
+            assert ctx.execution.cache_dir == tmp_path / "cache"
+            assert ctx.execution.on_error == "degrade"
+            assert ctx.trace_path == tmp_path / "events.jsonl"
+            assert ctx.telemetry is not None
+            assert ctx.metrics_path == tmp_path / "metrics.json"
+            assert ctx.spec is spec
+        finally:
+            ctx.close()
+
+    def test_cache_false_and_explicit_dir(self, tmp_path):
+        off = RunContext.from_spec(
+            CampaignSpec(cache=False), base_dir=tmp_path
+        )
+        assert off.execution.cache_dir is None
+        explicit = RunContext.from_spec(
+            CampaignSpec(cache=str(tmp_path / "elsewhere")), base_dir=tmp_path
+        )
+        assert explicit.execution.cache_dir == tmp_path / "elsewhere"
+
+    def test_spec_document_echoes_deterministic_slice(self, tmp_path):
+        spec = load_spec(EXAMPLE_SPEC)
+        ctx = RunContext.from_spec(spec, base_dir=tmp_path)
+        document = ctx.spec_document()
+        expected = spec.document()
+        for mechanics in ("jobs", "cache", "trace"):
+            expected.pop(mechanics)
+        assert document == expected
