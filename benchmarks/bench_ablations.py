@@ -32,9 +32,7 @@ def test_ablation_unified_vs_per_pair(benchmark, save_result):
         suite = power_suite().fit(ds)
         reports = suite.evaluate(ds)
         unified = reports.pop("unified").mean_pct_error
-        per_pair = float(
-            np.mean([r.mean_pct_error for r in reports.values()])
-        )
+        per_pair = float(np.mean([r.mean_pct_error for r in reports.values()]))
         return unified, per_pair
 
     unified, per_pair = benchmark.pedantic(ablate, rounds=1, iterations=1)
@@ -81,9 +79,7 @@ def test_ablation_statistical_vs_analytic_transfer(benchmark):
             np.mean(
                 [
                     abs(
-                        ported.predict_seconds(
-                            b, 0.25, testbed.sim.operating_point
-                        )
+                        ported.predict_seconds(b, 0.25, testbed.sim.operating_point)
                         - testbed.measure(b, 0.25).exec_seconds
                     )
                     / testbed.measure(b, 0.25).exec_seconds

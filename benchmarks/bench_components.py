@@ -1,90 +1,31 @@
 """Performance benchmarks of the library's own components.
 
-Unlike the artifact-regeneration benches, these measure steady-state
-throughput of the substrate (simulator runs, profiling, sweeps, model
-fitting) so performance regressions in the library are visible.
+Thin pytest-benchmark wrappers over the shared workload registry
+(:mod:`repro.bench.registry`) — the same list ``repro bench run`` times
+and archives into ``BENCH_components.json`` / ``BENCH_pipeline.json``,
+so the interactive and machine-readable entry points can never drift
+apart on what "the hot paths" are.  See docs/BENCHMARKS.md.
+
+Run with ``pytest benchmarks/bench_components.py -m ''`` (the suite is
+marked ``slow`` and therefore excluded from tier-1).
 """
 
 from __future__ import annotations
 
-from repro.arch.specs import get_gpu
-from repro.core.dataset import build_dataset
-from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
-from repro.core.selection import forward_select
-from repro.core.features import power_feature_matrix
-from repro.characterize.sweep import FrequencySweep
-from repro.engine.simulator import GPUSimulator
-from repro.experiments import context
-from repro.instruments.profiler import CudaProfiler
-from repro.instruments.testbed import Testbed
-from repro.kernels.suites import get_benchmark, modeling_benchmarks
+import pytest
+
+from repro.bench.registry import workloads
+
+pytestmark = pytest.mark.slow
 
 
-def test_simulator_single_run(benchmark):
-    sim = GPUSimulator(get_gpu("GTX 680"))
-    bench = get_benchmark("kmeans")
-    benchmark(sim.run, bench, 0.25)
-
-
-def test_testbed_measurement(benchmark):
-    testbed = Testbed(get_gpu("GTX 480"))
-    bench = get_benchmark("hotspot")
-    benchmark(testbed.measure, bench, 0.25)
-
-
-def test_profiler_collection_kepler(benchmark):
-    """Collecting all 108 Kepler counters for one run."""
-    sim = GPUSimulator(get_gpu("GTX 680"))
-    profiler = CudaProfiler()
-    bench = get_benchmark("kmeans")
-    benchmark(profiler.profile, sim, bench, 0.25)
-
-
-def test_bios_reflash_cycle(benchmark):
-    sim = GPUSimulator(get_gpu("GTX 480"))
-
-    def cycle():
-        sim.set_clocks("M", "M")
-        sim.set_clocks("H", "H")
-
-    benchmark(cycle)
-
-
-def test_single_benchmark_sweep(benchmark):
-    sweep = FrequencySweep(get_gpu("GTX 480"))
-    bench = get_benchmark("hotspot")
-    benchmark(sweep.run_benchmark, bench, 0.25)
-
-
-def test_dataset_build_one_gpu(benchmark):
-    gpu = get_gpu("GTX 460")
-    benches = modeling_benchmarks()[:8]
+@pytest.mark.parametrize("workload", workloads(), ids=lambda w: w.name)
+def test_workload(benchmark, workload, tmp_path):
+    fn = workload.setup(0, tmp_path)
     benchmark.pedantic(
-        build_dataset, args=(gpu,), kwargs={"benchmarks": benches},
-        rounds=1, iterations=1,
-    )
-
-
-def test_power_model_fit(benchmark):
-    ds = context.dataset("GTX 480")
-    benchmark.pedantic(
-        lambda: UnifiedPowerModel().fit(ds), rounds=1, iterations=1
-    )
-
-
-def test_performance_model_fit(benchmark):
-    ds = context.dataset("GTX 480")
-    benchmark.pedantic(
-        lambda: UnifiedPerformanceModel().fit(ds), rounds=1, iterations=1
-    )
-
-
-def test_forward_selection_108_features(benchmark):
-    """Selection over the Kepler-sized feature space."""
-    ds = context.dataset("GTX 680")
-    X, names = power_feature_matrix(ds)
-    y = ds.avg_power_w()
-    benchmark.pedantic(
-        forward_select, args=(X, y, names), kwargs={"max_features": 10},
-        rounds=1, iterations=1,
+        fn,
+        args=(None,),
+        rounds=min(workload.repeats, 10),
+        iterations=1,
+        warmup_rounds=1,
     )

@@ -46,8 +46,7 @@ def run_campaign(directory: pathlib.Path, argv_tail: list[str]) -> None:
     argv += argv_tail
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
-        [str(REPO / "src")]
-        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        [str(REPO / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
     result = subprocess.run(
         argv, cwd=REPO, capture_output=True, text=True, check=False, env=env
@@ -77,9 +76,7 @@ def main() -> int:
         )
         spec = manifest.get("spec")
         if not spec or spec.get("format") != "repro.campaign-spec":
-            failures.append(
-                f"manifest does not embed the resolved spec: {spec!r}"
-            )
+            failures.append(f"manifest does not embed the resolved spec: {spec!r}")
         elif spec.get("gpus") != GPUS or spec.get("seed") != SEED:
             failures.append(f"embedded spec does not match the file: {spec!r}")
 
@@ -90,9 +87,7 @@ def main() -> int:
                 failures.append(f"{name} missing from a run")
                 continue
             if left.read_bytes() != right.read_bytes():
-                failures.append(
-                    f"{name} differs between --config and flag invocations"
-                )
+                failures.append(f"{name} differs between --config and flag invocations")
 
     if failures:
         for failure in failures:

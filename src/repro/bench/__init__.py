@@ -1,0 +1,60 @@
+"""Performance observability: the library's own benchmark harness.
+
+The paper's contribution is a measurement methodology; this package
+applies the same discipline to the reproduction substrate itself.  It
+registers calibrated workloads for the library's hot paths (simulator
+runs, metered measurements, profiler passes, sweeps, dataset builds,
+model selection, and the execution engine's cached-vs-cold batches),
+times them with warmup and repeats, and reports outlier-robust
+statistics alongside *deterministic* work-counter fingerprints pulled
+from the :mod:`repro.telemetry` metrics registry — so every recorded
+timing is paired with an invariant unit-of-work signature that detects
+"it got faster because it did less work".
+
+Artifacts are schema-versioned ``BENCH_components.json`` /
+``BENCH_pipeline.json`` documents written by ``repro bench run`` and
+gated by ``repro bench compare`` (non-zero exit past a configurable
+median-regression threshold).  See docs/BENCHMARKS.md.
+"""
+
+from repro.bench.compare import (
+    CompareReport,
+    WorkloadDelta,
+    compare_documents,
+    render_report,
+)
+from repro.bench.registry import Workload, get_workload, groups, workloads
+from repro.bench.runner import RunnerConfig, WorkloadRecord, run_suite, run_workload
+from repro.bench.schema import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA,
+    bench_document,
+    bench_filename,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.stats import TimingSummary, calibrate_iterations, timer_resolution
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_SCHEMA",
+    "CompareReport",
+    "RunnerConfig",
+    "TimingSummary",
+    "Workload",
+    "WorkloadDelta",
+    "WorkloadRecord",
+    "bench_document",
+    "bench_filename",
+    "calibrate_iterations",
+    "compare_documents",
+    "get_workload",
+    "groups",
+    "load_bench_json",
+    "render_report",
+    "run_suite",
+    "run_workload",
+    "timer_resolution",
+    "workloads",
+    "write_bench_json",
+]

@@ -1,0 +1,198 @@
+"""The regression gate: ``repro bench compare OLD NEW``.
+
+Workloads are matched by name across two ``BENCH_*.json`` documents and
+their **median** sample times compared — medians, because one scheduler
+hiccup in either run must not flip the gate.  A workload regresses when
+its median grew past the threshold (default 25%); it is *suspect* when
+its deterministic fingerprint drifted, because then the two timings no
+longer measure the same work and neither a regression nor an
+improvement verdict is meaningful ("it got faster because it did less
+work").
+
+Exit semantics (see :func:`CompareReport.exit_code`): regressions fail
+the gate; workloads present in OLD but deleted from NEW fail it only
+under ``--fail-on-missing``; fingerprint drift and new workloads are
+reported but do not fail the gate on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Default regression threshold, in percent growth of the median.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+
+@dataclass(frozen=True)
+class WorkloadDelta:
+    """Comparison of one workload across two documents."""
+
+    name: str
+    #: ``ok`` / ``regression`` / ``improved`` / ``suspect`` (fingerprint
+    #: drift) / ``new`` (only in NEW) / ``missing`` (only in OLD).
+    status: str
+    old_median_s: float | None = None
+    new_median_s: float | None = None
+    #: Median growth in percent (positive = slower).
+    delta_pct: float | None = None
+    #: Fingerprint keys whose values differ (or exist on one side only).
+    drifted_keys: tuple[str, ...] = ()
+
+    @property
+    def comparable(self) -> bool:
+        return self.old_median_s is not None and self.new_median_s is not None
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Full outcome of one document comparison."""
+
+    deltas: tuple[WorkloadDelta, ...]
+    threshold_pct: float
+
+    def by_status(self, status: str) -> tuple[WorkloadDelta, ...]:
+        return tuple(d for d in self.deltas if d.status == status)
+
+    @property
+    def regressions(self) -> tuple[WorkloadDelta, ...]:
+        return self.by_status("regression")
+
+    @property
+    def missing(self) -> tuple[WorkloadDelta, ...]:
+        return self.by_status("missing")
+
+    @property
+    def suspects(self) -> tuple[WorkloadDelta, ...]:
+        return self.by_status("suspect")
+
+    def exit_code(self, fail_on_missing: bool = False) -> int:
+        """The gate verdict: 0 passes, 1 fails."""
+        if self.regressions:
+            return 1
+        if fail_on_missing and self.missing:
+            return 1
+        return 0
+
+
+def _median_of(record: dict[str, Any]) -> float | None:
+    timing = record.get("timing_s")
+    if not isinstance(timing, dict):
+        return None
+    median = timing.get("median")
+    return float(median) if isinstance(median, (int, float)) else None
+
+
+def _drifted_keys(old: dict[str, Any], new: dict[str, Any]) -> tuple[str, ...]:
+    old_fp = old.get("fingerprint") or {}
+    new_fp = new.get("fingerprint") or {}
+    keys = sorted(set(old_fp) | set(new_fp))
+    return tuple(
+        k
+        for k in keys
+        if k not in old_fp or k not in new_fp or old_fp[k] != new_fp[k]
+    )
+
+
+def compare_documents(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> CompareReport:
+    """Compare two loaded ``BENCH_*.json`` documents workload by workload."""
+    if threshold_pct <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold_pct}")
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    names = sorted(set(old_workloads) | set(new_workloads))
+    deltas = []
+    for name in names:
+        old_record = old_workloads.get(name)
+        new_record = new_workloads.get(name)
+        if old_record is None:
+            deltas.append(
+                WorkloadDelta(
+                    name=name,
+                    status="new",
+                    new_median_s=_median_of(new_record),
+                )
+            )
+            continue
+        if new_record is None:
+            deltas.append(
+                WorkloadDelta(
+                    name=name,
+                    status="missing",
+                    old_median_s=_median_of(old_record),
+                )
+            )
+            continue
+        old_median = _median_of(old_record)
+        new_median = _median_of(new_record)
+        drifted = _drifted_keys(old_record, new_record)
+        delta_pct = None
+        if old_median and new_median is not None:
+            delta_pct = (new_median / old_median - 1.0) * 100.0
+        if drifted:
+            status = "suspect"
+        elif delta_pct is not None and delta_pct > threshold_pct:
+            status = "regression"
+        elif delta_pct is not None and delta_pct < -threshold_pct:
+            status = "improved"
+        else:
+            status = "ok"
+        deltas.append(
+            WorkloadDelta(
+                name=name,
+                status=status,
+                old_median_s=old_median,
+                new_median_s=new_median,
+                delta_pct=delta_pct,
+                drifted_keys=drifted,
+            )
+        )
+    return CompareReport(deltas=tuple(deltas), threshold_pct=threshold_pct)
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_report(report: CompareReport) -> str:
+    """Fixed-width per-workload delta table plus a verdict line."""
+    lines = [
+        f"{'workload':32s} {'old median':>11s} {'new median':>11s} "
+        f"{'delta':>8s}  status",
+    ]
+    for d in report.deltas:
+        delta_text = (
+            f"{d.delta_pct:+7.1f}%" if d.delta_pct is not None else f"{'n/a':>8s}"
+        )
+        lines.append(
+            f"{d.name:32s} {_fmt_seconds(d.old_median_s):>11s} "
+            f"{_fmt_seconds(d.new_median_s):>11s} {delta_text}  {d.status}"
+        )
+        if d.drifted_keys:
+            drift = ", ".join(d.drifted_keys[:6])
+            more = len(d.drifted_keys) - 6
+            if more > 0:
+                drift += f", +{more} more"
+            lines.append(f"{'':32s} fingerprint drift: {drift}")
+    n_reg = len(report.regressions)
+    n_missing = len(report.missing)
+    n_suspect = len(report.suspects)
+    lines.append("")
+    lines.append(
+        f"threshold {report.threshold_pct:g}%: "
+        f"{n_reg} regression(s), {n_missing} missing, "
+        f"{n_suspect} fingerprint-drift suspect(s), "
+        f"{len(report.by_status('improved'))} improved, "
+        f"{len(report.by_status('new'))} new"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,426 @@
+"""The workload registry: one list of hot paths, shared by both runners.
+
+A :class:`Workload` packages everything the harness needs to time one
+hot path reproducibly:
+
+* ``setup(seed, workdir)`` builds the expensive inputs once (datasets,
+  testbeds, unit lists) outside the timed region and returns the
+  callable the runner times;
+* the returned callable takes an optional
+  :class:`~repro.telemetry.Telemetry` context — the runner passes one
+  for the single *fingerprint* invocation (whose deterministic work
+  counters become the record's unit-of-work signature) and ``None`` for
+  warmup and timed repeats, so instrumentation never contaminates the
+  timings;
+* ``work(result)`` contributes workload-specific deterministic
+  quantities (observation counts, selected-feature counts) that the
+  telemetry counters alone would miss.
+
+Both entry points — ``repro bench run`` and the pytest-benchmark
+wrappers under ``benchmarks/`` — iterate this registry, so the two can
+never drift apart on what "the hot paths" are.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.telemetry.runtime import Telemetry, using_telemetry
+
+#: A timed callable: ``fn(telemetry)`` runs the workload once, under the
+#: given telemetry context when one is passed (fingerprint runs only).
+WorkloadFn = Callable[[Telemetry | None], Any]
+
+#: Group names, in artifact order.
+GROUPS = ("components", "pipeline")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered hot-path benchmark."""
+
+    name: str
+    #: Artifact group: ``components`` (single-operation microbenches) or
+    #: ``pipeline`` (multi-unit orchestrations).
+    group: str
+    title: str
+    #: ``setup(seed, workdir) -> fn``; ``workdir`` is a private scratch
+    #: directory the runner deletes after the workload finishes.
+    setup: Callable[[int | None, pathlib.Path], WorkloadFn]
+    #: Extra deterministic work quantities derived from one result.
+    work: Callable[[Any], dict[str, Any]] | None = None
+    #: Timed repeats at full fidelity (quick mode trims this).
+    repeats: int = 20
+    #: Untimed warmup invocations before fingerprinting and timing.
+    warmup: int = 2
+    #: Whether the runner may batch several invocations per timed sample
+    #: when one invocation is shorter than the calibration floor.
+    calibrate: bool = True
+    tags: tuple[str, ...] = field(default=())
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the registry (name must be unique)."""
+    if workload.group not in GROUPS:
+        raise ValueError(
+            f"unknown group {workload.group!r}; expected one of {GROUPS}"
+        )
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def workloads(group: str | None = None) -> tuple[Workload, ...]:
+    """All registered workloads, optionally restricted to one group."""
+    selected = [w for w in _REGISTRY.values() if group is None or w.group == group]
+    return tuple(selected)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def groups() -> tuple[str, ...]:
+    """Groups that currently have at least one workload, in order."""
+    present = {w.group for w in _REGISTRY.values()}
+    return tuple(g for g in GROUPS if g in present)
+
+
+def _ambient(call: Callable[[], Any]) -> WorkloadFn:
+    """Wrap a thunk so a fingerprint telemetry context becomes ambient.
+
+    Instrument-level code (testbed meter windows, profiler passes)
+    reports into :func:`~repro.telemetry.current_telemetry`; making the
+    runner's fingerprint context ambient routes those counters into the
+    fingerprint without touching the timed path.
+    """
+
+    def fn(telemetry: Telemetry | None = None) -> Any:
+        if telemetry is None:
+            return call()
+        with using_telemetry(telemetry):
+            return call()
+
+    return fn
+
+
+# ----------------------------------------------------------------------
+# component workloads: single-operation microbenches
+# ----------------------------------------------------------------------
+
+
+def _setup_simulator_run(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.engine.simulator import GPUSimulator
+    from repro.kernels.suites import get_benchmark
+
+    sim = GPUSimulator(get_gpu("GTX 680"), seed=seed)
+    bench = get_benchmark("kmeans")
+    return _ambient(lambda: sim.run(bench, 0.25))
+
+
+def _work_simulator_run(record) -> dict[str, Any]:
+    return {
+        "pair": record.op.key,
+        "kernel_seconds": float(record.kernel_seconds),
+        "total_seconds": float(record.total_seconds),
+    }
+
+
+def _setup_testbed_measure(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.instruments.testbed import Testbed
+    from repro.kernels.suites import get_benchmark
+
+    testbed = Testbed(get_gpu("GTX 480"), seed=seed)
+    bench = get_benchmark("hotspot")
+    return _ambient(lambda: testbed.measure(bench, 0.25))
+
+
+def _work_testbed_measure(m) -> dict[str, Any]:
+    return {
+        "repeats": int(m.repeats),
+        "trace_samples": int(m.trace.num_samples),
+        "energy_j": float(m.energy_j),
+    }
+
+
+def _setup_testbed_reflash(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.instruments.testbed import Testbed
+
+    testbed = Testbed(get_gpu("GTX 480"), seed=seed)
+
+    def cycle():
+        testbed.set_clocks("M", "M")
+        testbed.set_clocks("H", "H")
+
+    return _ambient(cycle)
+
+
+def _setup_profiler_kepler(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.engine.simulator import GPUSimulator
+    from repro.instruments.profiler import CudaProfiler
+    from repro.kernels.suites import get_benchmark
+
+    sim = GPUSimulator(get_gpu("GTX 680"), seed=seed)
+    profiler = CudaProfiler(seed=seed)
+    bench = get_benchmark("kmeans")
+    return _ambient(lambda: profiler.profile(sim, bench, 0.25))
+
+
+def _work_profiler_kepler(totals) -> dict[str, Any]:
+    return {"counters": len(totals)}
+
+
+register(
+    Workload(
+        name="simulator.run",
+        group="components",
+        title="single GPUSimulator.run (GTX 680, kmeans)",
+        setup=_setup_simulator_run,
+        work=_work_simulator_run,
+        repeats=30,
+    )
+)
+
+register(
+    Workload(
+        name="testbed.measure",
+        group="components",
+        title="Testbed.measure with meter quorum (GTX 480, hotspot)",
+        setup=_setup_testbed_measure,
+        work=_work_testbed_measure,
+        repeats=30,
+    )
+)
+
+register(
+    Workload(
+        name="testbed.reflash",
+        group="components",
+        title="VBIOS reflash cycle M-M -> H-H (GTX 480)",
+        setup=_setup_testbed_reflash,
+        repeats=30,
+    )
+)
+
+register(
+    Workload(
+        name="profiler.profile.kepler",
+        group="components",
+        title="CudaProfiler.profile over the 108-counter Kepler set",
+        setup=_setup_profiler_kepler,
+        work=_work_profiler_kepler,
+        repeats=30,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# pipeline workloads: multi-unit orchestrations
+# ----------------------------------------------------------------------
+
+
+def _setup_sweep_run(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.characterize.sweep import FrequencySweep
+    from repro.kernels.suites import all_benchmarks
+    from repro.session.context import RunContext
+
+    gpu = get_gpu("GTX 480")
+    benches = all_benchmarks()
+    plain = FrequencySweep(gpu, RunContext.resolve(seed=seed))
+
+    def fn(telemetry: Telemetry | None = None):
+        if telemetry is None:
+            return plain.run(benches, scale=0.25)
+        ctx = RunContext.resolve(seed=seed, telemetry=telemetry)
+        return FrequencySweep(gpu, ctx).run(benches, scale=0.25)
+
+    return fn
+
+
+def _work_sweep_run(table) -> dict[str, Any]:
+    return {
+        "benchmarks": len(table.benchmark_names),
+        "cells": sum(len(cells) for cells in table.measurements.values()),
+    }
+
+
+def _setup_dataset_build(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.core.dataset import build_dataset
+    from repro.kernels.suites import modeling_benchmarks
+    from repro.session.context import RunContext
+
+    gpu = get_gpu("GTX 460")
+    benches = modeling_benchmarks()[:8]
+    plain = RunContext.resolve(seed=seed)
+
+    def fn(telemetry: Telemetry | None = None):
+        ctx = (
+            plain
+            if telemetry is None
+            else RunContext.resolve(seed=seed, telemetry=telemetry)
+        )
+        return build_dataset(gpu, benchmarks=benches, ctx=ctx)
+
+    return fn
+
+
+def _work_dataset_build(ds) -> dict[str, Any]:
+    return {
+        "observations": ds.n_observations,
+        "samples": ds.n_samples,
+        "exclusions": len(ds.exclusions),
+        "counters": len(ds.counter_names),
+    }
+
+
+def _setup_forward_select(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.core.dataset import build_dataset
+    from repro.core.features import power_feature_matrix
+    from repro.core.selection import forward_select
+    from repro.kernels.suites import modeling_benchmarks
+    from repro.session.context import RunContext
+
+    gpu = get_gpu("GTX 680")
+    ds = build_dataset(
+        gpu,
+        benchmarks=modeling_benchmarks()[:8],
+        ctx=RunContext.resolve(seed=seed),
+    )
+    X, names = power_feature_matrix(ds)
+    y = ds.avg_power_w()
+    return _ambient(lambda: forward_select(X, y, names, max_features=10))
+
+
+def _work_forward_select(result) -> dict[str, Any]:
+    return {
+        "selected": len(result.selected),
+        "steps": len(result.history),
+        "features": ";".join(result.selected_names),
+    }
+
+
+def _engine_units(seed):
+    from repro.arch.specs import get_gpu
+    from repro.execution.units import sweep_units
+    from repro.kernels.suites import all_benchmarks
+
+    gpu = get_gpu("GTX 460")
+    return sweep_units(gpu, all_benchmarks()[:6], scale=0.25, seed=seed)
+
+
+def _work_run_units(outcome) -> dict[str, Any]:
+    stats = outcome.stats
+    return {
+        "units": stats.total_units,
+        "measured": stats.measured,
+        "cache_hits": stats.cache_hits,
+        "failed": stats.failed,
+    }
+
+
+def _make_engine_setup(jobs: int, cached: bool):
+    def setup(seed, workdir):
+        from repro.execution.engine import ExecutionConfig, run_units
+
+        units = _engine_units(seed)
+        counter = iter(range(10**9))
+
+        def run(cache_dir, telemetry):
+            config = ExecutionConfig(
+                jobs=jobs, cache_dir=cache_dir, telemetry=telemetry
+            )
+            return run_units(units, config)
+
+        if cached:
+            warm_dir = workdir / "warm-cache"
+            run(warm_dir, None)  # prewarm once, outside the timed region
+
+            def fn(telemetry: Telemetry | None = None):
+                return run(warm_dir, telemetry)
+
+        else:
+
+            def fn(telemetry: Telemetry | None = None):
+                cold_dir = workdir / f"cold-{next(counter)}"
+                try:
+                    return run(cold_dir, telemetry)
+                finally:
+                    shutil.rmtree(cold_dir, ignore_errors=True)
+
+        return fn
+
+    return setup
+
+
+register(
+    Workload(
+        name="sweep.run",
+        group="pipeline",
+        title="FrequencySweep.run, all 37 benchmarks (GTX 480)",
+        setup=_setup_sweep_run,
+        work=_work_sweep_run,
+        repeats=10,
+    )
+)
+
+register(
+    Workload(
+        name="dataset.build",
+        group="pipeline",
+        title="build_dataset, 8 modeling benchmarks (GTX 460)",
+        setup=_setup_dataset_build,
+        work=_work_dataset_build,
+        repeats=10,
+    )
+)
+
+register(
+    Workload(
+        name="selection.forward",
+        group="pipeline",
+        title="forward_select to the 10-variable cap (Kepler features)",
+        setup=_setup_forward_select,
+        work=_work_forward_select,
+        repeats=10,
+    )
+)
+
+for _jobs in (1, 4):
+    for _cached in (False, True):
+        _mode = "cached" if _cached else "cold"
+        _cache_word = "prewarmed" if _cached else "cold"
+        register(
+            Workload(
+                name=f"engine.run_units.{_mode}.jobs{_jobs}",
+                group="pipeline",
+                title=(
+                    f"run_units batch of 42 sweep units, {_cache_word} "
+                    f"cache, jobs={_jobs}"
+                ),
+                setup=_make_engine_setup(_jobs, _cached),
+                work=_work_run_units,
+                repeats=10 if _jobs == 1 else 5,
+                warmup=1,
+                calibrate=False,
+                tags=("engine",),
+            )
+        )

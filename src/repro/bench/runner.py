@@ -1,0 +1,186 @@
+"""The benchmark runner: warmup, fingerprint, calibration, timed repeats.
+
+One workload run proceeds in strictly separated stages so the reported
+numbers mean what they claim:
+
+1. **setup** builds the expensive inputs outside every timed region;
+2. **warmup** absorbs one-time costs (testbed boot, import tails,
+   allocator growth) that belong to neither the timing nor the
+   fingerprint;
+3. **fingerprint** executes the workload exactly once under a fresh
+   :class:`~repro.telemetry.Telemetry` context; the deterministic
+   counters it accumulates — merged with the workload's own ``work``
+   quantities — become the record's unit-of-work signature.  Two runs
+   at the same seed produce byte-identical fingerprints, so a timing
+   improvement with a changed fingerprint is "it did less work", not
+   "it got faster";
+4. **calibration** batches sub-resolution workloads into multi-
+   invocation samples (see :mod:`repro.bench.stats`);
+5. **timed repeats** collect one wall-clock sample per repeat, with no
+   telemetry active, summarized by the outlier-robust
+   :class:`~repro.telemetry.timing.TimingSummary`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bench.registry import Workload, workloads
+from repro.bench.stats import TimingSummary, calibrate_iterations, timer_resolution
+from repro.telemetry.runtime import Telemetry
+
+#: Repeat cap applied by ``--quick`` (CI smoke; statistics are rough).
+QUICK_REPEATS = 3
+
+#: Warmup cap applied by ``--quick``.
+QUICK_WARMUP = 1
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How a suite run executes its workloads."""
+
+    #: Noise seed threaded into every workload setup (fingerprints are
+    #: deterministic per seed).
+    seed: int | None = 0
+    #: Trim repeats/warmup for CI smoke runs.
+    quick: bool = False
+    #: Override every workload's repeat count (highest precedence).
+    repeats: int | None = None
+    #: Calibration floor for one timed sample.
+    min_sample_s: float = 0.01
+    #: Cap on invocations batched per sample.
+    max_iterations: int = 1000
+    timer: Callable[[], float] = time.perf_counter
+
+    def repeats_for(self, workload: Workload) -> int:
+        if self.repeats is not None:
+            return max(1, self.repeats)
+        if self.quick:
+            return min(workload.repeats, QUICK_REPEATS)
+        return workload.repeats
+
+    def warmup_for(self, workload: Workload) -> int:
+        if self.quick:
+            return min(workload.warmup, QUICK_WARMUP)
+        return workload.warmup
+
+
+@dataclass(frozen=True)
+class WorkloadRecord:
+    """Everything ``BENCH_*.json`` stores about one workload run."""
+
+    name: str
+    group: str
+    title: str
+    repeats: int
+    warmup: int
+    iterations: int
+    #: Outlier-robust summary of the per-invocation samples (seconds).
+    timing: TimingSummary
+    #: Deterministic unit-of-work signature: telemetry counters from the
+    #: fingerprint invocation plus the workload's ``work`` quantities
+    #: (prefixed ``work.``).
+    fingerprint: dict[str, Any]
+
+    def document(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "iterations": self.iterations,
+            "timing_s": self.timing.document(),
+            "fingerprint": dict(sorted(self.fingerprint.items())),
+        }
+
+
+def fingerprint_workload(
+    fn: Callable[[Telemetry | None], Any], workload: Workload
+) -> dict[str, Any]:
+    """One instrumented invocation -> the deterministic work signature."""
+    telemetry = Telemetry()
+    result = fn(telemetry)
+    signature: dict[str, Any] = dict(telemetry.metrics.snapshot()["counters"])
+    if workload.work is not None:
+        for key, value in workload.work(result).items():
+            signature[f"work.{key}"] = value
+    return signature
+
+
+def run_workload(
+    workload: Workload,
+    config: RunnerConfig | None = None,
+    resolution_s: float | None = None,
+) -> WorkloadRecord:
+    """Execute one workload through all stages and record it."""
+    if config is None:
+        config = RunnerConfig()
+    if resolution_s is None:
+        resolution_s = timer_resolution(config.timer)
+    workdir = pathlib.Path(
+        tempfile.mkdtemp(prefix=f"repro-bench-{workload.name.replace('.', '-')}-")
+    )
+    try:
+        fn = workload.setup(config.seed, workdir)
+        for _ in range(config.warmup_for(workload)):
+            fn(None)
+        fingerprint = fingerprint_workload(fn, workload)
+        iterations = 1
+        if workload.calibrate and not config.quick:
+            iterations = calibrate_iterations(
+                lambda: fn(None),
+                timer=config.timer,
+                min_sample_s=config.min_sample_s,
+                max_iterations=config.max_iterations,
+                resolution_s=resolution_s,
+            )
+        repeats = config.repeats_for(workload)
+        samples = []
+        for _ in range(repeats):
+            start = config.timer()
+            for _ in range(iterations):
+                fn(None)
+            samples.append((config.timer() - start) / iterations)
+        timing = TimingSummary.from_samples(samples)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return WorkloadRecord(
+        name=workload.name,
+        group=workload.group,
+        title=workload.title,
+        repeats=repeats,
+        warmup=config.warmup_for(workload),
+        iterations=iterations,
+        timing=timing,
+        fingerprint=fingerprint,
+    )
+
+
+def run_suite(
+    config: RunnerConfig | None = None,
+    only: tuple[str, ...] | None = None,
+    group: str | None = None,
+    progress: Callable[[WorkloadRecord], None] | None = None,
+) -> list[WorkloadRecord]:
+    """Run the registered workloads (optionally a named subset), in order."""
+    if config is None:
+        config = RunnerConfig()
+    selected = [w for w in workloads(group) if only is None or w.name in only]
+    if only is not None:
+        known = {w.name for w in workloads(group)}
+        missing = sorted(set(only) - known)
+        if missing:
+            raise KeyError(f"unknown workloads: {', '.join(missing)}")
+    resolution_s = timer_resolution(config.timer)
+    records = []
+    for workload in selected:
+        record = run_workload(workload, config, resolution_s=resolution_s)
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return records

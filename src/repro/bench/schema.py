@@ -1,0 +1,124 @@
+"""The ``BENCH_*.json`` artifact schema: versioned, provenance-stamped.
+
+One artifact per workload group lands at the repository root:
+``BENCH_components.json`` (single-operation microbenches) and
+``BENCH_pipeline.json`` (multi-unit orchestrations).  Every document
+carries:
+
+* ``format`` / ``schema`` — artifact identity and schema version, so a
+  reader can reject documents it does not understand;
+* ``version`` — the package version that produced the numbers;
+* ``provenance`` — host/python/platform identification, because a
+  timing is meaningless without knowing where it was taken;
+* ``config`` — seed, quick flag and timer resolution of the run;
+* ``workloads`` — one record per workload: repeat/warmup/iteration
+  counts, the outlier-robust ``timing_s`` summary (shared
+  ``repro.telemetry.timing`` schema, in seconds) and the deterministic
+  ``fingerprint``.
+
+Only the fingerprints are byte-identical across runs at one seed; the
+timings are wall-clock and the provenance is host-specific.  The
+compare gate (:mod:`repro.bench.compare`) consumes exactly this split.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import socket
+from typing import Any, Iterable
+
+from repro._version import __version__
+from repro.bench.runner import RunnerConfig, WorkloadRecord
+from repro.bench.stats import timer_resolution
+
+BENCH_FORMAT = "repro.bench"
+BENCH_SCHEMA = 1
+
+#: Artifact filename per workload group.
+BENCH_FILENAMES = {
+    "components": "BENCH_components.json",
+    "pipeline": "BENCH_pipeline.json",
+}
+
+
+def bench_filename(group: str) -> str:
+    """The canonical artifact filename of one workload group."""
+    try:
+        return BENCH_FILENAMES[group]
+    except KeyError:
+        known = ", ".join(sorted(BENCH_FILENAMES))
+        raise KeyError(f"unknown group {group!r}; known: {known}") from None
+
+
+def provenance_document() -> dict[str, Any]:
+    """Host identification stamped into every artifact."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "host": socket.gethostname(),
+    }
+
+
+def bench_document(
+    group: str,
+    records: Iterable[WorkloadRecord],
+    config: RunnerConfig | None = None,
+    resolution_s: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the artifact document of one workload group."""
+    if config is None:
+        config = RunnerConfig()
+    if resolution_s is None:
+        resolution_s = timer_resolution(config.timer)
+    selected = [r for r in records if r.group == group]
+    return {
+        "format": BENCH_FORMAT,
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "group": group,
+        "provenance": provenance_document(),
+        "config": {
+            "seed": config.seed,
+            "quick": config.quick,
+            "timer_resolution_s": resolution_s,
+        },
+        "workloads": {r.name: r.document() for r in selected},
+    }
+
+
+def write_bench_json(
+    path: str | pathlib.Path, document: dict[str, Any]
+) -> pathlib.Path:
+    """Write one artifact atomically (sorted keys, trailing newline)."""
+    from repro.execution.cache import atomic_write_text
+
+    text = json.dumps(document, indent=2, sort_keys=True)
+    return atomic_write_text(path, text + "\n")
+
+
+def load_bench_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load and validate one artifact document.
+
+    Raises
+    ------
+    ValueError
+        When the file is not a ``repro.bench`` document or its schema
+        version is newer than this reader understands.
+    """
+    path = pathlib.Path(path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or document.get("format") != BENCH_FORMAT:
+        raise ValueError(f"{path} is not a {BENCH_FORMAT} document")
+    schema = document.get("schema")
+    if not isinstance(schema, int) or schema < 1 or schema > BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported schema version {schema!r} "
+            f"(this reader understands 1..{BENCH_SCHEMA})"
+        )
+    if not isinstance(document.get("workloads"), dict):
+        raise ValueError(f"{path}: missing workloads section")
+    return document

@@ -1,0 +1,66 @@
+"""Timer calibration and robust statistics for the benchmark harness.
+
+The statistics themselves live in :mod:`repro.telemetry.timing` — the
+shared timing-stat schema ``metrics.json`` timings also follow — and
+are re-exported here; this module adds the timer-side concerns:
+measuring the clock's effective resolution and choosing how many
+invocations to batch per timed sample so that sub-resolution workloads
+still produce meaningful numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+from repro.telemetry.timing import TimingSummary
+
+__all__ = ["TimingSummary", "calibrate_iterations", "timer_resolution"]
+
+#: Spins used to estimate the timer's effective resolution.
+_RESOLUTION_SPINS = 25
+
+#: A timed sample should span at least this many timer resolutions, so
+#: quantization error stays under ~1%.
+_RESOLUTION_MULTIPLE = 100.0
+
+
+def timer_resolution(
+    timer: Callable[[], float] = time.perf_counter, spins: int = _RESOLUTION_SPINS
+) -> float:
+    """Smallest positive delta the timer reports (median of spins)."""
+    deltas = []
+    for _ in range(spins):
+        start = timer()
+        end = timer()
+        while end <= start:
+            end = timer()
+        deltas.append(end - start)
+    deltas.sort()
+    return deltas[len(deltas) // 2]
+
+
+def calibrate_iterations(
+    fn: Callable[[], object],
+    timer: Callable[[], float] = time.perf_counter,
+    min_sample_s: float = 0.01,
+    max_iterations: int = 1000,
+    resolution_s: float | None = None,
+) -> int:
+    """Pick the invocations batched into one timed sample.
+
+    One probe invocation estimates the workload's cost; the sample size
+    is then scaled so each sample spans at least ``min_sample_s`` *and*
+    at least :data:`_RESOLUTION_MULTIPLE` timer resolutions.  Workloads
+    already longer than the floor run one invocation per sample.
+    """
+    if resolution_s is None:
+        resolution_s = timer_resolution(timer)
+    floor_s = max(min_sample_s, resolution_s * _RESOLUTION_MULTIPLE)
+    start = timer()
+    fn()
+    probe_s = max(timer() - start, resolution_s)
+    if probe_s >= floor_s:
+        return 1
+    return max(1, min(max_iterations, math.ceil(floor_s / probe_s)))

@@ -10,6 +10,8 @@ Usage::
     python -m repro campaign out/ --trace --jobs 4
     python -m repro trace summarize out/events.jsonl
     python -m repro chaos out/
+    python -m repro bench run --quick
+    python -m repro bench compare BENCH_pipeline.json new/BENCH_pipeline.json
 """
 
 from __future__ import annotations
@@ -265,15 +267,93 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    import json
     import pathlib
 
-    from repro.telemetry import summarize_file
+    from repro.telemetry import read_events, render_summary, summarize_events
 
     path = pathlib.Path(args.events)
     if not path.exists():
         print(f"no event log at {path}", file=sys.stderr)
         return 2
-    print(summarize_file(path))
+    summary = summarize_events(read_events(path))
+    if args.json:
+        print(json.dumps(summary.document(), indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.bench import (
+        RunnerConfig,
+        bench_document,
+        bench_filename,
+        groups,
+        run_suite,
+        timer_resolution,
+        write_bench_json,
+    )
+
+    config = RunnerConfig(
+        seed=args.seed, quick=args.quick, repeats=args.repeats
+    )
+    only = tuple(args.only) if args.only else None
+
+    def progress(record):
+        timing = record.timing
+        print(
+            f"  {record.name:32s} median={timing.median * 1e3:10.3f}ms "
+            f"mad={timing.mad * 1e3:8.3f}ms  "
+            f"(x{record.iterations} per sample, {record.repeats} repeats)"
+        )
+
+    try:
+        records = run_suite(config, only=only, progress=progress)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    resolution_s = timer_resolution(config.timer)
+    out_dir = pathlib.Path(args.out_dir)
+    written = []
+    for group in groups():
+        group_records = [r for r in records if r.group == group]
+        if not group_records:
+            continue
+        document = bench_document(
+            group, group_records, config, resolution_s=resolution_s
+        )
+        written.append(
+            write_bench_json(out_dir / bench_filename(group), document)
+        )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_documents, load_bench_json, render_report
+
+    try:
+        old = load_bench_json(args.old)
+        new = load_bench_json(args.new)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = compare_documents(old, new, threshold_pct=args.threshold)
+    print(render_report(report))
+    if args.report_only:
+        return 0
+    return report.exit_code(fail_on_missing=args.fail_on_missing)
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import workloads
+
+    for workload in workloads():
+        print(f"  {workload.name:32s} [{workload.group}] {workload.title}")
     return 0
 
 
@@ -395,7 +475,82 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="per-phase/per-unit breakdown of a JSONL event log",
     )
     p_summarize.add_argument("events", help="path to an events.jsonl log")
+    p_summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the same aggregates as a machine-readable JSON document",
+    )
     p_summarize.set_defaults(func=_cmd_trace_summarize)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the library's own hot paths (see docs/BENCHMARKS.md)",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run",
+        help="run the registered workloads and write BENCH_*.json",
+    )
+    p_bench_run.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory the BENCH_*.json artifacts land in (default: .)",
+    )
+    p_bench_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced repeats/warmup for CI smoke runs",
+    )
+    p_bench_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="noise seed the workload fingerprints are deterministic under",
+    )
+    p_bench_run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every workload's repeat count",
+    )
+    p_bench_run.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named workload (repeatable)",
+    )
+    p_bench_run.set_defaults(func=_cmd_bench_run)
+    p_bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json files; non-zero exit on regression",
+    )
+    p_bench_compare.add_argument("old", help="baseline BENCH_*.json")
+    p_bench_compare.add_argument("new", help="fresh BENCH_*.json")
+    p_bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="median-regression threshold in percent (default: 25)",
+    )
+    p_bench_compare.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="also fail when a baseline workload is missing from NEW",
+    )
+    p_bench_compare.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the delta table but always exit 0 (CI smoke mode)",
+    )
+    p_bench_compare.set_defaults(func=_cmd_bench_compare)
+    p_bench_list = bench_sub.add_parser(
+        "list", help="list the registered workloads"
+    )
+    p_bench_list.set_defaults(func=_cmd_bench_list)
 
     p_report = sub.add_parser(
         "report", help="render all experiments into a directory"

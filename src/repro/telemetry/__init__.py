@@ -43,6 +43,12 @@ from repro.telemetry.sinks import (
     write_metrics_json,
 )
 from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.timing import (
+    ROBUST_FIELDS,
+    STREAMING_FIELDS,
+    TimingSummary,
+    streaming_document,
+)
 from repro.telemetry.summarize import (
     SpanAggregate,
     TraceSummary,
@@ -62,16 +68,20 @@ __all__ = [
     "Metrics",
     "NULL_TELEMETRY",
     "NullMetrics",
+    "ROBUST_FIELDS",
+    "STREAMING_FIELDS",
     "Sink",
     "Span",
     "SpanAggregate",
     "Telemetry",
+    "TimingSummary",
     "TraceSummary",
     "Tracer",
     "current_telemetry",
     "metrics_document",
     "read_events",
     "render_summary",
+    "streaming_document",
     "summarize_events",
     "summarize_file",
     "using_telemetry",

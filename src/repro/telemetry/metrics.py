@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.telemetry.timing import streaming_document
+
 
 @dataclass
 class Counter:
@@ -75,15 +77,8 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def document(self) -> dict[str, float]:
-        if self.count == 0:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+        """Streaming timing document (``repro.telemetry.timing`` schema)."""
+        return streaming_document(self.count, self.total, self.min, self.max)
 
 
 class Metrics:

@@ -56,6 +56,52 @@ class TraceSummary:
         rows.sort(key=lambda a: (-a.total_s, a.key))
         return rows
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """Deterministic counters of the final metrics event, if any."""
+        if self.metrics is None:
+            return {}
+        counters = self.metrics.get("counters")
+        if not isinstance(counters, dict):
+            return {}
+        normalized: dict[str, int] = {}
+        for name, value in counters.items():
+            try:
+                normalized[str(name)] = int(value)
+            except (TypeError, ValueError):
+                continue
+        return normalized
+
+    def document(self) -> dict[str, Any]:
+        """Machine-readable form: the same aggregates as the tables.
+
+        Powers ``repro trace summarize --json``.  Span groups are keyed
+        by kind then label, each carrying the count / total / min / max
+        / mean / errors columns of the fixed-width tables; the
+        deterministic counter section rides along when the log carried a
+        final metrics event.
+        """
+        kinds: dict[str, list[dict[str, Any]]] = {}
+        for kind in sorted(self.groups):
+            kinds[kind] = [
+                {
+                    "group": row.key,
+                    "count": row.count,
+                    "total_s": row.total_s,
+                    "mean_s": row.mean_s,
+                    "min_s": row.min_s if row.count else 0.0,
+                    "max_s": row.max_s if row.count else 0.0,
+                    "errors": row.errors,
+                }
+                for row in self.aggregate(kind)
+            ]
+        return {
+            "format": "repro.trace-summary",
+            "n_events": self.n_events,
+            "kinds": kinds,
+            "counters": self.counters,
+        }
+
 
 def _group_label(event: dict[str, Any]) -> str:
     """The aggregation label of one span event.
@@ -149,16 +195,19 @@ def render_summary(summary: TraceSummary) -> str:
         if lines:
             lines.append("")
         lines.extend(_render_table(title, rows))
-    if summary.metrics is not None:
-        counters = summary.metrics.get("counters", {})
-        if counters:
-            if lines:
-                lines.append("")
-            lines.append("counters (deterministic)")
-            width = max(len(name) for name in counters)
-            for name in sorted(counters):
-                lines.append(f"  {name:{width}s} {counters[name]:>9d}")
+    counters = summary.counters
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append("counters (deterministic)")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:{width}s} {counters[name]:>9d}")
     if not lines:
+        if summary.metrics is not None:
+            # Metrics-only log (e.g. an untraced run's final snapshot):
+            # nothing to tabulate, but the log is not malformed.
+            return "no span events in log (metrics event only)"
         return "no span events in log"
     return "\n".join(lines)
 

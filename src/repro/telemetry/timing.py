@@ -1,0 +1,125 @@
+"""The shared timing-stat schema: one shape for every wall-clock summary.
+
+Two very different producers summarize wall-clock observations in this
+codebase:
+
+* the :class:`~repro.telemetry.metrics.Histogram` metrics stream small
+  per-event observations without retaining samples (``metrics.json``'s
+  quarantined ``timings`` section), and
+* the benchmark harness (``repro.bench``) times full workload repeats
+  and keeps every sample, so it can afford outlier-robust statistics.
+
+Both emit documents under *one* field vocabulary, defined here, so a
+consumer (``repro bench compare``, the trace summarizer, dashboards)
+never has to translate between two ad-hoc spellings of "count / total /
+min / max / mean".  The robust fields (median, MAD, IQR, standard
+deviation) are a superset only the sample-retaining producer fills in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+#: Fields every timing summary carries (streaming producers included).
+STREAMING_FIELDS = ("count", "total", "min", "max", "mean")
+
+#: Additional outlier-robust fields sample-retaining producers carry.
+ROBUST_FIELDS = ("median", "mad", "iqr", "stdev")
+
+
+def streaming_document(
+    count: int, total: float, min_value: float, max_value: float
+) -> dict[str, Any]:
+    """The canonical streaming timing document (``metrics.json`` shape).
+
+    An empty summary (``count == 0``) zero-fills every field so the
+    document keys are stable whatever the producer observed.
+    """
+    if count == 0:
+        return {field: 0 if field == "count" else 0.0 for field in STREAMING_FIELDS}
+    return {
+        "count": int(count),
+        "total": float(total),
+        "min": float(min_value),
+        "max": float(max_value),
+        "mean": float(total) / int(count),
+    }
+
+
+def _median(ordered: Sequence[float]) -> float:
+    """Median of an already-sorted sequence."""
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _quartiles(ordered: Sequence[float]) -> tuple[float, float]:
+    """(Q1, Q3) by the median-of-halves (Tukey hinges) convention."""
+    n = len(ordered)
+    if n == 1:
+        return ordered[0], ordered[0]
+    mid = n // 2
+    lower = ordered[:mid]
+    upper = ordered[mid + 1 :] if n % 2 else ordered[mid:]
+    return _median(lower), _median(upper)
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Outlier-robust summary of a retained sample set.
+
+    The benchmark harness reports medians and MAD/IQR spreads rather
+    than means: a single OS scheduling hiccup shifts a mean arbitrarily
+    but moves the median of 20 repeats by at most one rank.
+    """
+
+    count: int
+    total: float
+    min: float
+    max: float
+    mean: float
+    median: float
+    #: Median absolute deviation from the median (robust spread).
+    mad: float
+    #: Interquartile range, Q3 - Q1 (robust spread).
+    iqr: float
+    #: Plain standard deviation (population), for reference only.
+    stdev: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TimingSummary":
+        """Summarize a non-empty sequence of observations."""
+        values = sorted(float(s) for s in samples)
+        if not values:
+            raise ValueError("cannot summarize an empty sample set")
+        count = len(values)
+        total = sum(values)
+        mean = total / count
+        median = _median(values)
+        mad = _median(sorted(abs(v - median) for v in values))
+        q1, q3 = _quartiles(values)
+        stdev = math.sqrt(sum((v - mean) ** 2 for v in values) / count)
+        return cls(
+            count=count,
+            total=total,
+            min=values[0],
+            max=values[-1],
+            mean=mean,
+            median=median,
+            mad=mad,
+            iqr=q3 - q1,
+            stdev=stdev,
+        )
+
+    def document(self) -> dict[str, Any]:
+        """JSON-able document: streaming fields plus the robust superset."""
+        doc = streaming_document(self.count, self.total, self.min, self.max)
+        doc["median"] = self.median
+        doc["mad"] = self.mad
+        doc["iqr"] = self.iqr
+        doc["stdev"] = self.stdev
+        return doc

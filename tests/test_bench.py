@@ -1,0 +1,512 @@
+"""Benchmark harness tests: timing schema, registry, runner, compare gate.
+
+The expensive full-registry workloads are exercised by the tier-2
+``benchmarks/`` wrappers and the CI bench-smoke job; here every runner
+test uses either a synthetic workload or the cheapest registered one
+(``simulator.run``) so the suite stays tier-1 fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD_PCT,
+    compare_documents,
+    render_report,
+)
+from repro.bench.registry import (
+    GROUPS,
+    Workload,
+    get_workload,
+    groups,
+    register,
+    workloads,
+)
+from repro.bench.runner import (
+    QUICK_REPEATS,
+    RunnerConfig,
+    fingerprint_workload,
+    run_suite,
+    run_workload,
+)
+from repro.bench.schema import (
+    BENCH_FILENAMES,
+    BENCH_FORMAT,
+    BENCH_SCHEMA,
+    bench_document,
+    bench_filename,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.stats import calibrate_iterations, timer_resolution
+from repro.cli import main
+from repro.telemetry import (
+    Metrics,
+    ROBUST_FIELDS,
+    STREAMING_FIELDS,
+    TimingSummary,
+    streaming_document,
+)
+
+
+# ----------------------------------------------------------------------
+# Shared timing-stat schema
+# ----------------------------------------------------------------------
+
+
+class TestTimingSchema:
+    def test_from_samples_robust_statistics(self):
+        summary = TimingSummary.from_samples([3.0, 1.0, 2.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.min == 1.0
+        assert summary.max == 100.0
+        assert summary.median == 3.0
+        # |x - 3| = [2, 1, 0, 1, 97] -> sorted [0, 1, 1, 2, 97]
+        assert summary.mad == 1.0
+        # Tukey hinges: Q1 = median([1, 2]) = 1.5, Q3 = median([4, 100]) = 52
+        assert summary.iqr == pytest.approx(50.5)
+        # the outlier drags the mean but not the median
+        assert summary.mean == pytest.approx(22.0)
+
+    def test_median_is_outlier_robust(self):
+        clean = TimingSummary.from_samples([1.0, 1.0, 1.0, 1.0, 1.0])
+        spiked = TimingSummary.from_samples([1.0, 1.0, 1.0, 1.0, 50.0])
+        assert spiked.median == clean.median
+        assert spiked.mean > clean.mean
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            TimingSummary.from_samples([])
+
+    def test_document_carries_both_field_sets(self):
+        doc = TimingSummary.from_samples([1.0, 2.0]).document()
+        assert set(doc) == set(STREAMING_FIELDS) | set(ROBUST_FIELDS)
+
+    def test_streaming_document_zero_fills_empty(self):
+        doc = streaming_document(0, 0.0, float("inf"), float("-inf"))
+        assert doc == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_histogram_emits_streaming_schema(self):
+        histogram = Metrics().histogram("unit.seconds")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        doc = histogram.document()
+        assert set(doc) == set(STREAMING_FIELDS)
+        assert doc["mean"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Timer calibration
+# ----------------------------------------------------------------------
+
+
+class _FakeClock:
+    """Deterministic timer advancing a fixed step per reading."""
+
+    def __init__(self, step_s: float):
+        self.step_s = step_s
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step_s
+        return self.now
+
+
+class TestCalibration:
+    def test_timer_resolution_positive(self):
+        assert timer_resolution() > 0.0
+
+    def test_fast_function_batched_to_sample_floor(self):
+        clock = _FakeClock(step_s=1e-4)
+        iterations = calibrate_iterations(
+            lambda: None,
+            timer=clock,
+            min_sample_s=0.01,
+            resolution_s=1e-9,
+        )
+        # probe cost 1e-4 s, floor 0.01 s -> 100 invocations per sample
+        assert iterations == 100
+
+    def test_slow_function_runs_once_per_sample(self):
+        clock = _FakeClock(step_s=0.02)
+        iterations = calibrate_iterations(
+            lambda: None,
+            timer=clock,
+            min_sample_s=0.01,
+            resolution_s=1e-9,
+        )
+        assert iterations == 1
+
+    def test_max_iterations_caps_batching(self):
+        clock = _FakeClock(step_s=1e-7)
+        iterations = calibrate_iterations(
+            lambda: None,
+            timer=clock,
+            min_sample_s=0.01,
+            max_iterations=250,
+            resolution_s=1e-9,
+        )
+        assert iterations == 250
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_hot_paths_registered(self):
+        names = [w.name for w in workloads()]
+        assert len(names) == len(set(names))
+        for expected in (
+            "simulator.run",
+            "testbed.measure",
+            "profiler.profile.kepler",
+            "sweep.run",
+            "dataset.build",
+            "selection.forward",
+            "engine.run_units.cold.jobs1",
+            "engine.run_units.cached.jobs4",
+        ):
+            assert expected in names
+
+    def test_groups_in_artifact_order(self):
+        assert groups() == GROUPS
+        assert all(w.group in GROUPS for w in workloads())
+
+    def test_group_filter(self):
+        components = workloads("components")
+        assert components
+        assert all(w.group == "components" for w in components)
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope.nothing")
+
+    def test_register_rejects_duplicates_and_bad_groups(self):
+        taken = workloads()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            register(taken)
+        with pytest.raises(ValueError, match="unknown group"):
+            register(
+                Workload(
+                    name="synthetic.badgroup",
+                    group="misc",
+                    title="bad",
+                    setup=lambda seed, workdir: lambda telemetry: None,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+def _synthetic_workload(repeats: int = 4, warmup: int = 2) -> Workload:
+    """A cheap workload with a fully deterministic fingerprint."""
+
+    def setup(seed, workdir):
+        def fn(telemetry):
+            if telemetry is not None:
+                telemetry.metrics.counter("synthetic.calls").inc()
+            return {"seed": seed, "n": 7}
+
+        return fn
+
+    return Workload(
+        name="synthetic.count",
+        group="components",
+        title="synthetic counting workload",
+        setup=setup,
+        work=lambda result: {"seed": result["seed"], "n": result["n"]},
+        repeats=repeats,
+        warmup=warmup,
+    )
+
+
+class TestRunner:
+    def test_record_shape_quick(self):
+        record = run_workload(_synthetic_workload(repeats=10), RunnerConfig(quick=True))
+        assert record.repeats == QUICK_REPEATS
+        assert record.warmup == 1
+        assert record.iterations == 1  # quick mode skips calibration
+        assert record.timing.count == QUICK_REPEATS
+        assert record.fingerprint == {
+            "synthetic.calls": 1,
+            "work.seed": 0,
+            "work.n": 7,
+        }
+
+    def test_repeats_override_beats_quick(self):
+        record = run_workload(
+            _synthetic_workload(repeats=10),
+            RunnerConfig(quick=True, repeats=5),
+        )
+        assert record.repeats == 5
+
+    def test_seed_threads_into_fingerprint(self):
+        record = run_workload(_synthetic_workload(), RunnerConfig(quick=True, seed=42))
+        assert record.fingerprint["work.seed"] == 42
+
+    def test_fingerprint_workload_deterministic(self):
+        workload = _synthetic_workload()
+        fn = workload.setup(3, None)
+        assert fingerprint_workload(fn, workload) == fingerprint_workload(fn, workload)
+
+    def test_workdir_created_and_cleaned_up(self):
+        seen = {}
+
+        def setup(seed, workdir):
+            assert workdir.is_dir()
+            (workdir / "scratch.txt").write_text("x", encoding="utf-8")
+            seen["workdir"] = workdir
+            return lambda telemetry: None
+
+        workload = Workload(
+            name="synthetic.scratch",
+            group="components",
+            title="scratch",
+            setup=setup,
+            repeats=1,
+            warmup=0,
+        )
+        run_workload(workload, RunnerConfig(quick=True))
+        assert not seen["workdir"].exists()
+
+    def test_run_suite_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown workloads"):
+            run_suite(RunnerConfig(quick=True), only=("no.such.workload",))
+
+    def test_registered_workload_fingerprint_reproducible(self):
+        """Acceptance: same seed -> byte-identical fingerprint."""
+        workload = get_workload("simulator.run")
+        config = RunnerConfig(quick=True, repeats=1, seed=0)
+        first = run_workload(workload, config)
+        second = run_workload(workload, config)
+        assert first.fingerprint == second.fingerprint
+        assert json.dumps(first.fingerprint, sort_keys=True) == json.dumps(
+            second.fingerprint, sort_keys=True
+        )
+
+
+# ----------------------------------------------------------------------
+# Artifact schema
+# ----------------------------------------------------------------------
+
+
+class TestSchema:
+    def _records(self):
+        return [run_workload(_synthetic_workload(), RunnerConfig(quick=True))]
+
+    def test_bench_filename(self):
+        assert bench_filename("components") == "BENCH_components.json"
+        assert bench_filename("pipeline") == "BENCH_pipeline.json"
+        assert set(BENCH_FILENAMES) == set(GROUPS)
+        with pytest.raises(KeyError):
+            bench_filename("misc")
+
+    def test_document_round_trip(self, tmp_path):
+        config = RunnerConfig(quick=True, seed=9)
+        document = bench_document("components", self._records(), config)
+        assert document["format"] == BENCH_FORMAT
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["config"]["seed"] == 9
+        assert document["config"]["quick"] is True
+        assert document["config"]["timer_resolution_s"] > 0.0
+        assert set(document["provenance"]) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "host",
+        }
+        record = document["workloads"]["synthetic.count"]
+        assert record["timing_s"]["count"] == QUICK_REPEATS
+        assert record["fingerprint"]["synthetic.calls"] == 1
+
+        path = tmp_path / "BENCH_components.json"
+        write_bench_json(path, document)
+        assert path.read_text(encoding="utf-8").endswith("\n")
+        assert load_bench_json(path) == document
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro.bench"):
+            load_bench_json(path)
+
+    def test_load_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"format": BENCH_FORMAT, "schema": 99, "workloads": {}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="unsupported schema"):
+            load_bench_json(path)
+
+    def test_load_rejects_missing_workloads(self, tmp_path):
+        path = tmp_path / "hollow.json"
+        path.write_text(
+            json.dumps({"format": BENCH_FORMAT, "schema": 1}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="missing workloads"):
+            load_bench_json(path)
+
+
+# ----------------------------------------------------------------------
+# Compare gate
+# ----------------------------------------------------------------------
+
+
+def _bench_doc(medians, fingerprints=None):
+    """A minimal valid document with the given per-workload medians."""
+    return {
+        "format": BENCH_FORMAT,
+        "schema": BENCH_SCHEMA,
+        "workloads": {
+            name: {
+                "timing_s": {"median": median},
+                "fingerprint": (fingerprints or {}).get(name, {"units": 1}),
+            }
+            for name, median in medians.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        doc = _bench_doc({"a": 0.5, "b": 0.001})
+        report = compare_documents(doc, doc)
+        assert all(d.status == "ok" for d in report.deltas)
+        assert report.exit_code() == 0
+        assert report.exit_code(fail_on_missing=True) == 0
+
+    def test_median_regression_fails_gate(self):
+        report = compare_documents(_bench_doc({"a": 1.0}), _bench_doc({"a": 1.5}))
+        (delta,) = report.regressions
+        assert delta.delta_pct == pytest.approx(50.0)
+        assert report.exit_code() == 1
+
+    def test_threshold_is_configurable(self):
+        report = compare_documents(
+            _bench_doc({"a": 1.0}), _bench_doc({"a": 1.5}), threshold_pct=60.0
+        )
+        assert not report.regressions
+        assert report.exit_code() == 0
+
+    def test_improvement_does_not_fail(self):
+        report = compare_documents(_bench_doc({"a": 1.0}), _bench_doc({"a": 0.4}))
+        assert report.deltas[0].status == "improved"
+        assert report.exit_code() == 0
+
+    def test_missing_workload_fails_only_when_asked(self):
+        report = compare_documents(
+            _bench_doc({"a": 1.0, "gone": 1.0}), _bench_doc({"a": 1.0})
+        )
+        assert [d.name for d in report.missing] == ["gone"]
+        assert report.exit_code() == 0
+        assert report.exit_code(fail_on_missing=True) == 1
+
+    def test_new_workload_reported_not_failed(self):
+        report = compare_documents(
+            _bench_doc({"a": 1.0}), _bench_doc({"a": 1.0, "fresh": 1.0})
+        )
+        assert report.by_status("new")[0].name == "fresh"
+        assert report.exit_code(fail_on_missing=True) == 0
+
+    def test_fingerprint_drift_quarantines_the_timing(self):
+        """A faster-but-different run is suspect, not an improvement."""
+        report = compare_documents(
+            _bench_doc({"a": 1.0}, {"a": {"units": 10}}),
+            _bench_doc({"a": 0.1}, {"a": {"units": 2}}),
+        )
+        (delta,) = report.suspects
+        assert delta.drifted_keys == ("units",)
+        assert not report.regressions
+        assert report.exit_code() == 0
+
+    def test_invalid_threshold_rejected(self):
+        doc = _bench_doc({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_documents(doc, doc, threshold_pct=0.0)
+
+    def test_render_report_mentions_verdict(self):
+        report = compare_documents(
+            _bench_doc({"a": 1.0, "gone": 1.0}), _bench_doc({"a": 1.6})
+        )
+        text = render_report(report)
+        assert "a" in text and "gone" in text
+        assert f"threshold {DEFAULT_THRESHOLD_PCT:g}%" in text
+        assert "1 regression(s), 1 missing" in text
+
+
+# ----------------------------------------------------------------------
+# CLI round trip
+# ----------------------------------------------------------------------
+
+
+class TestBenchCLI:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator.run" in out
+        assert "engine.run_units.cached.jobs4" in out
+
+    def test_bench_run_quick_writes_artifact(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "run",
+                "--quick",
+                "--only",
+                "simulator.run",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulator.run" in out
+        document = load_bench_json(tmp_path / "BENCH_components.json")
+        assert document["config"]["quick"] is True
+        assert "simulator.run" in document["workloads"]
+        # no pipeline workload selected -> no pipeline artifact
+        assert not (tmp_path / "BENCH_pipeline.json").exists()
+
+    def test_bench_run_unknown_workload_exits_2(self, capsys):
+        assert main(["bench", "run", "--quick", "--only", "nope"]) == 2
+
+    def test_bench_compare_gate_exit_codes(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_bench_json(old, _bench_doc({"a": 1.0, "gone": 1.0}))
+        write_bench_json(new, _bench_doc({"a": 1.6}))
+
+        assert main(["bench", "compare", str(old), str(old)]) == 0
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        assert main(["bench", "compare", str(old), str(new), "--threshold", "80"]) == 0
+        write_bench_json(new, _bench_doc({"a": 1.0}))
+        assert main(["bench", "compare", str(old), str(new), "--fail-on-missing"]) == 1
+        capsys.readouterr()
+
+    def test_bench_compare_report_only_always_passes(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_bench_json(old, _bench_doc({"a": 1.0}))
+        write_bench_json(new, _bench_doc({"a": 9.0}))
+        assert main(["bench", "compare", str(old), str(new), "--report-only"]) == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_bench_compare_unreadable_exits_2(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_bench_json(good, _bench_doc({"a": 1.0}))
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "compare", str(good), str(missing)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(["bench", "compare", str(good), str(bad)]) == 2

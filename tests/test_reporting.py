@@ -1,0 +1,87 @@
+"""Tests of repro.reporting.render_experiments and the report command."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.reporting as reporting
+from repro._version import __version__
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.reporting import render_experiments
+
+
+@pytest.fixture
+def stub_run(monkeypatch):
+    """Replace the experiment runner with a cheap stub that records calls."""
+    calls = []
+
+    def fake_run(eid, seed=None):
+        calls.append((eid, seed))
+        return ExperimentResult(
+            experiment_id=eid,
+            title=f"Stub title of {eid}",
+            headers=("col",),
+            rows=((1,),),
+        )
+
+    monkeypatch.setattr(reporting, "run", fake_run)
+    return calls
+
+
+class TestRenderExperiments:
+    def test_writes_one_file_per_experiment_plus_index(self, tmp_path, stub_run):
+        entries = render_experiments(tmp_path, experiment_ids=["table1", "fig4"])
+        assert [e.experiment_id for e in entries] == ["table1", "fig4"]
+        for entry in entries:
+            assert entry.path == tmp_path / f"{entry.experiment_id}.txt"
+            text = entry.path.read_text(encoding="utf-8")
+            assert f"Stub title of {entry.experiment_id}" in text
+
+    def test_index_contents(self, tmp_path, stub_run):
+        render_experiments(tmp_path, experiment_ids=["table1", "fig4"])
+        index = (tmp_path / "INDEX.txt").read_text(encoding="utf-8")
+        lines = index.splitlines()
+        assert lines[0] == f"repro {__version__} experiment report"
+        assert lines[1] == "seed: default"
+        assert "table1" in index and "Stub title of table1" in index
+        assert "fig4" in index and "Stub title of fig4" in index
+
+    def test_default_renders_full_registry(self, tmp_path, stub_run):
+        entries = render_experiments(tmp_path)
+        assert [e.experiment_id for e in entries] == list(EXPERIMENTS)
+
+    def test_no_extensions_keeps_the_19_paper_artifacts(self, tmp_path, stub_run):
+        entries = render_experiments(tmp_path, include_extensions=False)
+        ids = [e.experiment_id for e in entries]
+        assert len(ids) == 19
+        assert not [eid for eid in ids if eid.startswith("ext_")]
+        # the paper artifacts are exactly the non-extension registry ids
+        assert ids == [eid for eid in EXPERIMENTS if not eid.startswith("ext_")]
+
+    def test_seed_override_propagates_to_every_experiment(self, tmp_path, stub_run):
+        render_experiments(tmp_path, experiment_ids=["table5", "fig7"], seed=123)
+        assert stub_run == [("table5", 123), ("fig7", 123)]
+        index = (tmp_path / "INDEX.txt").read_text(encoding="utf-8")
+        assert "seed: 123" in index
+
+    def test_real_experiment_round_trip(self, tmp_path):
+        """One un-stubbed render as an end-to-end sanity check."""
+        entries = render_experiments(tmp_path, experiment_ids=["table1"])
+        (entry,) = entries
+        text = entry.path.read_text(encoding="utf-8")
+        assert text.startswith("== table1:")
+        assert "GTX 680" in text
+
+
+class TestReportCLI:
+    def test_report_command(self, tmp_path, stub_run, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "report"
+        code = main(["report", str(out_dir), "--no-extensions", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "19 experiments rendered" in out
+        assert (out_dir / "INDEX.txt").exists()
+        assert all(seed == 5 for _, seed in stub_run)

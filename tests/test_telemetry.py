@@ -416,3 +416,96 @@ def test_cli_trace_summarize_missing_file(tmp_path, capsys):
 
     code = main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
     assert code == 2
+
+
+# ----------------------------------------------------------------------
+# summarizer: --json mode and metrics-only logs
+# ----------------------------------------------------------------------
+
+
+class TestSummaryDocument:
+    def _traced_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        telemetry = Telemetry(sinks=[JsonlSink(path)])
+        with telemetry.tracer.span("campaign", kind="campaign"):
+            with telemetry.tracer.span("sweep-gtx480", kind="phase"):
+                pass
+            with telemetry.tracer.span("sweep-gtx680", kind="phase"):
+                pass
+        telemetry.metrics.inc("units.total", 4)
+        snapshot = telemetry.metrics.snapshot()
+        telemetry.tracer.emit({"type": "metrics", **metrics_document(snapshot)})
+        telemetry.close()
+        return path
+
+    def test_document_mirrors_the_tables(self, tmp_path):
+        path = self._traced_log(tmp_path)
+        summary = summarize_events(read_events(path))
+        doc = summary.document()
+        assert doc["format"] == "repro.trace-summary"
+        assert doc["n_events"] == summary.n_events
+        phases = {row["group"] for row in doc["kinds"]["phase"]}
+        assert phases == {"sweep-gtx480", "sweep-gtx680"}
+        row = doc["kinds"]["phase"][0]
+        assert set(row) == {
+            "group",
+            "count",
+            "total_s",
+            "mean_s",
+            "min_s",
+            "max_s",
+            "errors",
+        }
+        assert doc["counters"] == {"units.total": 4}
+
+    def test_cli_json_output_parses(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._traced_log(tmp_path)
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro.trace-summary"
+        assert doc["counters"] == {"units.total": 4}
+        assert "campaign" in doc["kinds"]
+
+    def test_metrics_only_log_does_not_crash(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        metrics = Metrics()
+        metrics.inc("cache.hits", 3)
+        path.write_text(
+            json.dumps({"type": "metrics", **metrics_document(metrics.snapshot())})
+            + "\n",
+            encoding="utf-8",
+        )
+        summary = summarize_events(read_events(path))
+        text = render_summary(summary)
+        assert "counters (deterministic)" in text
+        assert "phases" not in text  # nothing to tabulate but the counters
+        assert main(["trace", "summarize", str(path)]) == 0
+        assert "cache.hits" in capsys.readouterr().out
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {
+            "format": "repro.trace-summary",
+            "n_events": 1,
+            "kinds": {},
+            "counters": {"cache.hits": 3},
+        }
+
+    def test_counters_property_tolerates_malformed_values(self):
+        summary = summarize_events(
+            [
+                {
+                    "type": "metrics",
+                    "counters": {"good": 2, "bad": "not-a-number", "also": None},
+                }
+            ]
+        )
+        assert summary.counters == {"good": 2}
+
+    def test_counters_property_tolerates_non_dict_section(self):
+        summary = summarize_events([{"type": "metrics", "counters": ["broken"]}])
+        assert summary.counters == {}
+        assert render_summary(summary) == "no span events in log (metrics event only)"
