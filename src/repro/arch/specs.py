@@ -130,11 +130,23 @@ class GPUSpec:
             mem = ClockLevel(mem.upper())
         if mem is None:
             raise TypeError("memory level missing")
+        # Operating points are pure functions of the (frozen) spec, and
+        # the batch hot path resolves them once per cached payload —
+        # memoize per instance.  The memo lives outside the declared
+        # fields (repr/eq see only fields) and is dropped from pickles
+        # (__getstate__), so serialized specs stay content-stable.
+        memo = self.__dict__.get("_op_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_op_memo", memo)
+        op = memo.get((core, mem))
+        if op is not None:
+            return op
         if not self.is_configurable(core, mem):
             raise InvalidOperatingPointError(
                 f"{self.name} does not expose the ({core.value}-{mem.value}) pair"
             )
-        return OperatingPoint(
+        op = OperatingPoint(
             core_level=core,
             mem_level=mem,
             core_mhz=self.core_mhz[core],
@@ -142,14 +154,30 @@ class GPUSpec:
             core_voltage=self.core_vdd.at(core),
             mem_voltage=self.mem_vdd.at(mem),
         )
+        memo[(core, mem)] = op
+        return op
 
     def operating_points(self) -> list[OperatingPoint]:
         """All configurable operating points, highest clocks first."""
-        pairs = sorted(
-            self.allowed_pairs,
-            key=lambda cm: (-cm[0].rank, -cm[1].rank),
-        )
-        return [self.operating_point(c, m) for c, m in pairs]
+        ops = self.__dict__.get("_ops_memo")
+        if ops is None:
+            pairs = sorted(
+                self.allowed_pairs,
+                key=lambda cm: (-cm[0].rank, -cm[1].rank),
+            )
+            ops = tuple(self.operating_point(c, m) for c, m in pairs)
+            object.__setattr__(self, "_ops_memo", ops)
+        return list(ops)
+
+    def __getstate__(self) -> dict:
+        """Pickle the declared fields only (memos are process-local)."""
+        state = dict(self.__dict__)
+        state.pop("_op_memo", None)
+        state.pop("_ops_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def default_point(self) -> OperatingPoint:
         """The (H-H) factory default the paper compares against."""

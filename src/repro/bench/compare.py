@@ -66,11 +66,21 @@ class CompareReport:
     def suspects(self) -> tuple[WorkloadDelta, ...]:
         return self.by_status("suspect")
 
-    def exit_code(self, fail_on_missing: bool = False) -> int:
-        """The gate verdict: 0 passes, 1 fails."""
+    def exit_code(
+        self, fail_on_missing: bool = False, fail_on_drift: bool = False
+    ) -> int:
+        """The gate verdict: 0 passes, 1 fails.
+
+        ``fail_on_drift`` turns fingerprint-drift suspects into gate
+        failures — the enforcing-CI posture, where timings are host-
+        dependent but the deterministic work signature is not, so drift
+        is always a real behavior change.
+        """
         if self.regressions:
             return 1
         if fail_on_missing and self.missing:
+            return 1
+        if fail_on_drift and self.suspects:
             return 1
         return 0
 

@@ -404,6 +404,63 @@ register(
     )
 )
 
+
+def _make_grid_setup(scales: tuple[float, ...]):
+    def setup(seed, workdir):
+        from repro.arch.specs import get_gpu
+        from repro.execution.engine import ExecutionConfig, run_units
+        from repro.execution.units import sweep_units
+        from repro.kernels.suites import all_benchmarks
+
+        gpu = get_gpu("GTX 460")
+        benches = all_benchmarks()[:6]
+        units = []
+        for scale in scales:
+            units.extend(sweep_units(gpu, benches, scale=scale, seed=seed))
+
+        def fn(telemetry: Telemetry | None = None):
+            return run_units(units, ExecutionConfig(telemetry=telemetry))
+
+        return fn
+
+    return setup
+
+
+#: Input scales for the 10x grid: 6 benchmarks x 7 pairs x 10 scales.
+_GRID_SCALES_420 = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+register(
+    Workload(
+        name="engine.batch.grid42",
+        group="pipeline",
+        title="columnar batch path, 42-cell grid (6 benchmarks x 7 pairs)",
+        setup=_make_grid_setup((0.25,)),
+        work=_work_run_units,
+        repeats=10,
+        warmup=1,
+        calibrate=False,
+        tags=("engine", "batch"),
+    )
+)
+
+register(
+    Workload(
+        name="engine.batch.grid420",
+        group="pipeline",
+        title=(
+            "columnar batch path, 420-cell grid "
+            "(6 benchmarks x 7 pairs x 10 scales)"
+        ),
+        setup=_make_grid_setup(_GRID_SCALES_420),
+        work=_work_run_units,
+        repeats=5,
+        warmup=1,
+        calibrate=False,
+        tags=("engine", "batch"),
+    )
+)
+
+
 for _jobs in (1, 4):
     for _cached in (False, True):
         _mode = "cached" if _cached else "cold"

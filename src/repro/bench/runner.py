@@ -105,7 +105,13 @@ def fingerprint_workload(
     """One instrumented invocation -> the deterministic work signature."""
     telemetry = Telemetry()
     result = fn(telemetry)
-    signature: dict[str, Any] = dict(telemetry.metrics.snapshot()["counters"])
+    # Worker-process accounting (``worker.*``) depends on scheduling and
+    # pool reuse, never on the work done — keep it out of the signature.
+    signature: dict[str, Any] = {
+        key: value
+        for key, value in telemetry.metrics.snapshot()["counters"].items()
+        if not key.startswith("worker.")
+    }
     if workload.work is not None:
         for key, value in workload.work(result).items():
             signature[f"work.{key}"] = value

@@ -346,7 +346,10 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     print(render_report(report))
     if args.report_only:
         return 0
-    return report.exit_code(fail_on_missing=args.fail_on_missing)
+    return report.exit_code(
+        fail_on_missing=args.fail_on_missing,
+        fail_on_drift=args.fail_on_drift,
+    )
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -540,6 +543,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--fail-on-missing",
         action="store_true",
         help="also fail when a baseline workload is missing from NEW",
+    )
+    p_bench_compare.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help=(
+            "also fail on fingerprint drift (the work signature is "
+            "host-independent, so drift is a real behavior change)"
+        ),
     )
     p_bench_compare.add_argument(
         "--report-only",

@@ -1,0 +1,256 @@
+"""Columnar batch evaluation of (benchmark x frequency-pair) grids.
+
+The paper's campaigns are grid-shaped: every benchmark at every Table
+III operating point, at several input scales.  The scalar path walks
+that grid one ``GPUSimulator.run`` at a time, re-seeding five noise
+streams per cell at ~16us each.  :class:`BatchSimulator` evaluates the
+same grid columnarly:
+
+* stream seeding is vectorized across the whole grid
+  (:class:`repro.rng.StreamBank`), and
+* every pure intermediate (work profile, cache outcome, the full run
+  record) is memoized per cell, so re-evaluating a grid — the shape of
+  every bench repeat and every warm campaign — costs dictionary lookups.
+
+Parity is structural, not approximate: each cell calls the **same**
+scalar physics functions (``simulate_cache``, ``simulate_timing``,
+``simulate_power``, ``solve_thermal``) with the same float inputs, and
+draws noise from generators bit-identical to ``repro.rng.stream``.  A
+:class:`BatchSimulator` record is therefore byte-for-byte the record
+``GPUSimulator.run`` produces for the same cell
+(tests/test_batch_parity.py asserts this over random grids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.cache import simulate_cache
+from repro.engine.noise import lognormal_factor
+from repro.engine.power import idle_gpu_power, simulate_power
+from repro.engine.simulator import RunRecord, _cpi_cv
+from repro.engine.thermal import solve_thermal
+from repro.engine.timing import simulate_timing
+from repro.kernels.profile import KernelSpec
+from repro.rng import StreamBank, stable_hash
+
+#: One grid cell: (kernel, input scale, operating point).
+Cell = "tuple[KernelSpec, float, OperatingPoint]"
+
+#: Cap on the identity-keyed fingerprint memo (defensive; real runs hold
+#: a handful of specs, test suites churn through many).
+_FP_CAP = 4096
+
+_CONTENT_FPS: dict[int, tuple[Any, int]] = {}
+
+
+def content_fingerprint(obj: Any) -> int:
+    """Stable content hash of a frozen spec, memoized by identity.
+
+    ``repr`` of a frozen dataclass enumerates every field
+    deterministically, so the hash changes whenever the spec's content
+    does — the property the batch memos key on.
+    """
+    entry = _CONTENT_FPS.get(id(obj))
+    if entry is None or entry[0] is not obj:
+        if len(_CONTENT_FPS) >= _FP_CAP:
+            _CONTENT_FPS.clear()
+        entry = (obj, stable_hash(repr(obj)))
+        _CONTENT_FPS[id(obj)] = entry
+    return entry[1]
+
+
+class BatchSimulator:
+    """Grid-shaped, memoizing counterpart of :class:`GPUSimulator`.
+
+    Unlike the scalar simulator there is no "currently flashed" clock
+    state: every cell names its operating point explicitly, which is
+    what makes cells independent and the grid embarrassingly columnar.
+
+    Parameters
+    ----------
+    spec:
+        The card every cell of this simulator's grids runs on.
+    seed:
+        Optional override of the global noise seed (as in ``stream``).
+    ambient_c:
+        Ambient temperature of the thermal solve.
+    """
+
+    def __init__(
+        self, spec: GPUSpec, seed: int | None = None, ambient_c: float = 25.0
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.ambient_c = ambient_c
+        self.streams = StreamBank(seed)
+        self._works: dict[tuple, Any] = {}
+        self._caches: dict[tuple, Any] = {}
+        self._records: dict[tuple, RunRecord] = {}
+        self._idle_power: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # vectorized seeding
+    # ------------------------------------------------------------------
+
+    def cell_stream_coords(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> list[tuple]:
+        """The noise-stream coordinates one cell draws from."""
+        g, k = self.spec.name, kernel.name
+        return [
+            ("timing-jitter", g, k, scale, op.key),
+            ("cpi-fixed-effect", g, k),
+            ("driver-overhead", g, k, scale),
+            ("power-fixed-effect", g, k),
+            ("power-pair-effect", g, k, op.key),
+        ]
+
+    def prepare(
+        self, cells: Iterable["tuple[KernelSpec, float, OperatingPoint]"]
+    ) -> None:
+        """Vector-seed every stream the given grid cells will draw."""
+        coords: list[tuple] = []
+        for kernel, scale, op in cells:
+            if self._record_key(kernel, scale, op) not in self._records:
+                coords.extend(self.cell_stream_coords(kernel, scale, op))
+        self.streams.prepare(coords)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _record_key(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> tuple:
+        return (content_fingerprint(kernel), scale, op.key)
+
+    def work_profile(self, kernel: KernelSpec, scale: float):
+        """Memoized ``kernel.work(scale)``."""
+        key = (content_fingerprint(kernel), scale)
+        work = self._works.get(key)
+        if work is None:
+            work = self._works[key] = kernel.work(scale)
+        return work
+
+    def cache_outcome(self, kernel: KernelSpec, scale: float):
+        """Memoized ``simulate_cache`` for a (kernel, scale) column."""
+        key = (content_fingerprint(kernel), scale)
+        outcome = self._caches.get(key)
+        if outcome is None:
+            work = self.work_profile(kernel, scale)
+            outcome = self._caches[key] = simulate_cache(work, self.spec)
+        return outcome
+
+    def record(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> RunRecord:
+        """The cell's run record, byte-identical to ``GPUSimulator.run``."""
+        key = self._record_key(kernel, scale, op)
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = self._evaluate(kernel, scale, op)
+        return record
+
+    def run_grid(
+        self,
+        cells: Sequence["tuple[KernelSpec, float, OperatingPoint]"],
+    ) -> list[RunRecord]:
+        """Evaluate a whole grid: vector-seed once, then fill every cell."""
+        self.prepare(cells)
+        return [self.record(kernel, scale, op) for kernel, scale, op in cells]
+
+    def _evaluate(
+        self, kernel: KernelSpec, scale: float, op: OperatingPoint
+    ) -> RunRecord:
+        # Mirrors GPUSimulator.run exactly: same functions, same float
+        # inputs, same draw order within each stream.
+        spec = self.spec
+        work = self.work_profile(kernel, scale)
+        cache = self.cache_outcome(kernel, scale)
+        timing = simulate_timing(work, cache, spec, op)
+        power = simulate_power(cache, timing, spec, op)
+
+        traits = spec.traits
+        g, k = spec.name, kernel.name
+        streams = self.streams
+        jitter = lognormal_factor(
+            streams.stream("timing-jitter", g, k, scale, op.key),
+            traits.timing_jitter_cv,
+        )
+        cpi = lognormal_factor(
+            streams.stream("cpi-fixed-effect", g, k), _cpi_cv(kernel, traits)
+        )
+        overhead_s = traits.driver_overhead_s * float(
+            streams.stream("driver-overhead", g, k, scale).uniform(0.25, 2.75)
+        )
+        cv = traits.unmodeled_power_cv
+        fixed = lognormal_factor(
+            streams.stream("power-fixed-effect", g, k), cv * 0.9
+        )
+        interaction = lognormal_factor(
+            streams.stream("power-pair-effect", g, k, op.key), cv * 0.10
+        )
+        dynamic = (
+            power.core_dynamic_w + power.mem_background_w + power.dram_access_w
+        )
+        thermal = solve_thermal(
+            spec,
+            dynamic_w=dynamic * fixed * interaction,
+            static_w=power.static_w,
+            ambient_c=self.ambient_c,
+        )
+        kernel_seconds = timing.t_kernel * jitter * cpi
+        total_seconds = (
+            kernel_seconds
+            + timing.t_launch
+            + timing.t_transfer
+            + timing.t_host
+            + overhead_s
+        )
+        idle_w = self._idle_power.get(op.key)
+        if idle_w is None:
+            idle_w = self._idle_power[op.key] = idle_gpu_power(spec, op)
+        return RunRecord(
+            gpu=spec,
+            kernel=kernel,
+            scale=scale,
+            op=op,
+            work=work,
+            cache=cache,
+            timing=timing,
+            power=power,
+            kernel_seconds=kernel_seconds,
+            overhead_seconds=overhead_s,
+            total_seconds=total_seconds,
+            gpu_active_power_w=thermal.power_w,
+            gpu_idle_power_w=idle_w,
+            die_temp_c=thermal.die_c,
+            throttling=thermal.throttling,
+        )
+
+
+#: Process-local shared simulators, keyed by (card content, seed).
+_SHARED: dict[tuple[int, int | None], BatchSimulator] = {}
+
+#: Cap on the shared-simulator memo (tests churn seeds; campaigns don't).
+_SHARED_CAP = 64
+
+
+def shared_batch_simulator(
+    spec: GPUSpec, seed: int | None = None
+) -> BatchSimulator:
+    """This process's memoized batch simulator for a (card, seed).
+
+    Only default ambient temperature is memoized here — construct a
+    :class:`BatchSimulator` directly for custom thermal environments.
+    """
+    key = (content_fingerprint(spec), seed)
+    sim = _SHARED.get(key)
+    if sim is None:
+        if len(_SHARED) >= _SHARED_CAP:
+            _SHARED.clear()
+        sim = _SHARED[key] = BatchSimulator(spec, seed=seed)
+    return sim

@@ -161,6 +161,25 @@ class GPUSimulator:
     # execution
     # ------------------------------------------------------------------
 
+    def run_grid(
+        self, cells: "list[tuple[KernelSpec, float, OperatingPoint]]"
+    ) -> list[RunRecord]:
+        """Batch API: evaluate many (kernel, scale, op) cells in one call.
+
+        Unlike :meth:`run`, cells name their operating point explicitly
+        (no VBIOS flash per cell) and stream seeding is vectorized
+        across the grid.  Each returned record is byte-identical to
+        what ``set_clocks`` + ``run`` would produce for the same cell.
+        """
+        from repro.engine.batch import BatchSimulator  # avoid import cycle
+
+        batch = self.__dict__.get("_batch")
+        if batch is None:
+            batch = self.__dict__["_batch"] = BatchSimulator(
+                self.spec, seed=self._seed, ambient_c=self.ambient_c
+            )
+        return batch.run_grid(cells)
+
     def run(self, kernel: KernelSpec, scale: float = 1.0) -> RunRecord:
         """Execute one benchmark run at the current operating point."""
         op = self._op

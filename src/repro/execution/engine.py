@@ -218,6 +218,10 @@ class _UnitOutcome:
     metrics: dict[str, Any] | None = None
     #: Wall duration of the unit span on the worker's clock.
     duration_s: float = 0.0
+    #: Whether the executing worker already persisted the payload to the
+    #: result cache (the parent then skips its own serialized write and
+    #: only compensates the ``cache.puts`` counter).
+    cached: bool = False
 
 
 def _execute_with_retry(
@@ -278,6 +282,28 @@ def _execute_with_retry(
         spans=tuple(telemetry.tracer.documents()),
         metrics=telemetry.metrics.snapshot(),
         duration_s=unit_span.duration_s,
+    )
+
+
+def _execute_fast(unit: WorkUnit, retries: int, backoff_s: float) -> _UnitOutcome:
+    """Run one batchable unit through the batch layer, in-process.
+
+    No telemetry is recorded (the fast path only engages when the batch
+    runs without telemetry), so the outcome carries no spans and no
+    metrics snapshot.  Any fast-path error falls back to the scalar
+    retry loop, which reproduces it with the exact scalar semantics.
+    """
+    from repro.execution.batch import evaluate_fast
+
+    start = time.perf_counter()
+    try:
+        payload = evaluate_fast(unit)
+    except Exception:
+        return _execute_with_retry(unit, retries, backoff_s)
+    return _UnitOutcome(
+        payload=payload,
+        attempts=1,
+        duration_s=time.perf_counter() - start,
     )
 
 
@@ -420,11 +446,44 @@ def run_units(
                 continue
         pending.append((index, unit))
 
+    pool = None
     if pending:
-        executor = make_executor(config.jobs)
-        for index, outcome in executor.run(
-            pending, config.retries, config.backoff_s
-        ):
+        # Routing: batchable units running *without* telemetry take the
+        # columnar fast path (vectorized seeding, memoized cells, no
+        # span/metric bookkeeping); with telemetry enabled every unit
+        # keeps the scalar recording path, so traced runs — and the
+        # bench fingerprints built from their counters — are identical
+        # to the pre-batch engine by construction.  At jobs > 1 both
+        # kinds dispatch in chunks to the persistent worker pool.
+        fast_flags: dict[int, bool] = {}
+        if not telemetry.enabled:
+            from repro.execution.batch import is_batchable, prepare_units
+
+            fast_flags = {i: True for i, unit in pending if is_batchable(unit)}
+        if config.jobs > 1:
+            from repro.execution.pool import PersistentPoolExecutor
+
+            pool = PersistentPoolExecutor(config.jobs)
+            outcomes: Iterable[tuple[int, _UnitOutcome]] = pool.run_pending(
+                unit_list,
+                pending,
+                config.retries,
+                config.backoff_s,
+                fast_flags,
+                str(config.cache_dir) if cache is not None else None,
+                keys,
+            )
+        else:
+            if fast_flags:
+                prepare_units([u for i, u in pending if i in fast_flags])
+
+            def _run_one(index: int, unit: WorkUnit) -> _UnitOutcome:
+                if index in fast_flags:
+                    return _execute_fast(unit, config.retries, config.backoff_s)
+                return _execute_with_retry(unit, config.retries, config.backoff_s)
+
+            outcomes = ((i, _run_one(i, u)) for i, u in pending)
+        for index, outcome in outcomes:
             attempts_taken[index] = outcome.attempts
             durations[index] = outcome.duration_s
             stats.busy_seconds += outcome.duration_s
@@ -466,9 +525,20 @@ def run_units(
             stats.measured += 1
             stats.retries += outcome.attempts - 1
             if cache is not None:
-                cache.put(keys[index], outcome.payload)
+                if outcome.cached:
+                    # A worker already persisted this result; keep the
+                    # counter identical to a parent-side write.
+                    metrics.inc("cache.puts")
+                else:
+                    cache.put(keys[index], outcome.payload)
             done += 1
             notify(index, cache_hit=False, attempts=outcome.attempts)
+
+    if pool is not None and telemetry.enabled:
+        # A gauge, not a counter: counters are guaranteed independent of
+        # the worker count (and feed the bench fingerprints), while
+        # worker-process accounting is scheduling-dependent by nature.
+        metrics.gauge("worker.state_loads").set(float(pool.stats.state_loads))
 
     if cache is not None:
         stats.corrupt_entries = cache.corrupt_entries

@@ -208,6 +208,37 @@ class Testbed:
             degraded=degraded,
         )
 
+    def measure_grid(
+        self, cells: "list[tuple[KernelSpec, float, OperatingPoint]]"
+    ) -> list[Measurement]:
+        """Batch API: measure many (kernel, scale, op) cells in one call.
+
+        Fault-free testbeds evaluate the grid columnarly (vectorized
+        stream seeding, memoized cells; no spans or counters are
+        recorded) with results byte-identical to ``set_clocks`` +
+        :meth:`measure` per cell.  Testbeds carrying a fault injector
+        keep the scalar protocol — injected faults are per-attempt and
+        stateful, so they cannot be batched.
+        """
+        if self.injector is not None:
+            out = []
+            for kernel, scale, op in cells:
+                self.set_clocks(op.core_level, op.mem_level)
+                out.append(self.measure(kernel, scale))
+            return out
+        from repro.instruments.batch import BatchMeasurer  # import cycle
+
+        batch = self.__dict__.get("_batch")
+        if batch is None:
+            batch = self.__dict__["_batch"] = BatchMeasurer(
+                self.gpu,
+                host=self.host,
+                meter=self.meter,
+                seed=self._seed,
+                ambient_c=self.sim.ambient_c,
+            )
+        return batch.measure_grid(cells)
+
     def _record_with_quorum(
         self,
         record: RunRecord,
