@@ -14,6 +14,12 @@ asserts that
   byte-identical — fault decisions are deterministic functions of
   (seed, plan, coordinates, attempt), not of scheduling.
 
+A third stage exercises durability: a fresh campaign is interrupted
+with SIGTERM mid-run (expected to exit with the distinct interrupted
+status and flush its journal), then re-run with ``--resume`` — the
+resumed artifacts must be byte-identical to the uninterrupted serial
+run's.
+
 Exits non-zero with a diagnostic on any violation.
 
 Usage::
@@ -27,20 +33,26 @@ import argparse
 import json
 import os
 import pathlib
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 GPUS = ["GTX 460"]
 BENCHMARKS = ["sgemm", "hotspot", "lbm", "spmv", "stencil", "cutcp"]
 SEED = 7
 
+#: Exit status ``repro campaign``/``repro chaos`` report on graceful
+#: interruption (mirrors ``repro.cli.EXIT_INTERRUPTED``).
+EXIT_INTERRUPTED = 75
+
 #: Artifacts that must be byte-identical between the two runs.
 COMPARED = ("campaign.json", "health.json", "dataset_gtx_460.json")
 
 
-def run_chaos(directory: pathlib.Path, jobs: int) -> str:
+def chaos_argv(directory: pathlib.Path, jobs: int, *extra: str) -> list[str]:
     argv = [sys.executable, "-m", "repro", "chaos", str(directory)]
     for gpu in GPUS:
         argv += ["--gpu", gpu]
@@ -51,19 +63,76 @@ def run_chaos(directory: pathlib.Path, jobs: int) -> str:
         "--cache-dir", str(directory / "cache"),
         "--seed", str(SEED),
     ]
+    return argv + list(extra)
+
+
+def chaos_env() -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(REPO / "src")]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
+    return env
+
+
+def run_chaos(directory: pathlib.Path, jobs: int, *extra: str) -> str:
     result = subprocess.run(
-        argv, cwd=REPO, capture_output=True, text=True, check=False, env=env
+        chaos_argv(directory, jobs, *extra),
+        cwd=REPO, capture_output=True, text=True, check=False,
+        env=chaos_env(),
     )
     sys.stdout.write(result.stdout)
     sys.stderr.write(result.stderr)
     if result.returncode != 0:
         sys.exit(f"chaos campaign into {directory} failed ({result.returncode})")
     return result.stdout
+
+
+def interrupt_and_resume(
+    directory: pathlib.Path, failures: list[str]
+) -> None:
+    """SIGTERM a fresh campaign mid-run, then finish it with --resume."""
+    proc = subprocess.Popen(
+        chaos_argv(directory, 1),
+        cwd=REPO, env=chaos_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    journal = directory / "journal.jsonl"
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        try:
+            settled = sum(
+                1 for line in journal.read_text().splitlines()
+                if '"unit"' in line
+            )
+        except OSError:
+            settled = 0
+        if settled >= 12:
+            break
+        if proc.poll() is not None:
+            failures.append(
+                "campaign finished before it could be interrupted"
+            )
+            proc.communicate()
+            return
+        time.sleep(0.02)
+    else:
+        proc.kill()
+        proc.communicate()
+        failures.append("campaign never journaled enough units to interrupt")
+        return
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=120)
+    if proc.returncode != EXIT_INTERRUPTED:
+        failures.append(
+            f"interrupted campaign exited {proc.returncode}, "
+            f"expected {EXIT_INTERRUPTED}"
+        )
+    if "--resume" not in err:
+        failures.append("interrupted campaign did not point at --resume")
+    if (directory / "campaign.json").exists():
+        failures.append("interrupted campaign left a (partial) manifest")
+    run_chaos(directory, 1, "--resume")
 
 
 def main() -> int:
@@ -105,6 +174,19 @@ def main() -> int:
                     f"{name} differs between --jobs 1 and --jobs {args.jobs}"
                 )
 
+        interrupt_and_resume(root / "interrupted", failures)
+        for name in COMPARED:
+            reference = root / "serial" / name
+            resumed = root / "interrupted" / name
+            if not resumed.exists():
+                failures.append(f"{name} missing from the resumed run")
+                continue
+            if reference.read_bytes() != resumed.read_bytes():
+                failures.append(
+                    f"{name} differs between the uninterrupted and the "
+                    f"interrupt-and-resume run"
+                )
+
         leftovers = list(root.rglob("*.tmp"))
         if leftovers:
             failures.append(f"scratch files left behind: {leftovers}")
@@ -115,7 +197,8 @@ def main() -> int:
         return 1
     print(
         f"chaos smoke OK: {fired} faults accounted for, artifacts "
-        f"byte-identical at --jobs 1 and --jobs {args.jobs}"
+        f"byte-identical at --jobs 1 and --jobs {args.jobs}, and after "
+        f"interrupt-and-resume"
     )
     return 0
 

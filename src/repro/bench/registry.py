@@ -481,3 +481,57 @@ for _jobs in (1, 4):
                 tags=("engine",),
             )
         )
+
+
+def _setup_engine_journal(seed, workdir):
+    """Cold-cache serial batch with the write-ahead journal enabled.
+
+    Each invocation gets a fresh cache tree *and* a fresh journal, so
+    the timed region includes every fsync'd append — the durability
+    tax the journal charges a campaign.
+    """
+    from repro.execution.engine import ExecutionConfig, run_units
+    from repro.execution.journal import RunJournal
+
+    units = _engine_units(seed)
+    counter = iter(range(10**9))
+
+    def fn(telemetry: Telemetry | None = None):
+        index = next(counter)
+        cold_dir = workdir / f"journal-cold-{index}"
+        journal_path = workdir / f"journal-{index}.jsonl"
+        journal = RunJournal(journal_path)
+        try:
+            return run_units(
+                units,
+                ExecutionConfig(
+                    jobs=1,
+                    cache_dir=cold_dir,
+                    journal=journal,
+                    telemetry=telemetry,
+                ),
+            )
+        finally:
+            journal.close()
+            journal_path.unlink(missing_ok=True)
+            shutil.rmtree(cold_dir, ignore_errors=True)
+
+    return fn
+
+
+register(
+    Workload(
+        name="engine.run_units.journal",
+        group="pipeline",
+        title=(
+            "run_units batch of 42 sweep units, cold cache, "
+            "write-ahead journal, jobs=1"
+        ),
+        setup=_setup_engine_journal,
+        work=_work_run_units,
+        repeats=10,
+        warmup=1,
+        calibrate=False,
+        tags=("engine",),
+    )
+)

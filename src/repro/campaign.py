@@ -15,6 +15,7 @@ a half-written archive that later loads as valid JSON.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ from repro.core.serialize import (
 )
 from repro.execution.cache import atomic_write_text
 from repro.execution.engine import ExecutionConfig, ExecutionStats
+from repro.execution.journal import RunJournal
 from repro.faults.health import CampaignHealth
 from repro.faults.plan import FaultPlan
 from repro.kernels.profile import KernelSpec
@@ -52,12 +54,17 @@ MANIFEST_NAME = "campaign.json"
 #: Machine-readable execution-health report written next to the manifest.
 HEALTH_NAME = "health.json"
 
+#: Write-ahead run journal (deliberately ``.jsonl``, so the byte-compare
+#: globs over ``*.json`` artifacts never pick up this append-only log).
+JOURNAL_NAME = "journal.jsonl"
+
 __all__ = [
     "CACHE_DIR_NAME",
     "Campaign",
     "CampaignSummary",
     "EVENTS_NAME",
     "HEALTH_NAME",
+    "JOURNAL_NAME",
     "MANIFEST_NAME",
     "METRICS_NAME",
 ]
@@ -216,6 +223,11 @@ class Campaign:
         """The campaign execution-health report."""
         return self.directory / HEALTH_NAME
 
+    @property
+    def journal_path(self) -> pathlib.Path:
+        """The campaign's write-ahead run journal."""
+        return self.directory / JOURNAL_NAME
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -225,6 +237,9 @@ class Campaign:
         gpu_name: str,
         refresh: bool = False,
         stats: ExecutionStats | None = None,
+        *,
+        ctx: RunContext | None = None,
+        rebuild: bool = False,
     ) -> ModelingDataset:
         """Load the archived dataset for one GPU, measuring if absent.
 
@@ -232,31 +247,58 @@ class Campaign:
         units spread over workers and land in the result cache, so even
         a measurement interrupted before archival resumes at work-unit
         (not per-GPU-file) granularity.
+
+        ``rebuild`` forces the build even when the archive exists —
+        a resumed run replays the journal instead of trusting per-GPU
+        archives, so the health account re-earns every number (the
+        re-written archive is byte-identical by determinism).
         """
         spec = self._specs[gpu_name]
         path = self.dataset_path(gpu_name)
-        if path.exists() and not refresh:
+        if path.exists() and not refresh and not rebuild:
             return dataset_from_json(path.read_text(encoding="utf-8"))
         dataset = build_dataset(
             spec,
             benchmarks=self._benchmarks,
             pairs=self._pairs,
-            ctx=self.ctx,
+            ctx=ctx if ctx is not None else self.ctx,
             stats=stats,
         )
         atomic_write_text(path, dataset_to_json(dataset))
         return dataset
 
-    def run(self, refresh: bool = False) -> list[CampaignSummary]:
+    def run(
+        self, refresh: bool = False, resume: bool = False
+    ) -> list[CampaignSummary]:
         """Measure (or reload) every GPU, fit and archive both models.
 
         Models are evaluated *before* anything is written, and every
         artifact is published atomically, so a failed fit or a killed
-        run cannot leave a half-written archive behind.
+        run cannot leave a half-written archive behind.  Every unit
+        outcome is journaled write-ahead to :attr:`journal_path`;
+        ``resume=True`` replays a prior (possibly interrupted) journal
+        — payloads from the result cache, failures and quarantines from
+        the journal — producing artifacts byte-identical to an
+        uninterrupted run without re-burning retry budgets.
 
         Returns the per-GPU quality summary and writes the manifest.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
+        journal = RunJournal(self.journal_path, resume=resume)
+        try:
+            return self._run(journal, refresh=refresh, resume=resume)
+        finally:
+            journal.close()
+
+    def _run(
+        self, journal: RunJournal, refresh: bool, resume: bool
+    ) -> list[CampaignSummary]:
+        ctx = dataclasses.replace(
+            self.ctx,
+            execution=dataclasses.replace(
+                self.ctx.execution, journal=journal
+            ),
+        )
         totals = ExecutionStats()
         health = CampaignHealth(
             seed=self.seed,
@@ -280,7 +322,13 @@ class Campaign:
         with campaign_span:
             for name in self.gpu_names:
                 gpu_stats = ExecutionStats()
-                ds = self.dataset(name, refresh=refresh, stats=gpu_stats)
+                ds = self.dataset(
+                    name,
+                    refresh=refresh,
+                    stats=gpu_stats,
+                    ctx=ctx,
+                    rebuild=resume,
+                )
                 totals.merge(gpu_stats)
                 account = health.gpu(name)
                 account.attempted = gpu_stats.total_units
@@ -288,6 +336,9 @@ class Campaign:
                 account.cache_hits = gpu_stats.cache_hits
                 account.retried = gpu_stats.retries
                 account.failed = gpu_stats.failed
+                account.quarantined = gpu_stats.quarantined
+                account.pool_rebuilds = gpu_stats.pool_rebuilds
+                account.breakers = list(gpu_stats.breaker_events)
                 account.degraded = sum(
                     1 for o in ds.observations if o.degraded
                 )

@@ -172,6 +172,10 @@ class FrequencySweep:
                 outcome = run_units(units, ctx)
             telemetry.metrics.inc("sweep.units", len(units))
             telemetry.metrics.inc("sweep.lost", len(outcome.failures))
+            if outcome.stats.quarantined:
+                telemetry.metrics.inc(
+                    "sweep.quarantined", outcome.stats.quarantined
+                )
         else:
             outcome = run_units(units, ctx)
         self.last_stats = outcome.stats

@@ -22,6 +22,10 @@ from typing import Sequence
 
 from repro._version import __version__
 
+#: Exit code of a gracefully interrupted campaign (EX_TEMPFAIL: retry —
+#: here, re-run with ``--resume`` — is expected to work).
+EXIT_INTERRUPTED = 75
+
 
 def _cmd_list(_: argparse.Namespace) -> int:
     from repro.experiments.registry import EXPERIMENTS
@@ -92,6 +96,24 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="write the aggregated metrics.json artifact (campaigns "
         "default to <directory>/metrics.json whenever telemetry is on)",
     )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        dest="unit_timeout",
+        metavar="SECONDS",
+        help="per-unit wall-clock watchdog budget; hung units are timed "
+        "out and retried as transient faults (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        dest="breaker_threshold",
+        metavar="K",
+        help="open a circuit breaker after K permanent failures of one "
+        "(GPU, benchmark) fault class and quarantine its remaining units",
+    )
 
 
 def _campaign_spec(args: argparse.Namespace, default_gpus=None):
@@ -125,6 +147,10 @@ def _campaign_spec(args: argparse.Namespace, default_gpus=None):
         overrides["faults"] = args.faults
     if args.trace is not None:
         overrides["trace"] = True if args.trace == "auto" else args.trace
+    if getattr(args, "unit_timeout", None) is not None:
+        overrides["unit_timeout_s"] = args.unit_timeout
+    if getattr(args, "breaker_threshold", None) is not None:
+        overrides["breaker_threshold"] = args.breaker_threshold
     return spec.override(**overrides) if overrides else spec
 
 
@@ -181,8 +207,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _interrupted(campaign, exc) -> int:
+    print(f"\ninterrupted: {exc}", file=sys.stderr)
+    print(
+        f"journal flushed; re-run with --resume to continue "
+        f"({campaign.journal_path})",
+        file=sys.stderr,
+    )
+    return EXIT_INTERRUPTED
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign
+    from repro.errors import CampaignInterrupted
+    from repro.execution.resilience import GracefulShutdown
     from repro.session import RunContext
 
     spec = _campaign_spec(args)
@@ -197,7 +235,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ctx=ctx,
     )
     try:
-        summaries = campaign.run(refresh=args.refresh)
+        with GracefulShutdown():
+            summaries = campaign.run(refresh=args.refresh, resume=args.resume)
+    except CampaignInterrupted as exc:
+        return _interrupted(campaign, exc)
     finally:
         ctx.close()
     events_path = ctx.trace_path
@@ -232,6 +273,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     campaign completes and accounts for its losses.
     """
     from repro.campaign import Campaign
+    from repro.errors import CampaignInterrupted
+    from repro.execution.resilience import GracefulShutdown
     from repro.session import RunContext
 
     spec = _campaign_spec(args, default_gpus=["GTX 460"])
@@ -254,7 +297,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ctx=ctx,
     )
     try:
-        campaign.run(refresh=args.refresh)
+        with GracefulShutdown():
+            campaign.run(refresh=args.refresh, resume=args.resume)
+    except CampaignInterrupted as exc:
+        return _interrupted(campaign, exc)
     finally:
         ctx.close()
     health = campaign.last_health
@@ -437,6 +483,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_campaign.add_argument(
         "--refresh", action="store_true", help="re-measure even if archived"
     )
+    p_campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal of an interrupted campaign instead "
+        "of re-executing settled units (see docs/ROBUSTNESS.md)",
+    )
     p_campaign.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
@@ -464,6 +516,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_chaos.add_argument(
         "--refresh", action="store_true", help="re-measure even if archived"
+    )
+    p_chaos.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal of an interrupted campaign instead "
+        "of re-executing settled units",
     )
     p_chaos.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_chaos)

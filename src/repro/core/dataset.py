@@ -310,6 +310,8 @@ def build_dataset(
             "dataset.samples",
             len({(o.benchmark, o.scale) for o in observations}),
         )
+        if outcome.stats.quarantined:
+            metrics.inc("dataset.quarantined", outcome.stats.quarantined)
     return ModelingDataset(
         gpu=gpu,
         counter_names=counter_names,

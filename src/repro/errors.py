@@ -40,6 +40,27 @@ class UnitCrashError(TransientError, RuntimeError):
     """
 
 
+class UnitTimeoutError(TransientError, TimeoutError):
+    """A work unit overran its wall-clock budget (``unit_timeout_s``).
+
+    Raised by the execution engine's per-unit watchdog, never by the
+    unit itself.  Classified transient: a hang is usually a wedged
+    driver or instrument, which a retry (on real hardware: after a
+    reset) often clears.  A unit that *always* hangs exhausts its retry
+    budget and is recorded as a failure like any other transient fault.
+    """
+
+
+class CampaignInterrupted(ReproError, RuntimeError):
+    """A campaign stopped early on an operator shutdown request.
+
+    Raised after a graceful drain — dispatch stopped, in-flight work
+    given a grace period, the run journal flushed — so a follow-up
+    ``--resume`` reconstructs the interrupted run exactly.  The CLI
+    maps this to a distinct exit code (75, ``EX_TEMPFAIL``).
+    """
+
+
 class UnknownGPUError(ReproError, KeyError):
     """Requested GPU name is not in the registry."""
 

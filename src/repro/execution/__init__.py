@@ -3,7 +3,9 @@
 Decomposes campaigns into independent work units, runs them through a
 pluggable executor (in-process or process pool) with bounded retry, and
 memoizes results in a content-addressed on-disk cache so interrupted or
-repeated campaigns resume at work-unit granularity.
+repeated campaigns resume at work-unit granularity.  A write-ahead run
+journal, per-unit timeout watchdog, circuit breakers and graceful
+shutdown make long campaigns durable (see ``docs/ROBUSTNESS.md``).
 """
 
 from repro.execution.cache import ResultCache, atomic_write_text
@@ -19,6 +21,15 @@ from repro.execution.engine import (
     make_executor,
     run_units,
 )
+from repro.execution.journal import RunJournal
+from repro.execution.resilience import (
+    BreakerBook,
+    GracefulShutdown,
+    call_with_timeout,
+    clear_shutdown,
+    request_shutdown,
+    shutdown_requested,
+)
 from repro.execution.units import (
     DatasetUnit,
     SweepUnit,
@@ -30,23 +41,30 @@ from repro.execution.units import (
 )
 
 __all__ = [
+    "BreakerBook",
     "DatasetUnit",
     "ExecutionConfig",
     "ExecutionError",
     "ExecutionResult",
     "ExecutionStats",
+    "GracefulShutdown",
     "ProcessExecutor",
     "ProgressEvent",
     "ResultCache",
+    "RunJournal",
     "SerialExecutor",
     "SweepUnit",
     "UnitFailure",
     "WorkUnit",
     "atomic_write_text",
+    "call_with_timeout",
+    "clear_shutdown",
     "dataset_units",
     "make_executor",
     "measurement_from_payload",
     "measurement_to_payload",
+    "request_shutdown",
     "run_units",
+    "shutdown_requested",
     "sweep_units",
 ]

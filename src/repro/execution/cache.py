@@ -144,6 +144,19 @@ class ResultCache:
         }
         return atomic_write_text(self.path_for(key), json.dumps(document))
 
+    def discard(self, key: str) -> None:
+        """Remove a key's entry if present (no error, no counter).
+
+        Used when the engine quarantines a unit whose result a pool
+        worker had already persisted speculatively: dropping the entry
+        keeps the cache tree byte-identical to a serial run that never
+        executed the unit at all.
+        """
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
     def __len__(self) -> int:
         """Number of entries currently on disk."""
         if not self.directory.is_dir():

@@ -39,6 +39,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Any, Iterator, Sequence
 
+from repro.errors import CampaignInterrupted
+from repro.execution.resilience import shutdown_requested
+
 #: Chunk-size clamp: at least 1 unit, at most this many per task.
 MAX_CHUNK_UNITS = 64
 
@@ -48,6 +51,14 @@ CHUNKS_PER_WORKER = 4
 #: Pool rebuilds tolerated per dispatch before the remaining units are
 #: reported as permanent failures.
 MAX_POOL_REBUILDS = 2
+
+#: How often the dispatch loop wakes to poll the shutdown flag and the
+#: stall deadline while futures are in flight.
+POLL_INTERVAL_S = 0.25
+
+#: Slack added on top of the computed per-dispatch deadline before a
+#: worker is declared wedged (scheduling, fork and pickling overhead).
+DEADLINE_MARGIN_S = 5.0
 
 
 def chunk_size(pending: int, jobs: int) -> int:
@@ -104,6 +115,8 @@ def _run_chunk(
     fast_flags: Sequence[bool],
     cache_dir: str | None,
     keys: Sequence[str | None],
+    unit_timeout_s: float | None = None,
+    max_backoff_s: float = 8.0,
 ) -> tuple[int, int, list]:
     """Execute one chunk of preloaded units; returns (pid, loads, results).
 
@@ -136,7 +149,9 @@ def _run_chunk(
                     duration_s=time.perf_counter() - start,
                 )
         if outcome is None:
-            outcome = _execute_with_retry(unit, retries, backoff_s)
+            outcome = _execute_with_retry(
+                unit, retries, backoff_s, unit_timeout_s, max_backoff_s
+            )
         if cache is not None and key is not None and outcome.payload is not None:
             cache.put(key, outcome.payload)
             outcome = replace(outcome, cached=True)
@@ -214,8 +229,23 @@ class PersistentPoolExecutor:
         fast_flags: dict[int, bool],
         cache_dir: str | None,
         keys: Sequence[str | None],
+        unit_timeout_s: float | None = None,
+        max_backoff_s: float = 8.0,
+        grace_s: float = 5.0,
     ) -> Iterator[tuple[int, Any]]:
-        """Run pending (index, unit) pairs; yields (index, outcome)."""
+        """Run pending (index, unit) pairs; yields (index, outcome).
+
+        The dispatch loop wakes every :data:`POLL_INTERVAL_S` to notice
+        a graceful-shutdown request — unsubmitted chunks are cancelled,
+        in-flight ones drain for ``grace_s``, then
+        :class:`~repro.errors.CampaignInterrupted` is raised — and,
+        when ``unit_timeout_s`` is set, to enforce a whole-dispatch
+        deadline as a backstop against workers wedged beyond the
+        in-worker watchdog (hung in C code, say).  A stalled dispatch
+        is treated like a crashed one: the pool is rebuilt and the
+        unfinished chunks resubmitted, within the shared rebuild
+        budget.
+        """
         from repro.execution.engine import _UnitOutcome
 
         blob = pickle.dumps(tuple(units), protocol=pickle.HIGHEST_PROTOCOL)
@@ -241,12 +271,32 @@ class PersistentPoolExecutor:
                         [fast_flags.get(i, False) for i in positions],
                         cache_dir,
                         [keys[i] for i in positions],
+                        unit_timeout_s,
+                        max_backoff_s,
                     )
                 ] = chunk_id
+            deadline_s = None
+            if unit_timeout_s is not None:
+                # Worst case for this round if every unit burns its full
+                # watchdog budget on every attempt, serialized over the
+                # worker count.  The in-worker watchdog keeps real runs
+                # far below this; only a wedged worker can reach it.
+                units_this_round = sum(len(chunks[cid]) for cid in remaining)
+                rounds = -(-units_this_round // self.jobs)  # ceil
+                deadline_s = (
+                    unit_timeout_s * (retries + 2) * max(1, rounds)
+                    + DEADLINE_MARGIN_S
+                )
+            submitted_at = time.monotonic()
             broken = False
+            stalled = False
             not_done = set(futures)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                done, not_done = wait(
+                    not_done,
+                    timeout=POLL_INTERVAL_S,
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
                     chunk_id = futures[future]
                     try:
@@ -259,22 +309,62 @@ class PersistentPoolExecutor:
                     yield from results
                 if broken:
                     break
+                if not_done and shutdown_requested():
+                    # Graceful drain: stop dispatch, give in-flight
+                    # chunks a grace period, surface what finished.
+                    for future in not_done:
+                        future.cancel()
+                    done, _ = wait(not_done, timeout=grace_s)
+                    for future in done:
+                        if future.cancelled():
+                            continue
+                        try:
+                            pid, loads, results = future.result()
+                        except BrokenProcessPool:
+                            continue
+                        loads_by_pid[pid] = loads
+                        remaining.remove(futures[future])
+                        yield from results
+                    self.stats.state_loads = sum(loads_by_pid.values())
+                    shutdown_pool()
+                    unfinished = sum(len(chunks[cid]) for cid in remaining)
+                    raise CampaignInterrupted(
+                        f"shutdown requested: {unfinished} pooled units "
+                        f"undispatched or unfinished after the {grace_s:g}s "
+                        f"grace period"
+                    )
+                if (
+                    not_done
+                    and deadline_s is not None
+                    and time.monotonic() - submitted_at > deadline_s
+                ):
+                    stalled = True
+                    break
             if not remaining:
                 break
-            if broken:
+            if broken or stalled:
                 shutdown_pool()
                 self.stats.rebuilds += 1
                 if self.stats.rebuilds > MAX_POOL_REBUILDS:
+                    if broken:
+                        error_type = "BrokenProcessPool"
+                        message = (
+                            "worker process died repeatedly; gave up "
+                            f"after {MAX_POOL_REBUILDS} pool rebuilds"
+                        )
+                    else:
+                        error_type = "PoolDeadlineExceeded"
+                        message = (
+                            "worker stalled past the dispatch deadline; "
+                            f"gave up after {MAX_POOL_REBUILDS} pool rebuilds"
+                        )
                     for chunk_id in remaining:
                         for pos in chunks[chunk_id]:
                             yield pos, _UnitOutcome(
                                 payload=None,
                                 attempts=1,
-                                error_type="BrokenProcessPool",
-                                message=(
-                                    "worker process died repeatedly; gave up "
-                                    f"after {MAX_POOL_REBUILDS} pool rebuilds"
-                                ),
+                                error_type=error_type,
+                                message=message,
                                 permanent=True,
                             )
                     return

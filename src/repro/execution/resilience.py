@@ -1,0 +1,270 @@
+"""Execution resilience: circuit breakers, watchdog, graceful shutdown.
+
+Three mechanisms that keep a long campaign alive — and deterministic —
+when units misbehave:
+
+* :class:`BreakerBook` — per-(GPU, benchmark) circuit breakers.  After
+  ``threshold`` *permanent* failures of the same fault class the
+  breaker opens and the remaining units of that class are quarantined
+  as deterministic exclusions instead of attempted; after a fixed
+  cooldown the breaker half-opens and lets one probe unit through,
+  closing again on success.  The engine drives every breaker in
+  canonical unit-index order, so serial, pooled and resumed runs make
+  identical quarantine decisions.
+* :func:`call_with_timeout` — the per-unit wall-clock watchdog.  Runs a
+  unit in a daemon thread (with the caller's context variables, so
+  worker-local telemetry still records) and raises the *transient*
+  :class:`~repro.errors.UnitTimeoutError` on overrun.  A timed-out
+  unit's thread is abandoned, never joined — the cost of interrupting
+  arbitrary Python.
+* :class:`GracefulShutdown` — SIGINT/SIGTERM handler that flips a
+  process-wide flag the engine polls between units (and the pool polls
+  between chunk completions).  The first signal requests a drain; a
+  second one falls back to ``KeyboardInterrupt``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import signal
+import threading
+from typing import Any, Callable
+
+from repro.errors import UnitTimeoutError
+
+#: Quarantined checks an open breaker absorbs before half-opening a
+#: probe.  Fixed (not configured per-run) so the quarantine pattern is a
+#: pure function of the failure sequence.
+BREAKER_COOLDOWN = 8
+
+
+# ----------------------------------------------------------------------
+# circuit breakers
+# ----------------------------------------------------------------------
+
+
+class _Breaker:
+    """State machine of one fault class: closed -> open -> half-open."""
+
+    __slots__ = ("state", "failures", "skipped", "error_type")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.skipped = 0
+        #: Error type of the failure that opened the breaker (label).
+        self.error_type: str | None = None
+
+
+class BreakerBook:
+    """Circuit breakers keyed by (GPU, benchmark) fault class.
+
+    ``threshold=None`` (the default) makes the book inert: every unit
+    is admitted and nothing is ever recorded, so the breaker layer adds
+    no behavior — and no cost — unless explicitly enabled.
+
+    The book is deterministic by construction: state only advances in
+    :meth:`admit`/:meth:`record` calls the engine makes in unit-index
+    order, and transitions are pure functions of the permanent-failure
+    sequence.  Transition events are returned to the caller (for the
+    journal, health report and ``breaker.opens`` counter), never
+    emitted as side effects.
+    """
+
+    def __init__(
+        self, threshold: int | None, cooldown: int = BREAKER_COOLDOWN
+    ) -> None:
+        if threshold is not None and threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"breaker cooldown must be >= 1, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._breakers: dict[tuple[str, str], _Breaker] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    @staticmethod
+    def _key(unit: Any) -> tuple[str, str]:
+        return (unit.gpu.name, unit.kernel.name)
+
+    def label(self, unit: Any) -> str:
+        """The journaled/reported fault-class label of a unit."""
+        breaker = self._breakers.get(self._key(unit))
+        error_type = breaker.error_type if breaker is not None else None
+        return (
+            f"{unit.gpu.name}:{unit.kernel.name}:{error_type or 'unknown'}"
+        )
+
+    def failures_for(self, unit: Any) -> int:
+        breaker = self._breakers.get(self._key(unit))
+        return breaker.failures if breaker is not None else 0
+
+    def admit(self, unit: Any) -> tuple[bool, list[dict[str, Any]]]:
+        """Whether a unit may run; ``False`` means quarantine it.
+
+        An open breaker absorbs :attr:`cooldown` quarantined admissions
+        and then half-opens, admitting the next unit as a probe.
+        Returns the admission verdict plus any transition events.
+        """
+        if not self.enabled:
+            return True, []
+        breaker = self._breakers.get(self._key(unit))
+        if breaker is None or breaker.state == "closed":
+            return True, []
+        if breaker.state == "open":
+            breaker.skipped += 1
+            if breaker.skipped >= self.cooldown:
+                breaker.state = "half_open"
+                return True, [self._event(unit, breaker, "half_open")]
+            return False, []
+        return True, []  # half-open: admit the probe
+
+    def record(
+        self, unit: Any, ok: bool, permanent_failure: bool,
+        error_type: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Feed one executed unit's verdict; returns transition events."""
+        if not self.enabled:
+            return []
+        key = self._key(unit)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            if not permanent_failure:
+                return []  # successes never materialize a breaker
+            breaker = self._breakers[key] = _Breaker()
+        if breaker.state == "half_open":
+            if ok:
+                breaker.state = "closed"
+                breaker.failures = 0
+                breaker.error_type = None
+                return [self._event(unit, breaker, "close")]
+            if permanent_failure:
+                breaker.state = "open"
+                breaker.skipped = 0
+                breaker.failures += 1
+                breaker.error_type = error_type
+                return [self._event(unit, breaker, "open")]
+            return []  # transient exhaustion: stay half-open, re-probe
+        if breaker.state == "closed":
+            if ok:
+                breaker.failures = 0
+                return []
+            if not permanent_failure:
+                return []
+            breaker.failures += 1
+            breaker.error_type = error_type
+            if self.threshold is not None and (
+                breaker.failures >= self.threshold
+            ):
+                breaker.state = "open"
+                breaker.skipped = 0
+                return [self._event(unit, breaker, "open")]
+        return []
+
+    def _event(
+        self, unit: Any, breaker: _Breaker, event: str
+    ) -> dict[str, Any]:
+        return {
+            "class": self.label(unit),
+            "event": event,
+            "failures": breaker.failures,
+        }
+
+
+# ----------------------------------------------------------------------
+# per-unit wall-clock watchdog
+# ----------------------------------------------------------------------
+
+
+def call_with_timeout(fn: Callable[[], Any], timeout_s: float) -> Any:
+    """Run ``fn()`` with a wall-clock budget; raise on overrun.
+
+    The call runs in a daemon thread under a copy of the caller's
+    context (so context-local telemetry keeps recording).  On overrun
+    the thread is *abandoned* — Python offers no safe preemption — and
+    :class:`~repro.errors.UnitTimeoutError` (transient) is raised so
+    the retry loop treats the hang like any other flaky fault.
+    """
+    context = contextvars.copy_context()
+    outcome: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = context.run(fn)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcome["error"] = exc
+
+    thread = threading.Thread(
+        target=target, name="unit-watchdog", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise UnitTimeoutError(
+            f"unit execution exceeded the {timeout_s:g}s wall-clock budget"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown
+# ----------------------------------------------------------------------
+
+_SHUTDOWN_REQUESTED = False
+
+
+def shutdown_requested() -> bool:
+    """Whether a graceful shutdown has been requested (engine poll)."""
+    return _SHUTDOWN_REQUESTED
+
+
+def request_shutdown() -> None:
+    """Request a graceful drain programmatically (tests, embedders)."""
+    global _SHUTDOWN_REQUESTED
+    _SHUTDOWN_REQUESTED = True
+
+
+def clear_shutdown() -> None:
+    """Reset the shutdown flag (tests, sequential CLI invocations)."""
+    global _SHUTDOWN_REQUESTED
+    _SHUTDOWN_REQUESTED = False
+
+
+class GracefulShutdown:
+    """Context manager turning SIGINT/SIGTERM into a graceful drain.
+
+    While active, the first signal sets the process-wide shutdown flag
+    — the engine stops dispatching, drains in-flight work within the
+    configured grace period, flushes the journal and raises
+    :class:`~repro.errors.CampaignInterrupted`.  A second signal raises
+    ``KeyboardInterrupt`` immediately (the operator insists).  Handlers
+    are restored and the flag cleared on exit.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self._saved: dict[int, Any] = {}
+
+    def _handler(self, signum: int, frame: Any) -> None:
+        global _SHUTDOWN_REQUESTED
+        if _SHUTDOWN_REQUESTED:
+            raise KeyboardInterrupt
+        _SHUTDOWN_REQUESTED = True
+
+    def __enter__(self) -> "GracefulShutdown":
+        clear_shutdown()
+        for signum in self.SIGNALS:
+            self._saved[signum] = signal.signal(signum, self._handler)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for signum, handler in self._saved.items():
+            signal.signal(signum, handler)
+        self._saved.clear()
+        clear_shutdown()

@@ -42,10 +42,20 @@ class GPUHealth:
     retried: int = 0
     #: Units that produced no payload (permanent fault or exhausted retry).
     failed: int = 0
+    #: Units never attempted because their fault class's circuit breaker
+    #: was open (each is also excluded with a quarantine reason).
+    quarantined: int = 0
+    #: Worker-pool rebuilds forced by crashed or stalled workers while
+    #: building this GPU's dataset (scheduling-dependent, recovery
+    #: observability — always 0 in serial runs).
+    pool_rebuilds: int = 0
     #: Observations flagged degraded (meter quorum not met).
     degraded: int = 0
     #: Per-sample exclusions: ``{"benchmark", "suite", "scale", "reason"}``.
     excluded: list[dict[str, Any]] = field(default_factory=list)
+    #: Circuit-breaker transitions, in canonical unit order:
+    #: ``{"class", "event", "failures"}``.
+    breakers: list[dict[str, Any]] = field(default_factory=list)
 
     def document(self) -> dict[str, Any]:
         """Canonical JSON-able form."""
@@ -56,8 +66,11 @@ class GPUHealth:
             "cache_hits": self.cache_hits,
             "retried": self.retried,
             "failed": self.failed,
+            "quarantined": self.quarantined,
+            "pool_rebuilds": self.pool_rebuilds,
             "degraded": self.degraded,
             "excluded": list(self.excluded),
+            "breakers": list(self.breakers),
         }
 
 
@@ -108,6 +121,8 @@ class CampaignHealth:
                 "cache_hits": sum(g.cache_hits for g in self.gpus),
                 "retried": sum(g.retried for g in self.gpus),
                 "failed": self.total_failed,
+                "quarantined": sum(g.quarantined for g in self.gpus),
+                "pool_rebuilds": sum(g.pool_rebuilds for g in self.gpus),
                 "degraded": self.total_degraded,
                 "excluded": self.total_excluded,
             },
@@ -121,17 +136,25 @@ class CampaignHealth:
         """One line per GPU plus a totals line, for CLI output."""
         lines = []
         for g in self.gpus:
+            quarantined = (
+                f"{g.quarantined} quarantined, " if g.quarantined else ""
+            )
             lines.append(
                 f"{g.gpu:16s} {g.attempted:4d} attempted, "
                 f"{g.measured} measured, {g.cache_hits} cache hits, "
                 f"{g.retried} retried, {g.failed} failed, "
+                f"{quarantined}"
                 f"{g.degraded} degraded, {len(g.excluded)} excluded"
             )
         doc = self.document()["totals"]
+        quarantined = (
+            f"{doc['quarantined']} quarantined, " if doc["quarantined"] else ""
+        )
         lines.append(
             f"{'total':16s} {doc['attempted']:4d} attempted, "
             f"{doc['measured']} measured, {doc['cache_hits']} cache hits, "
             f"{doc['retried']} retried, {doc['failed']} failed, "
+            f"{quarantined}"
             f"{doc['degraded']} degraded, {doc['excluded']} excluded"
         )
         return "\n".join(lines)

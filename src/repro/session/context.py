@@ -212,7 +212,12 @@ class RunContext:
             )
         else:
             cache_dir = pathlib.Path(spec.cache)
-        execution = ExecutionConfig(jobs=spec.jobs, cache_dir=cache_dir)
+        execution = ExecutionConfig(
+            jobs=spec.jobs,
+            cache_dir=cache_dir,
+            unit_timeout_s=spec.unit_timeout_s,
+            breaker_threshold=spec.breaker_threshold,
+        )
 
         trace_path: pathlib.Path | None = None
         if spec.trace is True:
@@ -301,7 +306,7 @@ class RunContext:
     #: campaign manifest omits them: serial/parallel and cached/uncached
     #: runs of one campaign stay byte-identical (mechanics are accounted
     #: in ``health.json`` instead).
-    _MECHANICS_KEYS = ("jobs", "cache", "trace")
+    _MECHANICS_KEYS = ("jobs", "cache", "trace", "unit_timeout_s")
 
     def spec_document(
         self,
@@ -331,6 +336,7 @@ class RunContext:
                 pairs=pairs,
                 seed=self.seed,
                 faults=self.faults,
+                breaker_threshold=self.execution.breaker_threshold,
             )
         document = spec.document()
         for key in self._MECHANICS_KEYS:

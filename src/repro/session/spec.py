@@ -27,6 +27,8 @@ Schema (version 1, all keys optional)::
     jobs = 4                         # worker processes
     cache = true                     # true | false | explicit directory
     trace = true                     # true | false | explicit JSONL path
+    unit_timeout_s = 30.0            # per-unit watchdog budget (seconds)
+    breaker_threshold = 3            # circuit-breaker quarantine threshold
     faults = "aggressive"            # preset/plan-file name, or a table:
     # [faults]
     # crash_rate = 0.1
@@ -215,6 +217,14 @@ class CampaignSpec:
     #: ``True`` streams the JSONL event log to the default path under
     #: the campaign directory, a string is an explicit path.
     trace: bool | str = False
+    #: Per-unit wall-clock budget in seconds (``None`` disables the
+    #: watchdog).  Execution mechanics: never changes what is measured.
+    unit_timeout_s: float | None = None
+    #: Permanent failures of one (GPU, benchmark) fault class before its
+    #: circuit breaker opens and the remaining units are quarantined as
+    #: deterministic exclusions (``None`` disables breakers).  Part of
+    #: the science: changes which observations the campaign keeps.
+    breaker_threshold: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "gpus", _frozen_names(self.gpus, "gpus"))
@@ -233,6 +243,24 @@ class CampaignSpec:
         if not isinstance(self.trace, (bool, str)):
             raise SpecError(
                 f"trace must be true, false or a path, got {self.trace!r}"
+            )
+        if self.unit_timeout_s is not None and (
+            not isinstance(self.unit_timeout_s, (int, float))
+            or isinstance(self.unit_timeout_s, bool)
+            or self.unit_timeout_s <= 0
+        ):
+            raise SpecError(
+                f"unit_timeout_s must be a number > 0 or null, "
+                f"got {self.unit_timeout_s!r}"
+            )
+        if self.breaker_threshold is not None and (
+            not isinstance(self.breaker_threshold, int)
+            or isinstance(self.breaker_threshold, bool)
+            or self.breaker_threshold < 1
+        ):
+            raise SpecError(
+                f"breaker_threshold must be an integer >= 1 or null, "
+                f"got {self.breaker_threshold!r}"
             )
         object.__setattr__(self, "faults", _resolve_faults(self.faults))
 
@@ -262,6 +290,8 @@ class CampaignSpec:
                 self.faults.document() if self.faults is not None else None
             ),
             "trace": self.trace,
+            "unit_timeout_s": self.unit_timeout_s,
+            "breaker_threshold": self.breaker_threshold,
         }
 
     def to_json(self) -> str:

@@ -236,7 +236,7 @@ class TestLegacyEquivalence:
         spec = json.loads(left)["spec"]
         assert spec["gpus"] == ["GTX 460"]
         assert spec["seed"] == 11
-        for mechanics in ("jobs", "cache", "trace"):
+        for mechanics in ("jobs", "cache", "trace", "unit_timeout_s"):
             assert mechanics not in spec
 
 
@@ -346,6 +346,6 @@ class TestFromSpec:
         ctx = RunContext.from_spec(spec, base_dir=tmp_path)
         document = ctx.spec_document()
         expected = spec.document()
-        for mechanics in ("jobs", "cache", "trace"):
+        for mechanics in ("jobs", "cache", "trace", "unit_timeout_s"):
             expected.pop(mechanics)
         assert document == expected
