@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI smoke test of the closed-loop online governor under faults.
+
+Runs a tiny online-governor campaign through the real ``repro
+governor`` CLI, on one GPU under a meter-dropout fault plan harsh
+enough to produce degraded observations, twice with the same seed,
+and asserts that
+
+* both runs complete with exit 0 — fault injection starves the live
+  model, it never crashes the controller,
+* the regret-table artifact carries the ``repro.governor-regret``
+  schema with finite, in-range numbers,
+* the fault plan actually engaged the skip-update policy (samples were
+  skipped) while the mean energy regret stayed bounded, and
+* the two runs' regret tables are byte-identical — online decisions
+  are deterministic functions of the stream, not of scheduling.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/governor_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GPU = "GTX 460"
+SEED = 7
+
+#: Meter-dropout stress plan: drop enough power samples that the
+#: 10-sample quorum fails with no retries, so the governor must skip
+#: updates and inflate covariance instead of ingesting garbage.
+FAULT_PLAN = {
+    "format": "repro.fault-plan",
+    "name": "meter-dropout",
+    "meter_dropout_rate": 0.55,
+    "quorum_retries": 0,
+}
+
+#: Smoke ceiling for mean energy regret under the stress plan.  The
+#: acceptance tests pin <= 10% on the full 4-GPU campaign; the smoke
+#: bound is looser so a noisy single-GPU run cannot flake CI.
+MAX_MEAN_REGRET_PCT = 50.0
+
+REQUIRED_WORKLOAD_KEYS = {
+    "pair",
+    "source",
+    "regret_pct",
+    "offline_pair",
+    "offline_regret_pct",
+    "oracle_pair",
+    "rank",
+}
+
+
+def run_governor(out: pathlib.Path, plan: pathlib.Path) -> None:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "governor",
+        "--online",
+        "--gpu",
+        GPU,
+        "--faults",
+        str(plan),
+        "--seed",
+        str(SEED),
+        "--out",
+        str(out),
+    ]
+    result = subprocess.run(argv, cwd=REPO, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.exit(
+            f"repro governor exited {result.returncode}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+
+
+def check_schema(document: dict) -> None:
+    if document.get("format") != "repro.governor-regret":
+        sys.exit(f"bad format field: {document.get('format')!r}")
+    if document.get("version") != 1:
+        sys.exit(f"bad version field: {document.get('version')!r}")
+    if document.get("faults") != FAULT_PLAN["name"]:
+        sys.exit(f"fault plan not recorded: {document.get('faults')!r}")
+    spec = document.get("spec") or {}
+    if spec.get("mode") != "online":
+        sys.exit(f"governor spec not online: {spec!r}")
+    gpus = document.get("gpus") or {}
+    if set(gpus) != {GPU}:
+        sys.exit(f"expected exactly {GPU!r} in gpus, got {sorted(gpus)}")
+    entry = gpus[GPU]
+    regret = entry.get("mean_regret_pct")
+    if not isinstance(regret, (int, float)) or not math.isfinite(regret):
+        sys.exit(f"non-finite mean regret: {regret!r}")
+    if not 0.0 <= regret <= MAX_MEAN_REGRET_PCT:
+        sys.exit(
+            f"mean regret {regret:.2f}% outside [0, "
+            f"{MAX_MEAN_REGRET_PCT:.0f}]%"
+        )
+    if entry.get("updates", 0) <= 0:
+        sys.exit("live model accepted no samples")
+    if entry.get("skipped", 0) <= 0:
+        sys.exit("fault plan never engaged the skip-update policy")
+    per_workload = entry.get("per_workload") or {}
+    if not per_workload:
+        sys.exit("regret table has no per-workload rows")
+    for name, row in per_workload.items():
+        missing = REQUIRED_WORKLOAD_KEYS - set(row)
+        if missing:
+            sys.exit(f"workload {name!r} missing keys: {sorted(missing)}")
+        if not math.isfinite(row["regret_pct"]) or row["regret_pct"] < 0:
+            sys.exit(f"workload {name!r} has bad regret: {row['regret_pct']!r}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="governor-smoke-") as tmp:
+        plan = pathlib.Path(tmp) / "plan.json"
+        plan.write_text(json.dumps(FAULT_PLAN, indent=2), encoding="utf-8")
+        first = pathlib.Path(tmp) / "first" / "regret.json"
+        second = pathlib.Path(tmp) / "second" / "regret.json"
+        run_governor(first, plan)
+        run_governor(second, plan)
+        text_first = first.read_text(encoding="utf-8")
+        text_second = second.read_text(encoding="utf-8")
+        check_schema(json.loads(text_first))
+        if text_first != text_second:
+            sys.exit(
+                "regret tables differ between identically-seeded runs; "
+                "online governor decisions must be deterministic"
+            )
+        entry = json.loads(text_first)["gpus"][GPU]
+        print(
+            f"governor smoke OK: {GPU} mean regret "
+            f"{entry['mean_regret_pct']:.2f}% "
+            f"(offline {entry['offline_mean_regret_pct']:.2f}%), "
+            f"{entry['updates']} updates, {entry['skipped']} skipped, "
+            f"{entry['fallbacks']} fallbacks, {entry['switches']} switches"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

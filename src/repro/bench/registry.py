@@ -230,6 +230,53 @@ register(
 )
 
 
+def _setup_governor_online_step(seed, workdir):
+    from repro.arch.specs import get_gpu
+    from repro.core.dataset import build_dataset
+    from repro.experiments.ext_governor_online import stream_campaign
+    from repro.kernels.suites import modeling_benchmarks
+    from repro.session.context import RunContext
+
+    ds = build_dataset(
+        get_gpu("GTX 460"),
+        benchmarks=modeling_benchmarks()[:8],
+        ctx=RunContext.resolve(seed=seed),
+    )
+    governor = stream_campaign(ds)
+    probe = ds.observations[0]
+
+    # Clone per invocation: every re-plan starts from the identical
+    # converged controller, so timings and the fingerprint are
+    # independent of warmup/calibration invocation counts.
+    def step():
+        return governor.clone().decide(
+            probe.benchmark, probe.scale, probe.counters
+        )
+
+    return _ambient(step)
+
+
+def _work_governor_online_step(decision) -> dict[str, Any]:
+    return {
+        "pair": decision.op.key,
+        "source": decision.source,
+        "updates": decision.updates,
+        "candidates": len(decision.predicted_energy_j or {}),
+    }
+
+
+register(
+    Workload(
+        name="governor.online.step",
+        group="components",
+        title="OnlineGovernor re-plan from a converged RLS model (GTX 460)",
+        setup=_setup_governor_online_step,
+        work=_work_governor_online_step,
+        repeats=30,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # pipeline workloads: multi-unit orchestrations
 # ----------------------------------------------------------------------

@@ -10,6 +10,8 @@ Usage::
     python -m repro campaign out/ --trace --jobs 4
     python -m repro trace summarize out/events.jsonl
     python -m repro chaos out/
+    python -m repro governor --online --out regret.json
+    python -m repro governor --faults aggressive --gpu "GTX 480"
     python -m repro bench run --quick
     python -m repro bench compare BENCH_pipeline.json new/BENCH_pipeline.json
 """
@@ -312,6 +314,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_governor(args: argparse.Namespace) -> int:
+    """Score the closed-loop online governor against the oracle.
+
+    Streams one campaign per GPU through the recursive estimators,
+    re-plans frequency pairs from the live model, and prints (and
+    optionally archives) the per-GPU energy-regret table.
+    """
+    import dataclasses
+    import json
+    import pathlib
+
+    from repro.arch.specs import GPU_NAMES
+    from repro.experiments.ext_governor_online import regret_document
+    from repro.session import GovernorSpec, RunContext
+
+    spec = _campaign_spec(args)
+    governor = spec.governor or GovernorSpec(mode="online")
+    if args.online:
+        governor = dataclasses.replace(governor, mode="online")
+    if args.forgetting is not None:
+        governor = dataclasses.replace(governor, forgetting=args.forgetting)
+    if governor.mode != "online":
+        print(
+            "repro governor evaluates the online closed loop; pass "
+            "--online or set governor mode 'online' in --config",
+            file=sys.stderr,
+        )
+        return 2
+    gpu_names = spec.gpus if spec.gpus else GPU_NAMES
+    ctx = RunContext.from_spec(
+        spec.override(governor=governor), metrics_path=args.metrics_out
+    )
+    try:
+        document = regret_document(gpu_names, spec=governor, ctx=ctx)
+    finally:
+        if ctx.telemetry is not None:
+            from repro.telemetry import metrics_document, write_metrics_json
+
+            snapshot = ctx.telemetry.metrics.snapshot()
+            ctx.telemetry.tracer.emit(
+                {"type": "metrics", **metrics_document(snapshot)}
+            )
+            if ctx.metrics_path is not None:
+                write_metrics_json(ctx.metrics_path, snapshot)
+        ctx.close()
+    print(
+        f"{'GPU':16s} {'online[%]':>10s} {'offline[%]':>11s} "
+        f"{'updates':>8s} {'skipped':>8s} {'fallbacks':>10s} {'switches':>9s}"
+    )
+    for name, entry in document["gpus"].items():
+        print(
+            f"{name:16s} {entry['mean_regret_pct']:10.2f} "
+            f"{entry['offline_mean_regret_pct']:11.2f} "
+            f"{entry['updates']:8d} {entry['skipped']:8d} "
+            f"{entry['fallbacks']:10d} {entry['switches']:9d}"
+        )
+    if document["faults"] is not None:
+        print(f"\nfault plan: {document['faults']} (oracle stays fault-free)")
+    if args.out is not None:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nregret table: {path}")
+    return 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -526,6 +597,42 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_governor = sub.add_parser(
+        "governor",
+        help="score the closed-loop online DVFS governor vs the oracle",
+    )
+    p_governor.add_argument(
+        "--gpu",
+        action="append",
+        dest="gpus",
+        default=None,
+        help="restrict to specific GPUs (default: all four; repeatable)",
+    )
+    p_governor.add_argument(
+        "--online",
+        action="store_true",
+        help="force online mode (the default when --config has no "
+        "governor table)",
+    )
+    p_governor.add_argument(
+        "--forgetting",
+        type=float,
+        default=None,
+        metavar="LAMBDA",
+        help="exponential forgetting factor in (0, 1]; 1.0 (default) "
+        "converges to the batch fit",
+    )
+    p_governor.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the regret table as a repro.governor-regret JSON "
+        "document",
+    )
+    p_governor.add_argument("--seed", type=int, default=None)
+    _add_execution_flags(p_governor)
+    p_governor.set_defaults(func=_cmd_governor)
 
     p_trace = sub.add_parser(
         "trace", help="inspect telemetry artifacts of traced runs"

@@ -22,6 +22,11 @@ from repro.core.evaluate import (
     evaluate_model,
     influence_breakdown,
 )
+from repro.core.online import (
+    OnlinePerformanceModel,
+    OnlinePowerModel,
+    RecursiveLeastSquares,
+)
 from repro.core.predictor import PowerPerformancePredictor, Prediction
 from repro.core.classify import (
     Classification,
@@ -42,6 +47,9 @@ __all__ = [
     "build_dataset",
     "UnifiedPowerModel",
     "UnifiedPerformanceModel",
+    "RecursiveLeastSquares",
+    "OnlinePowerModel",
+    "OnlinePerformanceModel",
     "ErrorReport",
     "evaluate_model",
     "influence_breakdown",

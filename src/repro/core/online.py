@@ -1,0 +1,521 @@
+"""Online (recursive) least squares: streaming Eq. 1 / Eq. 2 models.
+
+The paper fits its unified models *offline*, from a completed
+114-sample dataset.  The related run-time power-modeling work
+(Nunez-Yanez et al.; Wang & Chu) updates the model *while the campaign
+runs*, so a DVFS governor can re-plan from live data.  This module
+provides that substrate:
+
+* :class:`RecursiveLeastSquares` — the numerical core: rank-1
+  Sherman–Morrison updates of the inverse information matrix, optional
+  exponential forgetting, an exact *downdate* (sample removal) path for
+  incremental cross-validation, and a fault policy (skip-update with
+  covariance inflation) that keeps the estimator finite and
+  well-conditioned under meter dropout and profiler failures.
+* :class:`OnlinePowerModel` / :class:`OnlinePerformanceModel` — the
+  streaming counterparts of the offline unified models: they ingest
+  :class:`~repro.core.dataset.Observation` values one at a time and
+  expose the same ``predict(dataset)`` interface, so a governor can
+  swap a live model in wherever a batch fit was expected.
+
+With ``forgetting == 1.0`` the recursion converges to the batch
+ordinary-least-squares solution of :func:`repro.core.regression.fit_ols`
+up to the (tiny) ridge bias of the prior: after ``n`` accepted samples
+the estimate is exactly ``(X'X + I/prior_scale)^-1 X'y``, which for the
+default ``prior_scale`` of 1e8 agrees with ``numpy.linalg.lstsq`` to
+better than 1e-8 on well-conditioned streams — the property the test
+battery in ``tests/test_online.py`` pins down.  With ``forgetting < 1``
+sample ``i`` of ``n`` carries weight ``forgetting**(n-1-i)``: recent
+samples count monotonically more, which is what lets a governor track a
+drifting thermal or workload regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import ModelingDataset, Observation
+from repro.core.regression import RegressionResult, adjusted_r_squared
+from repro.engine.counters import CounterDomain
+from repro.errors import ModelNotFittedError
+
+
+class RecursiveLeastSquares:
+    """Exact recursive least squares over rank-1 updates.
+
+    Maintains the inverse (scaled) information matrix ``P`` and the
+    coefficient vector ``theta`` of the affine model ``y ~ x @ coef +
+    intercept`` (the intercept is an internally-augmented constant
+    column).  One :meth:`update` costs O(d^2); no sample is ever
+    stored.
+
+    Parameters
+    ----------
+    n_features:
+        Number of explanatory variables (excluding the intercept).
+    forgetting:
+        Exponential forgetting factor in (0, 1]; 1.0 weights all
+        samples equally and converges to the batch OLS solution.
+    prior_scale:
+        Initial covariance ``P = prior_scale * I``.  Acts as an inverse
+        ridge penalty ``1/prior_scale``; large values make the prior
+        vanish against the data.
+    inflation:
+        Covariance multiplier applied when a sample is rejected
+        (non-finite input, degenerate update): the estimator becomes
+        *less* certain rather than silently wrong, and the covariance
+        is re-capped at ``prior_scale`` so repeated faults cannot
+        overflow it.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        forgetting: float = 1.0,
+        prior_scale: float = 1e8,
+        inflation: float = 2.0,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must be in (0, 1], got {forgetting}")
+        if prior_scale <= 0.0:
+            raise ValueError(f"prior_scale must be > 0, got {prior_scale}")
+        if inflation < 1.0:
+            raise ValueError(f"inflation must be >= 1, got {inflation}")
+        self.n_features = n_features
+        self.forgetting = float(forgetting)
+        self.prior_scale = float(prior_scale)
+        self.inflation = float(inflation)
+        d = n_features + 1  # + intercept column
+        self._theta = np.zeros(d)
+        self._P = np.eye(d) * prior_scale
+        #: Weighted sufficient statistics (for goodness-of-fit only; the
+        #: coefficients come from the recursion, never from these).
+        self._syy = 0.0
+        self._sy = 0.0
+        self._b = np.zeros(d)
+        self._weight = 0.0
+        self.n_updates = 0
+        self.n_skipped = 0
+
+    # ------------------------------------------------------------------
+    # state views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether at least one sample has been accepted."""
+        return self.n_updates > 0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Per-feature coefficients of the current estimate."""
+        return self._theta[:-1].copy()
+
+    @property
+    def intercept(self) -> float:
+        """Intercept of the current estimate."""
+        return float(self._theta[-1])
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """The (symmetric PSD) scaled inverse information matrix."""
+        return self._P.copy()
+
+    def clone(self) -> "RecursiveLeastSquares":
+        """An independent copy of the full estimator state."""
+        twin = RecursiveLeastSquares(
+            self.n_features,
+            forgetting=self.forgetting,
+            prior_scale=self.prior_scale,
+            inflation=self.inflation,
+        )
+        twin._theta = self._theta.copy()
+        twin._P = self._P.copy()
+        twin._syy, twin._sy = self._syy, self._sy
+        twin._b = self._b.copy()
+        twin._weight = self._weight
+        twin.n_updates = self.n_updates
+        twin.n_skipped = self.n_skipped
+        return twin
+
+    # ------------------------------------------------------------------
+    # the recursion
+    # ------------------------------------------------------------------
+
+    def _augment(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.size != self.n_features:
+            raise ValueError(
+                f"sample must have {self.n_features} features, got {x.size}"
+            )
+        return np.append(x, 1.0)
+
+    def _inflate(self) -> None:
+        """Grow uncertainty after a rejected sample, capped at the prior.
+
+        The cap rescales the whole matrix (never clips elements), so
+        symmetry and positive-semidefiniteness survive arbitrarily long
+        fault bursts.
+        """
+        peak = float(np.max(np.diag(self._P)))
+        factor = self.inflation
+        if peak * factor > self.prior_scale:
+            factor = max(1.0, self.prior_scale / peak)
+        self._P *= factor
+
+    def _skip(self) -> bool:
+        self.n_skipped += 1
+        self._inflate()
+        return False
+
+    def update(self, x: np.ndarray, y: float) -> bool:
+        """Ingest one sample; returns whether it was accepted.
+
+        Rejected samples (non-finite features or target, or a
+        numerically degenerate gain) leave the coefficients untouched
+        and inflate the covariance — the estimator never goes NaN, it
+        only gets less confident.
+        """
+        z = self._augment(x)
+        y = float(y)
+        if not (np.all(np.isfinite(z)) and np.isfinite(y)):
+            return self._skip()
+        lam = self.forgetting
+        Pz = self._P @ z
+        denom = lam + float(z @ Pz)
+        if not np.isfinite(denom) or denom <= 0.0:
+            return self._skip()
+        gain = Pz / denom
+        error = y - float(z @ self._theta)
+        theta = self._theta + gain * error
+        # Joseph-form covariance update: algebraically equal to
+        # (P - gain Pz') / lam but quadratic in the gain, so round-off
+        # cannot drive P indefinite even on badly collinear streams
+        # (74 hardware counters share a handful of directions).
+        M = self._P - np.outer(gain, Pz)
+        P = (M - np.outer(M @ z, gain) + lam * np.outer(gain, gain)) / lam
+        if not (np.all(np.isfinite(theta)) and np.all(np.isfinite(P))):
+            return self._skip()
+        self._theta = theta
+        self._P = 0.5 * (P + P.T)  # keep exactly symmetric
+        # forgetting-weighted sufficient statistics (goodness of fit)
+        self._syy = lam * self._syy + y * y
+        self._sy = lam * self._sy + y
+        self._b = lam * self._b + z * y
+        self._weight = lam * self._weight + 1.0
+        self.n_updates += 1
+        return True
+
+    def downdate(self, x: np.ndarray, y: float) -> None:
+        """Remove a previously-ingested sample (forgetting == 1 only).
+
+        The exact inverse of :meth:`update` (up to floating-point
+        round-off): the Sherman–Morrison rank-1 *removal* of the
+        sample's contribution to the information matrix.  This is what
+        makes leave-one-out style cross-validation incremental — O(d^2)
+        per removed sample instead of a from-scratch refit.
+        """
+        if self.forgetting != 1.0:
+            raise ValueError(
+                "downdate is only exact without forgetting "
+                f"(forgetting={self.forgetting})"
+            )
+        if self.n_updates < 1:
+            raise ValueError("no samples to downdate")
+        z = self._augment(x)
+        y = float(y)
+        if not (np.all(np.isfinite(z)) and np.isfinite(y)):
+            raise ValueError("cannot downdate a non-finite sample")
+        Pz = self._P @ z
+        s = float(z @ Pz)
+        if s >= 1.0:
+            raise ValueError(
+                "downdate would make the information matrix singular "
+                "(sample carries the remaining information in its direction)"
+            )
+        error = y - float(z @ self._theta)
+        self._theta = self._theta - (Pz / (1.0 - s)) * error
+        P = self._P + np.outer(Pz, Pz) / (1.0 - s)
+        self._P = 0.5 * (P + P.T)
+        self._syy -= y * y
+        self._sy -= y
+        self._b -= z * y
+        self._weight -= 1.0
+        self.n_updates -= 1
+
+    # ------------------------------------------------------------------
+    # the offline-compatible readout
+    # ------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix (n_obs, n_features)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(
+                f"feature matrix must be (n, {self.n_features}), got {X.shape}"
+            )
+        return X @ self._theta[:-1] + self._theta[-1]
+
+    def result(self) -> RegressionResult:
+        """The current estimate as an offline-style regression result.
+
+        Goodness of fit comes from the forgetting-weighted sufficient
+        statistics — no sample is stored, yet the R² is exact for the
+        weighted stream the estimator saw.
+        """
+        if not self.is_fitted:
+            raise ModelNotFittedError(
+                "RecursiveLeastSquares has not accepted any sample yet"
+            )
+        # SSE = sum w (y - z.theta)^2 = syy - 2 theta.b + theta' A theta;
+        # A theta is reconstructed through P's definition only when the
+        # prior is negligible, so use the numerically direct form
+        # instead: residual sum via b and the model's self-consistency.
+        theta = self._theta
+        sse = self._syy - 2.0 * float(theta @ self._b) + float(
+            theta @ self._information() @ theta
+        )
+        mean = self._sy / self._weight if self._weight > 0 else 0.0
+        sst = self._syy - self._weight * mean * mean
+        sse = max(sse, 0.0)
+        sst = max(sst, 0.0)
+        if sst == 0.0:
+            r2 = 1.0 if sse == 0.0 else 0.0
+        else:
+            r2 = 1.0 - sse / sst
+        return RegressionResult(
+            coefficients=self.coefficients,
+            intercept=self.intercept,
+            r2=r2,
+            adjusted_r2=adjusted_r_squared(
+                r2, self.n_updates, self.n_features
+            ),
+            n_observations=self.n_updates,
+        )
+
+    def _information(self) -> np.ndarray:
+        """The weighted information matrix implied by the recursion.
+
+        ``P = (A + I/prior_scale)^-1`` exactly when forgetting is 1;
+        inverting once for a fit statistic is O(d^3) but only happens
+        in :meth:`result`, never on the streaming path.
+        """
+        d = self.n_features + 1
+        A = np.linalg.pinv(self._P, hermitian=True)
+        return A - np.eye(d) * (
+            self.forgetting**self.n_updates / self.prior_scale
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RecursiveLeastSquares d={self.n_features} "
+            f"forgetting={self.forgetting} updates={self.n_updates} "
+            f"skipped={self.n_skipped}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# streaming unified models
+# ----------------------------------------------------------------------
+
+
+class _OnlineUnifiedModel:
+    """Shared streaming machinery of the two online unified models.
+
+    Mirrors :class:`repro.core.models._UnifiedModel`'s prediction
+    interface (``predict(dataset)``, ``is_fitted``) but is fed one
+    :class:`~repro.core.dataset.Observation` at a time instead of a
+    completed dataset.  Features are rescaled by the magnitudes of the
+    first accepted sample so the shared ``prior_scale`` is meaningful
+    across counters spanning many orders of magnitude (the same
+    conditioning concern :func:`repro.core.regression.fit_ols` solves
+    with column equilibration).
+    """
+
+    target_name: str = ""
+
+    def __init__(
+        self,
+        counter_names: tuple[str, ...],
+        counter_domains: dict[str, CounterDomain],
+        forgetting: float = 1.0,
+        prior_scale: float = 1e8,
+        inflation: float = 2.0,
+    ) -> None:
+        if not counter_names:
+            raise ValueError("need at least one counter feature")
+        missing = [n for n in counter_names if n not in counter_domains]
+        if missing:
+            raise ValueError(f"counters without a domain: {missing}")
+        self.counter_names = tuple(counter_names)
+        self.counter_domains = dict(counter_domains)
+        self._is_core = np.array(
+            [
+                counter_domains[name] is CounterDomain.CORE
+                for name in self.counter_names
+            ]
+        )
+        self.rls = RecursiveLeastSquares(
+            len(self.counter_names),
+            forgetting=forgetting,
+            prior_scale=prior_scale,
+            inflation=inflation,
+        )
+        self._scale: np.ndarray | None = None
+        self._scale_set: np.ndarray | None = None
+
+    # -- subclass interface ------------------------------------------------
+
+    def _feature_row(
+        self, counters: dict[str, float], exec_seconds: float, op
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _target(self, observation: Observation) -> float:
+        raise NotImplementedError
+
+    # -- streaming ingestion ----------------------------------------------
+
+    def _domain_freq(self, op) -> np.ndarray:
+        return np.where(self._is_core, op.core_mhz, op.mem_mhz)
+
+    def _scaled(self, row: np.ndarray) -> np.ndarray:
+        # Each coordinate's scale is frozen at its first nonzero value.
+        # Freezing keeps the recursion linear (rescaling mid-stream
+        # would re-weight history), and waiting for a nonzero value is
+        # safe because every earlier value in that coordinate was
+        # exactly 0 — 0 divided by any scale is still 0.
+        if self._scale is None:
+            self._scale = np.ones_like(row)
+            self._scale_set = np.zeros(row.shape, dtype=bool)
+        fresh = ~self._scale_set & np.isfinite(row) & (row != 0.0)
+        if np.any(fresh):
+            self._scale = np.where(fresh, np.abs(row), self._scale)
+            self._scale_set = self._scale_set | fresh
+        return row / self._scale
+
+    def observe(self, observation: Observation) -> bool:
+        """Ingest one streaming observation; returns acceptance.
+
+        Degraded measurements (meter-quorum violations under fault
+        injection) are rejected through the estimator's skip-update
+        policy: the model never trains on readings the instrument
+        itself flagged, but its covariance inflates so the uncertainty
+        is recorded.
+        """
+        target = self._target(observation)
+        row = self._feature_row(
+            observation.counters, observation.exec_seconds, observation.op
+        )
+        if observation.degraded or not np.isfinite(target):
+            return self.rls._skip()
+        if not np.all(np.isfinite(row)):
+            return self.rls._skip()
+        return self.rls.update(self._scaled(row), target)
+
+    # -- the offline-compatible interface ---------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether any sample has been accepted."""
+        return self.rls.is_fitted
+
+    @property
+    def n_updates(self) -> int:
+        """Accepted streaming samples."""
+        return self.rls.n_updates
+
+    @property
+    def n_skipped(self) -> int:
+        """Rejected streaming samples (fault policy engagements)."""
+        return self.rls.n_skipped
+
+    def predict(self, dataset: ModelingDataset) -> np.ndarray:
+        """Predict the target for every observation of a dataset."""
+        if not self.is_fitted:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} has not accepted any sample yet"
+            )
+        rows = np.array(
+            [
+                self._feature_row(o.counters, o.exec_seconds, o.op)
+                for o in dataset.observations
+            ],
+            dtype=float,
+        )
+        return self.rls.predict(rows / self._scale)
+
+    def predict_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Predict from raw (unscaled) Eq. 1/Eq. 2 feature rows."""
+        if not self.is_fitted:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} has not accepted any sample yet"
+            )
+        rows = np.asarray(rows, dtype=float)
+        return self.rls.predict(rows / self._scale)
+
+    def feature_row(
+        self, counters: dict[str, float], exec_seconds: float, op
+    ) -> np.ndarray:
+        """The raw Eq. 1/Eq. 2 feature row of one hypothetical run."""
+        return self._feature_row(counters, exec_seconds, op)
+
+    def clone(self) -> "_OnlineUnifiedModel":
+        """An independent copy (state included)."""
+        twin = type(self)(
+            self.counter_names,
+            self.counter_domains,
+            forgetting=self.rls.forgetting,
+            prior_scale=self.rls.prior_scale,
+            inflation=self.rls.inflation,
+        )
+        twin.rls = self.rls.clone()
+        twin._scale = None if self._scale is None else self._scale.copy()
+        twin._scale_set = (
+            None if self._scale_set is None else self._scale_set.copy()
+        )
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} updates={self.n_updates} "
+            f"skipped={self.n_skipped}>"
+        )
+
+
+class OnlinePowerModel(_OnlineUnifiedModel):
+    """Streaming Eq. 1: average power from counter rates x frequency."""
+
+    target_name = "average power [W]"
+
+    def _feature_row(
+        self, counters: dict[str, float], exec_seconds: float, op
+    ) -> np.ndarray:
+        totals = np.array(
+            [counters[name] for name in self.counter_names], dtype=float
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = totals / exec_seconds
+        return rates * self._domain_freq(op)
+
+    def _target(self, observation: Observation) -> float:
+        return observation.avg_power_w
+
+
+class OnlinePerformanceModel(_OnlineUnifiedModel):
+    """Streaming Eq. 2: execution time from counter totals / frequency."""
+
+    target_name = "execution time [s]"
+
+    def _feature_row(
+        self, counters: dict[str, float], exec_seconds: float, op
+    ) -> np.ndarray:
+        totals = np.array(
+            [counters[name] for name in self.counter_names], dtype=float
+        )
+        return totals / self._domain_freq(op)
+
+    def _target(self, observation: Observation) -> float:
+        return observation.exec_seconds

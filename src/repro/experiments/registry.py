@@ -11,6 +11,7 @@ from repro.experiments import (
     ext_bootstrap,
     ext_crossval,
     ext_governor,
+    ext_governor_online,
     ext_methods,
     ext_pareto,
     ext_profiler,
@@ -67,6 +68,7 @@ _MODULES = (
     ext_transfer,
     ext_radeon,
     ext_governor,
+    ext_governor_online,
     ext_bootstrap,
     ext_methods,
     ext_roofline,

@@ -9,7 +9,12 @@ constraint), and :mod:`repro.optimize.oracle` provides the exhaustive-
 measurement optimum to score it against.
 """
 
-from repro.optimize.governor import GovernorDecision, ModelGovernor
+from repro.optimize.governor import (
+    GovernorDecision,
+    ModelGovernor,
+    OnlineDecision,
+    OnlineGovernor,
+)
 from repro.optimize.oracle import OracleResult, exhaustive_oracle, score_governor
 from repro.optimize.scheduler import DVFSScheduler, Job, ScheduleOutcome
 from repro.optimize.pareto import ParetoPoint, frontier_pairs, knee_point, pareto_frontier
@@ -17,6 +22,8 @@ from repro.optimize.pareto import ParetoPoint, frontier_pairs, knee_point, paret
 __all__ = [
     "GovernorDecision",
     "ModelGovernor",
+    "OnlineDecision",
+    "OnlineGovernor",
     "OracleResult",
     "exhaustive_oracle",
     "score_governor",

@@ -1,10 +1,21 @@
-"""Energy-aware DVFS governor driven by the unified models.
+"""Energy-aware DVFS governors driven by the unified models.
 
 Given one profiled run of a workload (counter totals plus the execution
-time and power measured at the default clocks), the governor predicts
-time and power at *every* configurable pair using the fitted unified
-models, derives predicted energy, and picks the minimum — optionally
-subject to a maximum allowed slowdown, in the spirit of Lee et al. [14].
+time and power measured at the default clocks), a governor predicts
+time and power at *every* configurable pair using the unified models,
+derives predicted energy, and picks the minimum — optionally subject to
+a maximum allowed slowdown, in the spirit of Lee et al. [14].
+
+Two governors share that planning core:
+
+* :class:`ModelGovernor` — the offline original: decides once from
+  batch-fitted models over a completed dataset.
+* :class:`OnlineGovernor` — the closed loop: ingests streaming
+  observations into the recursive estimators of
+  :mod:`repro.core.online` and re-plans per-phase from the *live*
+  model, with a warm-up fallback, hysteresis against oscillation, and
+  the estimator's skip-update fault policy underneath — the runtime
+  power management the paper's conclusion motivates.
 
 This is precisely the use-case the unified models enable: per-pair prior
 models could not extrapolate to pairs they were never trained on.
@@ -13,13 +24,26 @@ models could not extrapolate to pairs they were never trained on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.arch.dvfs import OperatingPoint
 from repro.core.dataset import ModelingDataset, Observation
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.core.online import OnlinePerformanceModel, OnlinePowerModel
+from repro.engine.counters import CounterDomain
 from repro.errors import ModelNotFittedError
+from repro.session.spec import GovernorSpec
+from repro.telemetry.runtime import current_telemetry
+
+#: The paper's default clocks: what a governor holds before it can plan.
+DEFAULT_PAIR = "H-H"
+
+#: Floor applied to predicted execution time (s) and power (W) so
+#: predicted energy stays positive and finite whatever the model says.
+MIN_PREDICTED_SECONDS = 1e-3
+MIN_PREDICTED_POWER_W = 1.0
 
 
 @dataclass(frozen=True)
@@ -144,4 +168,291 @@ class ModelGovernor:
             predicted_energy_j={
                 op.key: float(e) for op, e in zip(ops, pred_energy)
             },
+        )
+
+
+# ----------------------------------------------------------------------
+# the closed loop
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OnlineDecision:
+    """One re-planning outcome of the online governor.
+
+    Always carries a valid operating point of the governed GPU — the
+    fallback paths (warm-up, missing profile, degenerate predictions)
+    resolve to the (H-H) default rather than emitting nothing.
+    """
+
+    benchmark: str
+    scale: float
+    #: Chosen operating point (never ``None``, never out of range).
+    op: OperatingPoint
+    #: Why this pair: ``model`` (fresh plan), ``held`` (hysteresis kept
+    #: the previous pair), ``warmup`` (estimator below its observation
+    #: floor), ``no-profile`` (no counters for the workload) or
+    #: ``degenerate`` (model produced no finite energy ordering).
+    source: str
+    #: Predicted execution time at the chosen point (s); 0.0 on
+    #: fallback paths, where the model was not consulted.
+    predicted_seconds: float = 0.0
+    #: Predicted average power at the chosen point (W); 0.0 on fallback.
+    predicted_power_w: float = 0.0
+    #: Predicted energy per candidate pair (J); empty on fallback.
+    predicted_energy_j: dict[str, float] | None = None
+    #: Accepted streaming samples at decision time.
+    updates: int = 0
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form (decision logs, regret tables)."""
+        return {
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "pair": self.op.key,
+            "source": self.source,
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_power_w": self.predicted_power_w,
+            "predicted_energy_j": (
+                dict(sorted(self.predicted_energy_j.items()))
+                if self.predicted_energy_j is not None
+                else None
+            ),
+            "updates": self.updates,
+        }
+
+
+class OnlineGovernor:
+    """Per-phase DVFS re-planning from a live recursive model.
+
+    The governor wraps one :class:`~repro.core.online.OnlinePowerModel`
+    and one :class:`~repro.core.online.OnlinePerformanceModel` and
+    closes the loop the offline :class:`ModelGovernor` leaves open:
+
+    * :meth:`observe` ingests each streaming (counters, power, time)
+      measurement as the campaign produces it — degraded or non-finite
+      samples engage the estimators' skip-update/covariance-inflation
+      policy, so faults can starve the model but never corrupt it;
+    * :meth:`decide` re-plans the (core, memory) pair for one workload
+      phase from the *current* estimate, holding the (H-H) default
+      until ``min_observations`` samples have been accepted and keeping
+      the previous pair unless a switch promises at least
+      ``hysteresis_pct`` predicted-energy improvement — the hysteresis
+      that bounds oscillation under noisy streams.
+
+    Every decision is appended to :attr:`decision_log` as a canonical
+    document; the log is deterministic in the observation stream, so
+    serial and parallel campaigns log byte-identical decisions.
+
+    Parameters
+    ----------
+    gpu:
+        The governed card (supplies the candidate operating points).
+    counter_names / counter_domains:
+        The feature space of the live models, exactly as a
+        :class:`~repro.core.dataset.ModelingDataset` carries them.
+    spec:
+        Governor tuning (:class:`~repro.session.spec.GovernorSpec`);
+        defaults to the online mode's defaults.
+    """
+
+    def __init__(
+        self,
+        gpu,
+        counter_names: tuple[str, ...],
+        counter_domains: Mapping[str, CounterDomain],
+        spec: GovernorSpec | None = None,
+    ) -> None:
+        if spec is None:
+            spec = GovernorSpec(mode="online")
+        if spec.mode != "online":
+            raise ValueError(
+                f"OnlineGovernor requires an online governor spec, "
+                f"got mode={spec.mode!r}"
+            )
+        self.gpu = gpu
+        self.spec = spec
+        self.power_model = OnlinePowerModel(
+            tuple(counter_names), dict(counter_domains),
+            forgetting=spec.forgetting,
+        )
+        self.performance_model = OnlinePerformanceModel(
+            tuple(counter_names), dict(counter_domains),
+            forgetting=spec.forgetting,
+        )
+        self.decision_log: list[dict[str, Any]] = []
+        self.n_switches = 0
+        self.n_fallbacks = 0
+        self._last: dict[tuple[str, float], str] = {}
+
+    # ------------------------------------------------------------------
+    # streaming ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def n_updates(self) -> int:
+        """Samples accepted by both live models."""
+        return min(
+            self.power_model.n_updates, self.performance_model.n_updates
+        )
+
+    @property
+    def n_skipped(self) -> int:
+        """Samples rejected by either live model's fault policy."""
+        return max(
+            self.power_model.n_skipped, self.performance_model.n_skipped
+        )
+
+    @property
+    def ready(self) -> bool:
+        """Whether the estimator has cleared its warm-up floor."""
+        return self.n_updates >= self.spec.min_observations
+
+    def clone(self) -> "OnlineGovernor":
+        """An independent controller checkpoint (models, log, hysteresis).
+
+        Decisions taken on the clone never touch the original — the
+        bench harness uses this to re-plan from an identical converged
+        state on every invocation, and a campaign can use it to
+        snapshot a controller before a risky reconfiguration.
+        """
+        twin = OnlineGovernor.__new__(OnlineGovernor)
+        twin.gpu = self.gpu
+        twin.spec = self.spec
+        twin.power_model = self.power_model.clone()
+        twin.performance_model = self.performance_model.clone()
+        twin.decision_log = list(self.decision_log)
+        twin.n_switches = self.n_switches
+        twin.n_fallbacks = self.n_fallbacks
+        twin._last = dict(self._last)
+        return twin
+
+    def observe(self, observation: Observation) -> bool:
+        """Feed one streaming measurement into both live models."""
+        metrics = current_telemetry().metrics
+        power_ok = self.power_model.observe(observation)
+        perf_ok = self.performance_model.observe(observation)
+        accepted = power_ok and perf_ok
+        if accepted:
+            metrics.inc("governor.updates")
+        else:
+            metrics.inc("governor.skipped_updates")
+        return accepted
+
+    # ------------------------------------------------------------------
+    # re-planning
+    # ------------------------------------------------------------------
+
+    def _fallback(
+        self, benchmark: str, scale: float, source: str
+    ) -> OnlineDecision:
+        self.n_fallbacks += 1
+        current_telemetry().metrics.inc("governor.fallbacks")
+        return OnlineDecision(
+            benchmark=benchmark,
+            scale=scale,
+            op=self.gpu.operating_point(DEFAULT_PAIR),
+            source=source,
+            updates=self.n_updates,
+        )
+
+    def decide(
+        self,
+        benchmark: str,
+        scale: float,
+        counters: Mapping[str, float] | None,
+    ) -> OnlineDecision:
+        """Re-plan the frequency pair for one workload phase.
+
+        ``counters`` is the workload's profiled counter-total mapping
+        (``None`` when the profiler never produced one — e.g. the
+        sample was excluded under a fault plan); the live models supply
+        time and power at every candidate pair.
+        """
+        telemetry = current_telemetry()
+        with telemetry.tracer.span(
+            "governor-replan", kind="governor",
+            benchmark=benchmark, scale=scale,
+        ):
+            decision = self._plan(benchmark, scale, counters)
+        self.decision_log.append(decision.document())
+        telemetry.metrics.inc("governor.decisions")
+        return decision
+
+    def _plan(
+        self,
+        benchmark: str,
+        scale: float,
+        counters: Mapping[str, float] | None,
+    ) -> OnlineDecision:
+        if counters is None:
+            return self._fallback(benchmark, scale, "no-profile")
+        if not self.ready:
+            return self._fallback(benchmark, scale, "warmup")
+
+        counters = dict(counters)
+        ops = self.gpu.operating_points()
+        # Stage one: predicted time per pair (Eq. 2 features need no
+        # measured time); stage two: power from rates at the predicted
+        # time, exactly as the offline governor does.
+        perf_rows = np.array(
+            [
+                self.performance_model.feature_row(counters, 1.0, op)
+                for op in ops
+            ]
+        )
+        pred_seconds = np.maximum(
+            self.performance_model.predict_rows(perf_rows),
+            MIN_PREDICTED_SECONDS,
+        )
+        power_rows = np.array(
+            [
+                self.power_model.feature_row(counters, float(t), op)
+                for op, t in zip(ops, pred_seconds)
+            ]
+        )
+        pred_power = np.maximum(
+            self.power_model.predict_rows(power_rows), MIN_PREDICTED_POWER_W
+        )
+        pred_energy = pred_seconds * pred_power
+
+        allowed = np.isfinite(pred_energy)
+        if self.spec.max_slowdown is not None and np.any(allowed):
+            fastest = float(np.min(pred_seconds[allowed]))
+            allowed &= pred_seconds <= fastest * self.spec.max_slowdown
+        if not np.any(allowed):
+            return self._fallback(benchmark, scale, "degenerate")
+        masked = np.where(allowed, pred_energy, np.inf)
+        best = int(np.argmin(masked))
+
+        # Hysteresis: keep the previous pair unless the fresh plan
+        # promises a big enough predicted-energy improvement.
+        key = (benchmark, scale)
+        source = "model"
+        previous = self._last.get(key)
+        if previous is not None and previous != ops[best].key:
+            index = {op.key: i for i, op in enumerate(ops)}.get(previous)
+            if index is not None and np.isfinite(masked[index]):
+                threshold = 1.0 - self.spec.hysteresis_pct / 100.0
+                if masked[best] > masked[index] * threshold:
+                    best, source = index, "held"
+        chosen = ops[best]
+        if previous is not None and chosen.key != previous:
+            self.n_switches += 1
+            current_telemetry().metrics.inc("governor.switches")
+        self._last[key] = chosen.key
+
+        return OnlineDecision(
+            benchmark=benchmark,
+            scale=scale,
+            op=chosen,
+            source=source,
+            predicted_seconds=float(pred_seconds[best]),
+            predicted_power_w=float(pred_power[best]),
+            predicted_energy_j={
+                op.key: float(e)
+                for op, e in zip(ops, pred_energy)
+                if np.isfinite(e)
+            },
+            updates=self.n_updates,
         )

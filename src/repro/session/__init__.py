@@ -23,9 +23,11 @@ from repro.session.context import (
     normalize_faults,
 )
 from repro.session.spec import (
+    GOVERNOR_FORMAT,
     SPEC_FORMAT,
     SPEC_VERSION,
     CampaignSpec,
+    GovernorSpec,
     SpecError,
     load_spec,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "CACHE_DIR_NAME",
     "CampaignSpec",
     "EVENTS_NAME",
+    "GOVERNOR_FORMAT",
+    "GovernorSpec",
     "METRICS_NAME",
     "RunContext",
     "SPEC_FORMAT",

@@ -43,7 +43,7 @@ from typing import Any
 from repro.execution.engine import ExecutionConfig
 from repro.faults.plan import FaultPlan
 from repro.instruments.profiler import CudaProfiler
-from repro.session.spec import CampaignSpec
+from repro.session.spec import CampaignSpec, GovernorSpec
 from repro.telemetry.runtime import Telemetry
 
 #: Subdirectory of a campaign directory holding the work-unit cache.
@@ -126,6 +126,9 @@ class RunContext:
     metrics_path: pathlib.Path | None = None
     #: Where the JSONL event log streams, when tracing.
     trace_path: pathlib.Path | None = None
+    #: DVFS-governor configuration the run plans frequencies under,
+    #: when the campaign closes the loop (``repro governor``).
+    governor: GovernorSpec | None = None
     #: The declarative spec this context was resolved from, if any.
     spec: CampaignSpec | None = None
 
@@ -144,6 +147,7 @@ class RunContext:
         artifact_dir: str | pathlib.Path | None = None,
         metrics_path: str | pathlib.Path | None = None,
         trace_path: str | pathlib.Path | None = None,
+        governor: GovernorSpec | None = None,
         spec: CampaignSpec | None = None,
     ) -> "RunContext":
         """Normalize loose session ingredients into one context.
@@ -183,6 +187,7 @@ class RunContext:
             artifact_dir=artifact_dir,
             metrics_path=metrics_path,
             trace_path=_as_path(trace_path),
+            governor=governor,
             spec=spec,
         )
 
@@ -245,6 +250,7 @@ class RunContext:
             artifact_dir=base_dir,
             metrics_path=metrics_path,
             trace_path=trace_path,
+            governor=spec.governor,
             spec=spec,
         )
 
@@ -263,6 +269,7 @@ class RunContext:
             "artifact_dir": self.artifact_dir,
             "metrics_path": self.metrics_path,
             "trace_path": self.trace_path,
+            "governor": self.governor,
             "spec": self.spec,
         }
         unknown = sorted(set(changes) - set(ingredients))
@@ -337,6 +344,7 @@ class RunContext:
                 seed=self.seed,
                 faults=self.faults,
                 breaker_threshold=self.execution.breaker_threshold,
+                governor=self.governor,
             )
         document = spec.document()
         for key in self._MECHANICS_KEYS:

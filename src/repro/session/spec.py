@@ -32,6 +32,10 @@ Schema (version 1, all keys optional)::
     faults = "aggressive"            # preset/plan-file name, or a table:
     # [faults]
     # crash_rate = 0.1
+    governor = "online"              # governor mode, or a table:
+    # [governor]
+    # mode = "online"
+    # forgetting = 0.995
 """
 
 from __future__ import annotations
@@ -173,6 +177,133 @@ def _load_toml(text: str) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# governor spec
+# ----------------------------------------------------------------------
+
+GOVERNOR_FORMAT = "repro.governor-spec"
+
+#: Accepted governor modes: ``offline`` decides once from the batch
+#: models; ``online`` re-plans from the live recursive estimator.
+GOVERNOR_MODES = ("offline", "online")
+
+
+@dataclass(frozen=True)
+class GovernorSpec:
+    """Declarative DVFS-governor configuration of a campaign.
+
+    Science, not mechanics: the governor's mode and tuning change which
+    frequency pairs a campaign selects, so the spec participates in the
+    campaign manifest (unlike ``jobs``/``cache``, which cannot change
+    any result).
+    """
+
+    #: ``offline`` (one decision from the batch fit) or ``online``
+    #: (per-phase re-planning from the recursive estimator).
+    mode: str = "offline"
+    #: Exponential forgetting factor of the online estimator; 1.0
+    #: weights all samples equally (and converges to the batch fit).
+    forgetting: float = 1.0
+    #: Maximum allowed predicted slowdown vs the fastest pair
+    #: (1.10 = at most 10% slower); ``None`` disables the constraint.
+    max_slowdown: float | None = None
+    #: Accepted samples the online estimator needs before its decisions
+    #: are trusted; below this the governor holds the (H-H) default.
+    min_observations: int = 8
+    #: Predicted-energy improvement (percent) a re-plan must promise
+    #: before the governor switches pairs — the hysteresis that bounds
+    #: oscillation under noisy streams.
+    hysteresis_pct: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in GOVERNOR_MODES:
+            raise SpecError(
+                f"governor mode must be one of {GOVERNOR_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if (
+            not isinstance(self.forgetting, (int, float))
+            or isinstance(self.forgetting, bool)
+            or not 0.0 < self.forgetting <= 1.0
+        ):
+            raise SpecError(
+                f"governor forgetting must be in (0, 1], got {self.forgetting!r}"
+            )
+        if self.max_slowdown is not None and (
+            not isinstance(self.max_slowdown, (int, float))
+            or isinstance(self.max_slowdown, bool)
+            or self.max_slowdown < 1.0
+        ):
+            raise SpecError(
+                f"governor max_slowdown must be >= 1.0 or null, "
+                f"got {self.max_slowdown!r}"
+            )
+        if (
+            not isinstance(self.min_observations, int)
+            or isinstance(self.min_observations, bool)
+            or self.min_observations < 1
+        ):
+            raise SpecError(
+                f"governor min_observations must be an integer >= 1, "
+                f"got {self.min_observations!r}"
+            )
+        if (
+            not isinstance(self.hysteresis_pct, (int, float))
+            or isinstance(self.hysteresis_pct, bool)
+            or self.hysteresis_pct < 0.0
+        ):
+            raise SpecError(
+                f"governor hysteresis_pct must be >= 0, "
+                f"got {self.hysteresis_pct!r}"
+            )
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form (manifests, regret tables)."""
+        return {
+            "format": GOVERNOR_FORMAT,
+            "mode": self.mode,
+            "forgetting": self.forgetting,
+            "max_slowdown": self.max_slowdown,
+            "min_observations": self.min_observations,
+            "hysteresis_pct": self.hysteresis_pct,
+        }
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "GovernorSpec":
+        """Build a governor spec from a parsed table, validating it."""
+        if not isinstance(doc, dict):
+            raise SpecError(f"governor spec must be a table, got {type(doc)}")
+        body = dict(doc)
+        declared = body.pop("format", GOVERNOR_FORMAT)
+        if declared != GOVERNOR_FORMAT:
+            raise SpecError(f"not a governor spec: format={declared!r}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown governor-spec fields: {', '.join(unknown)}"
+            )
+        return cls(**body)
+
+
+def _resolve_governor(spec) -> "GovernorSpec | None":
+    """Normalize any accepted governor field into a spec or ``None``."""
+    if spec is None or isinstance(spec, GovernorSpec):
+        return spec
+    if isinstance(spec, str):
+        if spec not in GOVERNOR_MODES:
+            raise SpecError(
+                f"governor must be a mode ({', '.join(GOVERNOR_MODES)}) "
+                f"or a table, got {spec!r}"
+            )
+        return GovernorSpec(mode=spec)
+    if isinstance(spec, dict):
+        return GovernorSpec.from_document(spec)
+    raise SpecError(
+        f"governor must be a mode name, table or GovernorSpec, got {spec!r}"
+    )
+
+
+# ----------------------------------------------------------------------
 # the spec
 # ----------------------------------------------------------------------
 
@@ -225,6 +356,10 @@ class CampaignSpec:
     #: deterministic exclusions (``None`` disables breakers).  Part of
     #: the science: changes which observations the campaign keeps.
     breaker_threshold: int | None = None
+    #: DVFS-governor configuration (already resolved): a mode name
+    #: ("offline"/"online"), an inline table, or a
+    #: :class:`GovernorSpec`; ``None`` means no governor runs.
+    governor: GovernorSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "gpus", _frozen_names(self.gpus, "gpus"))
@@ -263,6 +398,7 @@ class CampaignSpec:
                 f"got {self.breaker_threshold!r}"
             )
         object.__setattr__(self, "faults", _resolve_faults(self.faults))
+        object.__setattr__(self, "governor", _resolve_governor(self.governor))
 
     # ------------------------------------------------------------------
     # canonical form
@@ -292,6 +428,9 @@ class CampaignSpec:
             "trace": self.trace,
             "unit_timeout_s": self.unit_timeout_s,
             "breaker_threshold": self.breaker_threshold,
+            "governor": (
+                self.governor.document() if self.governor is not None else None
+            ),
         }
 
     def to_json(self) -> str:

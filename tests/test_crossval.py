@@ -1,13 +1,26 @@
-"""Leave-one-benchmark-out cross-validation tests."""
+"""Leave-one-benchmark-out cross-validation tests.
+
+Covers both protocols: the exact per-fold refit and the incremental
+downdate path of :func:`leave_one_benchmark_out_fast`, plus golden
+pins of the fold results and the forward-selection history so a refit
+regression cannot slip through as a silently shifted number.
+"""
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.arch.specs import get_gpu
-from repro.core.crossval import leave_one_benchmark_out
+from repro.core.crossval import (
+    leave_one_benchmark_out,
+    leave_one_benchmark_out_fast,
+)
 from repro.core.dataset import build_dataset
 from repro.core.models import UnifiedPerformanceModel, UnifiedPowerModel
+from repro.core.online import RecursiveLeastSquares
 from repro.kernels.suites import modeling_benchmarks
 
 
@@ -49,3 +62,87 @@ class TestLOBO:
     def test_mean_abs_error_positive(self, small_dataset):
         cv = leave_one_benchmark_out(UnifiedPowerModel, small_dataset)
         assert cv.mean_abs_error > 0
+
+
+class TestIncrementalLOBO:
+    def test_covers_every_benchmark(self, small_dataset):
+        cv = leave_one_benchmark_out_fast(UnifiedPowerModel, small_dataset)
+        assert set(cv.per_benchmark) == set(small_dataset.benchmarks)
+        for name, report in cv.per_benchmark.items():
+            assert set(report.benchmarks) == {name}
+
+    def test_agrees_with_exact_protocol_ballpark(self, small_dataset):
+        """Fixed-selection folds track the exact protocol's error level.
+
+        The fast path reuses the full-data feature selection, so the
+        numbers differ — but a broken downdate would be off by orders
+        of magnitude, not tens of percent.
+        """
+        slow = leave_one_benchmark_out(UnifiedPowerModel, small_dataset)
+        fast = leave_one_benchmark_out_fast(UnifiedPowerModel, small_dataset)
+        assert fast.mean_pct_error < slow.mean_pct_error * 2.0 + 10.0
+        assert fast.in_sample.mean_pct_error == pytest.approx(
+            slow.in_sample.mean_pct_error
+        )
+
+    def test_fold_coefficients_match_fold_lstsq(self, small_dataset):
+        """One downdated fold equals the batch fit without that fold."""
+        full = UnifiedPowerModel().fit(small_dataset)
+        X, _ = full._features(small_dataset)
+        y = full._target(small_dataset)
+        design = full.selection.design_matrix(X)
+        scale = np.max(np.abs(design), axis=0)
+        scale[scale == 0.0] = 1.0
+        rows = design / scale
+        rls = RecursiveLeastSquares(rows.shape[1], prior_scale=1e10)
+        for row, target in zip(rows, y):
+            rls.update(row, target)
+        names = np.array([o.benchmark for o in small_dataset.observations])
+        held = small_dataset.benchmarks[0]
+        mask = names == held
+        for row, target in zip(rows[mask], y[mask]):
+            rls.downdate(row, target)
+        A = np.column_stack([rows[~mask], np.ones(int(np.sum(~mask)))])
+        theta, *_ = np.linalg.lstsq(A, y[~mask], rcond=None)
+        got = np.append(rls.coefficients, rls.intercept)
+        tol = 1e-4 * (np.max(np.abs(theta)) + 1.0)
+        assert np.max(np.abs(got - theta)) < tol
+
+    def test_estimator_restored_between_folds(self, small_dataset):
+        """Running LOBO twice gives identical results (no state leak)."""
+        first = leave_one_benchmark_out_fast(UnifiedPowerModel, small_dataset)
+        second = leave_one_benchmark_out_fast(UnifiedPowerModel, small_dataset)
+        assert first.mean_pct_error == second.mean_pct_error
+
+
+class TestPinnedFoldResults:
+    """Golden pins: a refactor of the refit path must not move folds."""
+
+    def test_fold_results_pinned(self, golden, small_dataset):
+        doc = {}
+        for label, cv in (
+            ("exact", leave_one_benchmark_out(UnifiedPowerModel, small_dataset)),
+            ("fast", leave_one_benchmark_out_fast(UnifiedPowerModel, small_dataset)),
+        ):
+            doc[label] = {
+                "mean_pct_error": round(cv.mean_pct_error, 6),
+                "per_benchmark": {
+                    name: round(report.mean_pct_error, 6)
+                    for name, report in sorted(cv.per_benchmark.items())
+                },
+            }
+        golden(
+            "crossval_power_gtx460_small.json",
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        )
+
+    def test_forward_selection_history_pinned(self, golden, small_dataset):
+        model = UnifiedPowerModel().fit(small_dataset)
+        doc = {
+            "selected": list(model.selection.selected_names),
+            "history": [round(h, 9) for h in model.selection.history],
+        }
+        golden(
+            "selection_power_gtx460_small.json",
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        )

@@ -31,7 +31,7 @@ class TestRegistration:
             assert ext in ids
 
     def test_total_count(self):
-        assert len(EXPERIMENTS) == 31  # 19 paper artifacts + 12 extensions
+        assert len(EXPERIMENTS) == 32  # 19 paper artifacts + 13 extensions
 
     def test_paper_artifacts_come_first(self):
         ids = all_experiments()
