@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke test of the power-capped fleet campaign pipeline.
+
+Runs a small heterogeneous fleet campaign through the real ``repro
+fleet`` CLI twice with the same seed — once serial, once through the
+worker pool — and asserts that
+
+* both runs complete with exit 0,
+* the placement report carries the ``repro.fleet-report`` schema with
+  all three policies, finite energies, and a consistent job stream,
+* the model policy saves energy over naive while the published oracle
+  never loses to it (regret is non-negative by construction), and
+* the two reports are byte-identical — fleet placement is a
+  deterministic function of the spec and seed, not of worker
+  scheduling.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fleet_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SEED = 11
+DEVICES = 24
+JOBS_TOTAL = 2000
+SHARD_DEVICES = 8
+
+REQUIRED_POLICY_KEYS = {
+    "policy",
+    "active_devices",
+    "fleet_energy_j",
+    "busy_energy_j",
+    "idle_energy_j",
+    "switch_energy_j",
+    "makespan_s",
+    "reconfigurations",
+    "admitted_power_w",
+}
+
+
+def run_fleet(directory: pathlib.Path, jobs: int) -> None:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fleet",
+        str(directory),
+        "--devices",
+        str(DEVICES),
+        "--jobs-total",
+        str(JOBS_TOTAL),
+        "--shard-devices",
+        str(SHARD_DEVICES),
+        "--seed",
+        str(SEED),
+        "--jobs",
+        str(jobs),
+    ]
+    result = subprocess.run(argv, cwd=REPO, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.exit(
+            f"repro fleet exited {result.returncode}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+
+
+def check_schema(document: dict) -> None:
+    if document.get("format") != "repro.fleet-report":
+        sys.exit(f"bad format field: {document.get('format')!r}")
+    if document.get("version") != 1:
+        sys.exit(f"bad version field: {document.get('version')!r}")
+    fleet = document.get("fleet") or {}
+    if fleet.get("devices") != DEVICES:
+        sys.exit(f"expected {DEVICES} devices, got {fleet.get('devices')!r}")
+    jobs = document.get("jobs") or {}
+    if jobs.get("total") != JOBS_TOTAL:
+        sys.exit(f"expected {JOBS_TOTAL} jobs, got {jobs.get('total')!r}")
+    if sum(jobs.get("classes", {}).values()) != JOBS_TOTAL:
+        sys.exit("job-class counts do not sum to the stream total")
+    policies = document.get("policies") or {}
+    if set(policies) != {"naive", "model", "oracle"}:
+        sys.exit(f"expected three policies, got {sorted(policies)}")
+    for name, row in policies.items():
+        missing = REQUIRED_POLICY_KEYS - set(row)
+        if missing:
+            sys.exit(f"policy {name!r} missing keys: {sorted(missing)}")
+        energy = row["fleet_energy_j"]
+        if not isinstance(energy, (int, float)) or not math.isfinite(energy):
+            sys.exit(f"policy {name!r} has bad energy: {energy!r}")
+        if energy <= 0:
+            sys.exit(f"policy {name!r} energy not positive: {energy!r}")
+        if not 1 <= row["active_devices"] <= DEVICES:
+            sys.exit(
+                f"policy {name!r} active_devices out of range: "
+                f"{row['active_devices']!r}"
+            )
+    saved = document.get("energy_saved_pct")
+    regret = document.get("regret_pct")
+    for label, value in (("energy_saved_pct", saved), ("regret_pct", regret)):
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            sys.exit(f"non-finite {label}: {value!r}")
+    if regret < 0:
+        sys.exit(f"negative regret {regret!r}: oracle lost to the model")
+    if policies["oracle"]["fleet_energy_j"] > min(
+        policies["naive"]["fleet_energy_j"],
+        policies["model"]["fleet_energy_j"],
+    ):
+        sys.exit("published oracle is not the energy-minimal placement")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp:
+        serial = pathlib.Path(tmp) / "serial"
+        pooled = pathlib.Path(tmp) / "pooled"
+        run_fleet(serial, jobs=1)
+        run_fleet(pooled, jobs=4)
+        text_serial = (serial / "fleet.json").read_text(encoding="utf-8")
+        text_pooled = (pooled / "fleet.json").read_text(encoding="utf-8")
+        document = json.loads(text_serial)
+        check_schema(document)
+        if text_serial != text_pooled:
+            sys.exit(
+                "fleet reports differ between jobs=1 and jobs=4 runs; "
+                "placement must be deterministic across worker schedules"
+            )
+        policies = document["policies"]
+        print(
+            f"fleet smoke OK: {DEVICES} devices, {JOBS_TOTAL} jobs, "
+            f"naive {policies['naive']['fleet_energy_j'] / 1e3:.1f} kJ -> "
+            f"model {policies['model']['fleet_energy_j'] / 1e3:.1f} kJ "
+            f"(saved {document['energy_saved_pct']:.1f}%, regret "
+            f"{document['regret_pct']:.1f}%)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,20 @@ the synthetic VBIOS format through which clocks are programmed.
 """
 
 from repro.arch.architecture import Architecture, ArchTraits
-from repro.arch.dvfs import ClockDomain, ClockLevel, OperatingPoint
+from repro.arch.dvfs import (
+    ClockDomain,
+    ClockLevel,
+    OperatingPoint,
+    coerce_levels,
+    pair_key,
+)
 from repro.arch.specs import GPUSpec, PowerCoefficients, all_gpus, get_gpu, GPU_NAMES
+from repro.arch.registry import (
+    TEMPLATE_NAMES,
+    device_id,
+    synthesize,
+    synthesize_inventory,
+)
 from repro.arch.voltage import VoltageTable
 from repro.arch.bios import (
     BiosImage,
@@ -27,8 +39,14 @@ __all__ = [
     "PowerCoefficients",
     "VoltageTable",
     "all_gpus",
+    "coerce_levels",
+    "device_id",
     "get_gpu",
+    "pair_key",
+    "synthesize",
+    "synthesize_inventory",
     "GPU_NAMES",
+    "TEMPLATE_NAMES",
     "BiosImage",
     "ClockEntry",
     "build_image",

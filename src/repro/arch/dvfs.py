@@ -100,5 +100,37 @@ def parse_pair_key(key: str) -> tuple[ClockLevel, ClockLevel]:
         raise ValueError(f"not a valid frequency-pair key: {key!r}") from exc
 
 
+def coerce_levels(
+    core: ClockLevel | str, mem: ClockLevel | str | None = None
+) -> tuple[ClockLevel, ClockLevel]:
+    """Coerce any accepted (core, mem) spelling into a level pair.
+
+    The one place the ``"H-L"`` / ``("h", "l")`` / ``(ClockLevel.H,
+    ClockLevel.L)`` spellings accepted across the public API are
+    normalized — spec lookup, simulator and testbed ``set_clocks`` and
+    the scheduler all funnel through here.
+
+    >>> coerce_levels("H-L")
+    (<ClockLevel.H: 'H'>, <ClockLevel.L: 'L'>)
+    >>> coerce_levels("m", "h")
+    (<ClockLevel.M: 'M'>, <ClockLevel.H: 'H'>)
+    """
+    if isinstance(core, str) and mem is None:
+        return parse_pair_key(core)
+    if mem is None:
+        raise TypeError("memory level missing")
+    if isinstance(core, str):
+        core = ClockLevel(core.strip().upper())
+    if isinstance(mem, str):
+        mem = ClockLevel(mem.strip().upper())
+    return (core, mem)
+
+
+def pair_key(core: ClockLevel | str, mem: ClockLevel | str | None = None) -> str:
+    """The canonical ``"H-L"`` key for any accepted pair spelling."""
+    core_level, mem_level = coerce_levels(core, mem)
+    return f"{core_level.value}-{mem_level.value}"
+
+
 #: The default configuration the paper compares against everywhere.
 DEFAULT_PAIR: tuple[ClockLevel, ClockLevel] = (ClockLevel.H, ClockLevel.H)

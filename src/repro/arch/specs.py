@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.architecture import Architecture, ArchTraits, traits_of
-from repro.arch.dvfs import ClockLevel, OperatingPoint, parse_pair_key
+from repro.arch.dvfs import ClockLevel, OperatingPoint, coerce_levels, parse_pair_key
 from repro.arch.voltage import VoltageTable
 from repro.errors import InvalidOperatingPointError, UnknownGPUError
+
+#: Default DVFS reconfiguration cost (VBIOS reflash + reboot) charged by
+#: the scheduler when a card is not told otherwise.  Section V of the
+#: paper motivates a non-trivial switch cost; these values match the
+#: original ``optimize/scheduler`` constants so existing schedules are
+#: byte-identical.
+DEFAULT_RECONFIGURE_SECONDS = 8.0
+DEFAULT_RECONFIGURE_POWER_W = 95.0
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,12 @@ class GPUSpec:
     mem_vdd: VoltageTable
     allowed_pairs: frozenset[tuple[ClockLevel, ClockLevel]]
     power: PowerCoefficients
+    #: Wall-clock cost of one DVFS reconfiguration (VBIOS reflash and
+    #: reboot) and the board power drawn while it happens.  Per-card so
+    #: heterogeneous fleets can charge realistic switch costs; defaults
+    #: keep the paper cards' schedules byte-identical.
+    reconfigure_seconds: float = DEFAULT_RECONFIGURE_SECONDS
+    reconfigure_power_w: float = DEFAULT_RECONFIGURE_POWER_W
 
     def __post_init__(self) -> None:
         self.core_vdd.validate()
@@ -122,14 +136,7 @@ class GPUSpec:
         InvalidOperatingPointError
             If the pair is not in the card's Table III column.
         """
-        if isinstance(core, str) and mem is None:
-            core, mem = parse_pair_key(core)
-        if isinstance(core, str):
-            core = ClockLevel(core.upper())
-        if isinstance(mem, str):
-            mem = ClockLevel(mem.upper())
-        if mem is None:
-            raise TypeError("memory level missing")
+        core, mem = coerce_levels(core, mem)
         # Operating points are pure functions of the (frozen) spec, and
         # the batch hot path resolves them once per cached payload —
         # memoize per instance.  The memo lives outside the declared
@@ -182,6 +189,11 @@ class GPUSpec:
     def default_point(self) -> OperatingPoint:
         """The (H-H) factory default the paper compares against."""
         return self.operating_point(ClockLevel.H, ClockLevel.H)
+
+    @property
+    def reconfigure_energy_j(self) -> float:
+        """Energy charged per DVFS switch (seconds x power)."""
+        return self.reconfigure_seconds * self.reconfigure_power_w
 
     # ------------------------------------------------------------------
     # derived peak rates
@@ -349,15 +361,28 @@ def _normalize(name: str) -> str:
 
 
 def get_gpu(name: str) -> GPUSpec:
-    """Look up a GPU by name; accepts ``"GTX 480"``, ``"gtx480"``,
-    ``"Radeon HD 7970"``, ``"hd7970"``, etc."""
+    """Look up a GPU by name or device id.
+
+    Accepts the canonical cards in any spelling (``"GTX 480"``,
+    ``"gtx480"``), plus the name (``"GTX 480 #00042"``) or content
+    id (``"gpu-..."``) of any device the fleet registry has synthesized
+    in this process.
+    """
     normalized = _normalize(name)
     for spec in _REGISTRY.values():
         if _normalize(spec.name) == normalized:
             return spec
-    raise UnknownGPUError(
-        f"unknown GPU {name!r}; available: "
-        f"{', '.join((*GPU_NAMES, *EXTENSION_GPU_NAMES))}"
+    # Synthesized fleet devices live in the instance table of
+    # repro.arch.registry (imported lazily: registry builds on specs).
+    from repro.arch import registry
+
+    instance = registry.lookup_instance(name)
+    if instance is not None:
+        return instance
+    raise UnknownGPUError.for_name(
+        name,
+        canonical=(*GPU_NAMES, *EXTENSION_GPU_NAMES),
+        instances=registry.registered_instances(),
     )
 
 

@@ -582,3 +582,74 @@ register(
         tags=("engine",),
     )
 )
+
+
+def _setup_fleet_place(seed, workdir):
+    """Assemble the 1000-device tables once; time placement alone.
+
+    Shard simulation and model training happen in setup — the timed
+    region is the planner hot path a capped campaign re-runs per job
+    stream: three policy placements plus report assembly.
+    """
+    from repro.fleet.campaign import (
+        assemble_tables,
+        fleet_report,
+        job_mix,
+    )
+    from repro.fleet.fleet import Fleet
+    from repro.fleet.model import template_prediction_table
+    from repro.fleet.placement import place_all
+    from repro.fleet.units import fleet_shard_units
+    from repro.session.spec import FleetSpec
+
+    spec = FleetSpec()
+    payloads = [unit.execute() for unit in fleet_shard_units(spec, seed=seed)]
+    fleet = Fleet.build(
+        templates=spec.templates,
+        count=spec.devices,
+        cap_fraction=spec.cap_fraction,
+        seed=seed,
+        jitter_pct=spec.jitter_pct,
+    )
+    template_table = template_prediction_table(
+        fleet.templates, spec.workloads, spec.scale, seed=seed
+    )
+    tables = assemble_tables(payloads, template_table, spec.workloads)
+    jobs_per_class = job_mix(spec.workloads, spec.jobs_total, seed=seed)
+
+    def call():
+        outcomes = place_all(tables, jobs_per_class, fleet.power_cap_w)
+        return fleet_report(
+            fleet, spec.workloads, spec.scale, jobs_per_class, outcomes
+        )
+
+    return _ambient(call)
+
+
+def _work_fleet_place(document) -> dict[str, Any]:
+    policies = document["policies"]
+    return {
+        "devices": document["fleet"]["devices"],
+        "jobs": document["jobs"]["total"],
+        "active_model": policies["model"]["active_devices"],
+        "active_naive": policies["naive"]["active_devices"],
+        "reconfigurations": policies["model"]["reconfigurations"],
+    }
+
+
+register(
+    Workload(
+        name="fleet.place.1k",
+        group="pipeline",
+        title=(
+            "fleet placement, 1000 devices x 100k jobs under a power cap "
+            "(three policies + report)"
+        ),
+        setup=_setup_fleet_place,
+        work=_work_fleet_place,
+        repeats=10,
+        warmup=1,
+        calibrate=False,
+        tags=("fleet",),
+    )
+)

@@ -383,6 +383,99 @@ def _cmd_governor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Place a power-capped job stream across a synthesized GPU fleet.
+
+    Synthesizes the device inventory, measures per-device power/perf
+    tables through the batch engine (journaled; SIGTERM-safe), places
+    the stream with the naive, model-driven and oracle policies and
+    archives the ``fleet.json`` report.
+    """
+    import dataclasses
+    import pathlib
+
+    from repro.errors import CampaignInterrupted
+    from repro.execution.resilience import GracefulShutdown
+    from repro.fleet import run_fleet_campaign
+    from repro.fleet.campaign import FLEET_REPORT_NAME, JOURNAL_NAME
+    from repro.session import FleetSpec, RunContext
+
+    spec = _campaign_spec(args)
+    fleet = spec.fleet or FleetSpec()
+    overrides: dict[str, object] = {}
+    if args.devices is not None:
+        overrides["devices"] = args.devices
+    if args.jobs_total is not None:
+        overrides["jobs_total"] = args.jobs_total
+    if args.power_cap_w is not None:
+        overrides["power_cap_w"] = args.power_cap_w
+    if args.cap_fraction is not None:
+        overrides["cap_fraction"] = args.cap_fraction
+    if args.templates is not None:
+        overrides["templates"] = tuple(args.templates)
+    if args.shard_devices is not None:
+        overrides["shard_devices"] = args.shard_devices
+    if args.jitter_pct is not None:
+        overrides["jitter_pct"] = args.jitter_pct
+    if overrides:
+        fleet = dataclasses.replace(fleet, **overrides)
+    spec = spec.override(fleet=fleet)
+    ctx = RunContext.from_spec(
+        spec, base_dir=args.directory, metrics_path=args.metrics_out
+    )
+    try:
+        with GracefulShutdown():
+            document = run_fleet_campaign(
+                fleet, ctx, args.directory, resume=args.resume
+            )
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        print(
+            f"journal flushed; re-run with --resume to continue "
+            f"({pathlib.Path(args.directory) / JOURNAL_NAME})",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    finally:
+        if ctx.telemetry is not None:
+            from repro.telemetry import metrics_document, write_metrics_json
+
+            snapshot = ctx.telemetry.metrics.snapshot()
+            ctx.telemetry.tracer.emit(
+                {"type": "metrics", **metrics_document(snapshot)}
+            )
+            if ctx.metrics_path is not None:
+                write_metrics_json(ctx.metrics_path, snapshot)
+        ctx.close()
+    header = document["fleet"]
+    print(
+        f"fleet: {header['devices']} devices "
+        f"({', '.join(header['templates'])}), "
+        f"cap {header['power_cap_w']:.0f} W"
+    )
+    print(
+        f"jobs: {document['jobs']['total']} across "
+        f"{len(document['jobs']['classes'])} classes"
+    )
+    print(
+        f"{'policy':8s} {'energy[J]':>14s} {'active':>7s} "
+        f"{'makespan[s]':>12s} {'switches':>9s}"
+    )
+    for name in ("naive", "model", "oracle"):
+        policy = document["policies"][name]
+        print(
+            f"{name:8s} {policy['fleet_energy_j']:14.1f} "
+            f"{policy['active_devices']:7d} {policy['makespan_s']:12.1f} "
+            f"{policy['reconfigurations']:9d}"
+        )
+    print(
+        f"\nenergy saved vs naive: {document['energy_saved_pct']:.1f}%  "
+        f"regret vs oracle: {document['regret_pct']:.1f}%"
+    )
+    print(f"report: {pathlib.Path(args.directory) / FLEET_REPORT_NAME}")
+    return 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -633,6 +726,79 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_governor.add_argument("--seed", type=int, default=None)
     _add_execution_flags(p_governor)
     p_governor.set_defaults(func=_cmd_governor)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="place a power-capped job stream across a synthesized GPU fleet",
+    )
+    p_fleet.add_argument(
+        "directory",
+        help="fleet campaign directory (run journal, fleet.json report)",
+    )
+    p_fleet.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inventory size (default: 1000)",
+    )
+    p_fleet.add_argument(
+        "--jobs-total",
+        type=int,
+        default=None,
+        dest="jobs_total",
+        metavar="N",
+        help="job-stream size (default: 100000)",
+    )
+    p_fleet.add_argument(
+        "--power-cap-w",
+        type=float,
+        default=None,
+        dest="power_cap_w",
+        metavar="W",
+        help="explicit facility power cap (default: --cap-fraction of "
+        "the fleet's summed TDP)",
+    )
+    p_fleet.add_argument(
+        "--cap-fraction",
+        type=float,
+        default=None,
+        dest="cap_fraction",
+        metavar="F",
+        help="power cap as a fraction of summed TDP (default: 0.6)",
+    )
+    p_fleet.add_argument(
+        "--template",
+        action="append",
+        dest="templates",
+        default=None,
+        help="architecture template card the inventory cycles through "
+        "(repeatable; default: the paper's four)",
+    )
+    p_fleet.add_argument(
+        "--shard-devices",
+        type=int,
+        default=None,
+        dest="shard_devices",
+        metavar="K",
+        help="devices per work-unit shard (default: 64)",
+    )
+    p_fleet.add_argument(
+        "--jitter-pct",
+        type=float,
+        default=None,
+        dest="jitter_pct",
+        metavar="P",
+        help="synthesis parameter spread in [0, 0.5) (default: 0.05)",
+    )
+    p_fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal of an interrupted fleet campaign",
+    )
+    p_fleet.add_argument("--seed", type=int, default=None)
+    _add_execution_flags(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_trace = sub.add_parser(
         "trace", help="inspect telemetry artifacts of traced runs"

@@ -14,7 +14,6 @@ from typing import Any, Type
 
 import numpy as np
 
-from repro.arch.dvfs import ClockLevel
 from repro.arch.specs import get_gpu
 from repro.core.dataset import Exclusion, ModelingDataset, Observation
 from repro.core.models import (
@@ -93,8 +92,7 @@ def dataset_from_json(text: str) -> ModelingDataset:
     }
     observations = []
     for entry in doc["observations"]:
-        core_s, mem_s = entry["pair"].split("-")
-        op = gpu.operating_point(ClockLevel(core_s), ClockLevel(mem_s))
+        op = gpu.operating_point(entry["pair"])
         observations.append(
             Observation(
                 benchmark=entry["benchmark"],

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.bios import BiosImage, build_image, parse_image, patch_boot_levels
-from repro.arch.dvfs import ClockLevel, OperatingPoint
+from repro.arch.dvfs import ClockLevel, OperatingPoint, coerce_levels
 from repro.arch.specs import GPUSpec
 from repro.engine.cache import CacheOutcome, simulate_cache
 from repro.engine.counters import RunContext
@@ -150,10 +150,7 @@ class GPUSimulator:
 
     def set_clocks(self, core: ClockLevel | str, mem: ClockLevel | str) -> None:
         """Reflash the VBIOS with new boot levels and reboot (Gdev method)."""
-        if isinstance(core, str):
-            core = ClockLevel(core.upper())
-        if isinstance(mem, str):
-            mem = ClockLevel(mem.upper())
+        core, mem = coerce_levels(core, mem)
         self._bios = patch_boot_levels(self._bios, self.spec, core, mem)
         self._boot()
 

@@ -62,7 +62,35 @@ class CampaignInterrupted(ReproError, RuntimeError):
 
 
 class UnknownGPUError(ReproError, KeyError):
-    """Requested GPU name is not in the registry."""
+    """Requested GPU name is not in the registry.
+
+    The message lists what *is* resolvable: the canonical cards plus any
+    synthesized fleet devices registered in this process, so a typo'd
+    device id in a journal or spec is diagnosable from the error alone.
+    """
+
+    @classmethod
+    def for_name(cls, name, canonical=(), instances=()):
+        """Build the registry-aware error for a failed lookup.
+
+        ``instances`` is an iterable of ``(device_id, spec)`` pairs; only
+        a bounded sample is printed, with the total count.
+        """
+        parts = [f"unknown GPU {name!r}"]
+        if canonical:
+            parts.append(f"available: {', '.join(canonical)}")
+        sample = []
+        total = 0
+        for did, spec in instances:
+            total += 1
+            if len(sample) < 4:
+                sample.append(f"{spec.name} ({did})")
+        if total:
+            more = f", ... {total - len(sample)} more" if total > len(sample) else ""
+            parts.append(
+                f"{total} synthesized fleet device(s): {'; '.join(sample)}{more}"
+            )
+        return cls("; ".join(parts))
 
 
 class UnknownBenchmarkError(ReproError, KeyError):

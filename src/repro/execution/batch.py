@@ -31,6 +31,7 @@ from repro.execution.units import (
     WorkUnit,
     measurement_to_payload,
 )
+from repro.fleet.units import FleetShardUnit
 from repro.instruments.batch import BatchMeasurer, shared_batch_measurer
 
 #: The profiler-failure reason string (mirrors CudaProfiler.profile).
@@ -42,6 +43,11 @@ _PROFILER_REASON = (
 
 def is_batchable(unit: WorkUnit) -> bool:
     """Whether the unit can take the fast batch path."""
+    if isinstance(unit, FleetShardUnit):
+        # A fleet shard's execute() is already a pure columnar
+        # computation (per-device BatchSimulator grids, no telemetry or
+        # instrument state), so the fast path runs it directly.
+        return unit.faults is None
     return isinstance(unit, (SweepUnit, DatasetUnit)) and unit.faults is None
 
 
@@ -101,6 +107,8 @@ def evaluate_fast(unit: WorkUnit) -> dict[str, Any]:
         return _evaluate_sweep(unit)
     if isinstance(unit, DatasetUnit):
         return _evaluate_dataset(unit)
+    if isinstance(unit, FleetShardUnit):
+        return unit.execute()
     raise TypeError(f"unit kind {unit.kind!r} has no batch path")
 
 

@@ -1,0 +1,77 @@
+"""Extension: model-driven job placement across a power-capped fleet.
+
+The paper trains power/performance models for four individual cards;
+its motivation is datacenter-scale energy.  This experiment closes that
+loop at scale: a synthesized 1000-device heterogeneous fleet (the four
+architectures with per-device parameter spread), a 10^5-job stream, and
+a facility power cap.  Jobs are placed three ways — naive round-robin
+at default clocks, model-driven (each device's derived Eq. 1 / Eq. 2
+handle picks pairs, ranks devices and sizes the active set), and an
+oracle with true tables — and every placement is scored against ground
+truth.  The headline is the fleet energy the models save over the
+naive baseline, and the regret their prediction bias still pays
+relative to perfect information.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.experiments.base import ExperimentResult
+from repro.fleet import run_fleet_campaign
+from repro.session import FleetSpec, RunContext
+
+EXPERIMENT_ID = "ext_fleet"
+TITLE = "Model-driven placement on a power-capped 1000-GPU fleet (extension)"
+
+
+def run(seed: int | None = None) -> ExperimentResult:
+    """Run the default fleet campaign and tabulate the three policies."""
+    spec = FleetSpec()
+    ctx = RunContext.resolve(seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        document = run_fleet_campaign(spec, ctx, tmp)
+    rows = []
+    for policy in ("naive", "model", "oracle"):
+        outcome = document["policies"][policy]
+        rows.append(
+            [
+                policy,
+                f"{outcome['active_devices']}/{document['fleet']['devices']}",
+                f"{outcome['fleet_energy_j'] / 1e6:.2f}",
+                f"{outcome['makespan_s']:.0f}",
+                f"{outcome['reconfigurations']}",
+            ]
+        )
+    saved = document["energy_saved_pct"]
+    regret = document["regret_pct"]
+    jobs = document["jobs"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "Policy",
+            "Active devices",
+            "Fleet energy [MJ]",
+            "Makespan [s]",
+            "Reconfigurations",
+        ],
+        rows=rows,
+        notes=(
+            f"{jobs['total']} jobs across {len(jobs['classes'])} workload "
+            f"classes on {document['fleet']['devices']} synthesized devices "
+            f"under a {document['fleet']['power_cap_w'] / 1e3:.1f} kW cap "
+            f"(fingerprint {document['fleet']['inventory']}).  Model-driven "
+            f"placement saves {saved:.1f}% of the naive fleet energy while "
+            f"meeting the baseline's believed throughput; its remaining "
+            f"{regret:.1f}% oracle-relative regret is the price of "
+            f"prediction bias — the per-device noise effects the derived "
+            f"model handles cannot see."
+        ),
+        paper_values={
+            "status": (
+                "extension — scales the paper's per-card models to the "
+                "datacenter-energy scenario that motivates them"
+            )
+        },
+    )

@@ -10,6 +10,7 @@ if TYPE_CHECKING:
 from repro.experiments import (
     ext_bootstrap,
     ext_crossval,
+    ext_fleet,
     ext_governor,
     ext_governor_online,
     ext_methods,
@@ -77,6 +78,7 @@ _MODULES = (
     ext_seeds,
     ext_profiler,
     ext_pareto,
+    ext_fleet,
 )
 
 #: Experiment id -> (title, run callable), in paper order.

@@ -1,0 +1,34 @@
+"""Fleet substrate: heterogeneous device inventories under a power cap.
+
+Scales the scenario axis from the paper's four cards to a simulated
+datacenter: :class:`Fleet` holds a deterministic synthesized device
+inventory (see :mod:`repro.arch.registry`) and a fleet-level power cap,
+:mod:`repro.fleet.units` evaluates per-device power/perf tables through
+the columnar batch engine, and :mod:`repro.fleet.placement` assigns a
+job stream across devices under the cap using each device's Eq. 1 /
+Eq. 2 model handle — scored against naive round-robin and an oracle,
+in the style of lumos heterogeneous power budgeting.
+"""
+
+from repro.fleet.fleet import Fleet, FleetDevice
+from repro.fleet.units import FleetShardUnit, fleet_shard_units
+from repro.fleet.placement import PolicyOutcome, largest_remainder
+from repro.fleet.campaign import (
+    FLEET_REPORT_FORMAT,
+    FLEET_REPORT_VERSION,
+    fleet_report,
+    run_fleet_campaign,
+)
+
+__all__ = [
+    "FLEET_REPORT_FORMAT",
+    "FLEET_REPORT_VERSION",
+    "Fleet",
+    "FleetDevice",
+    "FleetShardUnit",
+    "PolicyOutcome",
+    "fleet_report",
+    "fleet_shard_units",
+    "largest_remainder",
+    "run_fleet_campaign",
+]

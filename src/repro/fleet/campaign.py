@@ -1,0 +1,241 @@
+"""Fleet campaign orchestration: shards -> tables -> placement -> report.
+
+One fleet campaign is a short deterministic pipeline:
+
+1. decompose the inventory into :class:`~repro.fleet.units.FleetShardUnit`
+   work units and run them through the execution engine (cache, pool,
+   write-ahead journal — the shard batch survives SIGTERM and replays
+   under ``--resume`` exactly like a measurement campaign);
+2. train the per-template Eq. 1 / Eq. 2 models once and assemble each
+   device's predicted tables by nominal-ratio scaling
+   (:mod:`repro.fleet.model`);
+3. draw the job stream's class mix from its own keyed RNG stream and
+   place it under the facility power cap with all three policies
+   (:mod:`repro.fleet.placement`);
+4. publish ``fleet.json`` atomically — the report carries only science
+   (inventory, stream, placements, headline percentages), never
+   execution mechanics, so serial, pooled and resumed runs of one fleet
+   are byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro import rng
+from repro.errors import ReproError
+from repro.execution.cache import atomic_write_text
+from repro.execution.engine import run_units
+from repro.execution.journal import RunJournal
+from repro.fleet.fleet import Fleet
+from repro.fleet.model import template_prediction_table
+from repro.fleet.placement import (
+    DeviceTable,
+    PolicyOutcome,
+    largest_remainder,
+    place_all,
+)
+from repro.fleet.units import fleet_shard_units
+
+FLEET_REPORT_FORMAT = "repro.fleet-report"
+FLEET_REPORT_VERSION = 1
+
+#: Report artifact a fleet campaign publishes into its directory.
+FLEET_REPORT_NAME = "fleet.json"
+
+#: Write-ahead journal (same name as measurement campaigns, so resume
+#: tooling and tests treat both directories uniformly).
+JOURNAL_NAME = "journal.jsonl"
+
+
+def job_mix(
+    workloads: Sequence[str], jobs_total: int, seed: int | None = None
+) -> np.ndarray:
+    """Integer job count per workload class of the stream.
+
+    Class weights draw from a keyed stream — deterministic in
+    ``(workloads, jobs_total, seed)`` — and round by largest remainder,
+    so every run of one fleet spec places the identical job stream.
+    """
+    generator = rng.stream(
+        "fleet-jobmix", tuple(workloads), jobs_total, seed=seed
+    )
+    weights = generator.uniform(0.5, 1.5, size=len(workloads))
+    quotas = jobs_total * weights / weights.sum()
+    return largest_remainder(quotas, jobs_total)
+
+
+def assemble_tables(
+    payloads: Sequence[Mapping[str, Any]],
+    template_table: Mapping[str, Mapping[str, Any]],
+    workloads: Sequence[str],
+) -> list[DeviceTable]:
+    """Join shard payloads with template predictions into device tables.
+
+    A device's predicted cell is the template model's prediction scaled
+    by the nominal ratio ``nominal(device) / nominal(template)`` — the
+    spec-sheet physics a planner can know without measuring the device.
+    The device-specific noise effects baked into the true tables stay
+    invisible here; they are the model/oracle gap.
+    """
+    tables: list[DeviceTable] = []
+    for payload in payloads:
+        for device in payload["devices"]:
+            template = template_table[device["template"]]
+            pairs = tuple(device["pairs"])
+            if pairs != tuple(template["pairs"]):
+                raise ReproError(
+                    f"device {device['device_id']} pair axis {pairs} does "
+                    f"not match template {device['template']!r} axis "
+                    f"{tuple(template['pairs'])}"
+                )
+            pred_seconds = np.array(
+                [template["classes"][w]["seconds"] for w in workloads]
+            )
+            pred_power = np.array(
+                [template["classes"][w]["power_w"] for w in workloads]
+            )
+            nominal = template["nominal"]
+            ratio_seconds = np.array(device["nominal_seconds"]) / np.array(
+                nominal["seconds"]
+            )
+            ratio_energy = np.array(device["nominal_energy_j"]) / np.array(
+                nominal["energy_j"]
+            )
+            tables.append(
+                DeviceTable(
+                    index=int(device["index"]),
+                    device_id=device["device_id"],
+                    template=device["template"],
+                    name=device["name"],
+                    reconfigure_seconds=float(device["reconfigure_seconds"]),
+                    reconfigure_power_w=float(device["reconfigure_power_w"]),
+                    pairs=pairs,
+                    idle_power_w=np.array(device["idle_power_w"]),
+                    true_energy_j=np.array(device["true_energy_j"]),
+                    true_seconds=np.array(device["true_seconds"]),
+                    pred_energy_j=(pred_seconds * pred_power) * ratio_energy,
+                    pred_seconds=pred_seconds * ratio_seconds,
+                )
+            )
+    tables.sort(key=lambda t: t.index)
+    return tables
+
+
+def fleet_report(
+    fleet: Fleet,
+    workloads: Sequence[str],
+    scale: float,
+    jobs_per_class: np.ndarray,
+    outcomes: Mapping[str, PolicyOutcome],
+) -> dict[str, Any]:
+    """Canonical fleet-campaign report document.
+
+    Shared by the campaign runner, the CLI, the ``ext_fleet``
+    experiment and the smoke script, so every consumer agrees on the
+    schema and the headline definitions: energy saved is the model
+    policy's fleet-energy reduction over naive, regret its excess over
+    the oracle.
+    """
+    naive = outcomes["naive"].fleet_energy_j
+    model = outcomes["model"].fleet_energy_j
+    oracle = outcomes["oracle"].fleet_energy_j
+    return {
+        "format": FLEET_REPORT_FORMAT,
+        "version": FLEET_REPORT_VERSION,
+        "fleet": fleet.document(),
+        "jobs": {
+            "total": int(jobs_per_class.sum()),
+            "scale": scale,
+            "classes": {
+                workload: int(count)
+                for workload, count in zip(workloads, jobs_per_class)
+            },
+        },
+        "policies": {
+            name: outcomes[name].document() for name in sorted(outcomes)
+        },
+        "energy_saved_pct": round(100.0 * (naive - model) / naive, 3),
+        "regret_pct": round(100.0 * (model - oracle) / oracle, 3),
+    }
+
+
+def run_fleet_campaign(
+    fleet_spec,
+    ctx,
+    directory: str | pathlib.Path,
+    resume: bool = False,
+) -> dict[str, Any]:
+    """Run one fleet campaign end to end and publish ``fleet.json``.
+
+    ``fleet_spec`` is a :class:`~repro.session.spec.FleetSpec` (or an
+    inline table resolved into one); ``ctx`` a
+    :class:`~repro.session.RunContext` supplying seed and execution
+    mechanics.  The shard batch is journaled write-ahead into the
+    campaign directory: a killed run resumes with ``resume=True`` and
+    produces a byte-identical report.
+    """
+    from repro.session.spec import _resolve_fleet
+
+    fleet_spec = _resolve_fleet(fleet_spec)
+    if fleet_spec is None:
+        raise ReproError("fleet campaign requires a fleet spec")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    journal = RunJournal(directory / JOURNAL_NAME, resume=resume)
+    try:
+        run_ctx = dataclasses.replace(
+            ctx,
+            execution=dataclasses.replace(ctx.execution, journal=journal),
+        )
+        units = fleet_shard_units(fleet_spec, seed=ctx.seed)
+        result = run_units(units, run_ctx)
+    finally:
+        journal.close()
+    missing = [
+        str(unit)
+        for unit, payload in zip(units, result.payloads)
+        if payload is None
+    ]
+    if missing:
+        raise ReproError(
+            f"fleet campaign lost {len(missing)} shard(s): "
+            f"{', '.join(missing)}"
+        )
+
+    fleet = Fleet.build(
+        templates=fleet_spec.templates,
+        count=fleet_spec.devices,
+        power_cap_w=fleet_spec.power_cap_w,
+        cap_fraction=fleet_spec.cap_fraction,
+        seed=ctx.seed,
+        jitter_pct=fleet_spec.jitter_pct,
+    )
+    template_table = template_prediction_table(
+        fleet.templates, fleet_spec.workloads, fleet_spec.scale, seed=ctx.seed
+    )
+    tables = assemble_tables(
+        result.payloads, template_table, fleet_spec.workloads
+    )
+    jobs_per_class = job_mix(
+        fleet_spec.workloads, fleet_spec.jobs_total, seed=ctx.seed
+    )
+    outcomes = place_all(tables, jobs_per_class, fleet.power_cap_w)
+    document = fleet_report(
+        fleet,
+        fleet_spec.workloads,
+        fleet_spec.scale,
+        jobs_per_class,
+        outcomes,
+    )
+    atomic_write_text(
+        directory / FLEET_REPORT_NAME,
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+    )
+    return document

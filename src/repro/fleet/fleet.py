@@ -1,0 +1,119 @@
+"""Fleet inventory: synthesized devices plus a fleet-level power cap.
+
+A :class:`Fleet` is pure data — which devices exist and how much power
+the facility may draw — synthesized deterministically from
+``(templates, count, seed, jitter_pct)`` via the device registry.  The
+same tuple always produces the same inventory (same device ids, same
+jittered parameters), at any ``--jobs`` level and across processes,
+which is what makes fleet campaign artifacts byte-comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.arch import registry
+from repro.arch.specs import GPU_NAMES, GPUSpec
+
+#: Default fraction of the fleet's summed TDP allowed as the power cap.
+DEFAULT_CAP_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One synthesized device of the inventory."""
+
+    index: int
+    device_id: str
+    template: str
+    spec: GPUSpec
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """A device inventory under one facility power cap."""
+
+    devices: tuple[FleetDevice, ...]
+    power_cap_w: float
+    seed: int | None
+    jitter_pct: float
+
+    @classmethod
+    def build(
+        cls,
+        templates: Sequence[str] = GPU_NAMES,
+        count: int = 1000,
+        power_cap_w: float | None = None,
+        cap_fraction: float = DEFAULT_CAP_FRACTION,
+        seed: int | None = None,
+        jitter_pct: float = registry.DEFAULT_JITTER_PCT,
+    ) -> "Fleet":
+        """Synthesize an inventory and derive its power cap.
+
+        The default cap is ``cap_fraction`` of the fleet's summed TDP —
+        the spec-sheet quantity a facility planner would actually use —
+        so under-provisioning forces the placement policies to choose
+        which devices to power on.
+        """
+        specs = registry.synthesize_inventory(
+            templates, count, seed=seed, jitter_pct=jitter_pct
+        )
+        devices = tuple(
+            FleetDevice(
+                index=i,
+                device_id=registry.device_id(spec),
+                template=registry.template(
+                    templates[i % len(templates)]
+                ).name,
+                spec=spec,
+            )
+            for i, spec in enumerate(specs)
+        )
+        if power_cap_w is None:
+            if not 0.0 < cap_fraction <= 1.0:
+                raise ValueError(
+                    f"cap_fraction must be in (0, 1], got {cap_fraction}"
+                )
+            power_cap_w = cap_fraction * sum(d.spec.tdp_w for d in devices)
+        if power_cap_w <= 0.0:
+            raise ValueError(f"power_cap_w must be > 0, got {power_cap_w}")
+        return cls(
+            devices=devices,
+            power_cap_w=float(power_cap_w),
+            seed=seed,
+            jitter_pct=jitter_pct,
+        )
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    @property
+    def templates(self) -> tuple[str, ...]:
+        """Distinct template names, in first-appearance order."""
+        seen: list[str] = []
+        for d in self.devices:
+            if d.template not in seen:
+                seen.append(d.template)
+        return tuple(seen)
+
+    def inventory_fingerprint(self) -> str:
+        """Content hash over the ordered device ids.
+
+        Two runs that synthesized the same fleet agree on this string;
+        the determinism tests and the smoke script compare it.
+        """
+        text = "\n".join(d.device_id for d in self.devices)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able summary (report header, manifests)."""
+        return {
+            "devices": len(self.devices),
+            "templates": list(self.templates),
+            "power_cap_w": round(self.power_cap_w, 3),
+            "seed": self.seed,
+            "jitter_pct": self.jitter_pct,
+            "inventory": self.inventory_fingerprint(),
+        }

@@ -1,0 +1,133 @@
+"""Per-device model handles: template predictions scaled by nominal physics.
+
+Training an Eq. 1 / Eq. 2 model pair per device would cost a full
+114-sample campaign per device — 10^3 devices would dwarf the placement
+study.  Fleets instead get *derived* model handles:
+
+* the four template models are trained once (memoized per process via
+  :mod:`repro.experiments.context`) on the canonical cards, and
+* each device's prediction is the template's prediction scaled by the
+  ratio of *nominal* quantities — the deterministic physics of the
+  device's spec sheet (clocks, voltages, power coefficients) with every
+  noise stream removed.
+
+A device's nominal tables are legitimately knowable without measuring
+it; the device-specific noise fixed-effects are not, remain invisible
+to the model handle, and are exactly what separates model-driven
+placement from the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.specs import GPUSpec
+from repro.engine.cache import simulate_cache
+from repro.engine.power import idle_gpu_power, simulate_power
+from repro.engine.thermal import solve_thermal
+from repro.engine.timing import simulate_timing
+from repro.kernels.profile import KernelSpec
+from repro.kernels.suites import get_benchmark
+
+#: Expected value of the scalar path's driver-overhead draw
+#: (``U(0.25, 2.75)`` times the trait constant) — the nominal tables
+#: are noise-free, so the overhead enters at its mean.
+_MEAN_OVERHEAD_FACTOR = 1.5
+
+
+def nominal_cell(
+    spec: GPUSpec, kernel: KernelSpec, scale: float, op: OperatingPoint
+) -> tuple[float, float]:
+    """Noise-free ``(seconds, energy_j)`` of one (device, class, pair) cell.
+
+    Runs the same physics pipeline as the simulator — cache model,
+    timing, power decomposition, thermal solve — with every stochastic
+    factor removed.  Deterministic in the spec alone, so workers and the
+    parent agree bit-for-bit.
+    """
+    work = kernel.work(scale)
+    cache = simulate_cache(work, spec)
+    timing = simulate_timing(work, cache, spec, op)
+    power = simulate_power(cache, timing, spec, op)
+    dynamic = (
+        power.core_dynamic_w + power.mem_background_w + power.dram_access_w
+    )
+    thermal = solve_thermal(
+        spec, dynamic_w=dynamic, static_w=power.static_w, ambient_c=25.0
+    )
+    overhead_s = spec.traits.driver_overhead_s * _MEAN_OVERHEAD_FACTOR
+    busy_s = timing.t_kernel + timing.t_launch
+    idle_s = timing.t_transfer + timing.t_host + overhead_s
+    energy_j = thermal.power_w * busy_s + idle_gpu_power(spec, op) * idle_s
+    return (busy_s + idle_s, energy_j)
+
+
+def nominal_table(
+    spec: GPUSpec, workloads: Sequence[str], scale: float
+) -> dict[str, Any]:
+    """Nominal ``seconds``/``energy_j`` grids of one device.
+
+    Rows follow ``workloads`` order, columns the device's Table III
+    (highest-first) pair order — the axis convention every fleet table
+    shares.
+    """
+    ops = spec.operating_points()
+    seconds: list[list[float]] = []
+    energy: list[list[float]] = []
+    for name in workloads:
+        kernel = get_benchmark(name)
+        row = [nominal_cell(spec, kernel, scale, op) for op in ops]
+        seconds.append([float(s) for s, _ in row])
+        energy.append([float(e) for _, e in row])
+    return {
+        "pairs": [op.key for op in ops],
+        "seconds": seconds,
+        "energy_j": energy,
+    }
+
+
+def template_prediction_table(
+    templates: Sequence[str],
+    workloads: Sequence[str],
+    scale: float,
+    seed: int | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Per-template Eq. 1 / Eq. 2 predictions at every configurable pair.
+
+    Trains (or reuses, via the experiment suite's memo) each template's
+    unified models on its 114-sample dataset and tabulates predicted
+    seconds/power/energy per (workload, pair), plus the template's own
+    nominal table — the denominator of the device scaling ratio.
+    """
+    # Imported here: experiments.context pulls the whole modeling stack,
+    # which worker-side fleet units never need.
+    from repro.experiments import context as expctx
+    from repro.optimize.governor import ModelGovernor
+
+    table: dict[str, dict[str, Any]] = {}
+    for name in templates:
+        dataset = expctx.dataset(name, seed)
+        governor = ModelGovernor(
+            expctx.power_model(name, seed),
+            expctx.performance_model(name, seed),
+        )
+        spec = dataset.gpu
+        nominal = nominal_table(spec, workloads, scale)
+        classes: dict[str, Any] = {}
+        for workload in workloads:
+            ops, seconds, power = governor.predict_pairs(
+                dataset, workload, scale
+            )
+            energy = seconds * power
+            classes[workload] = {
+                "seconds": [float(s) for s in seconds],
+                "power_w": [float(p) for p in power],
+                "energy_j": [float(e) for e in energy],
+            }
+        table[spec.name] = {
+            "pairs": nominal["pairs"],
+            "classes": classes,
+            "nominal": nominal,
+        }
+    return table

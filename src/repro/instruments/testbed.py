@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.arch.dvfs import ClockLevel, OperatingPoint
+from repro.arch.dvfs import ClockLevel, OperatingPoint, coerce_levels, pair_key
 from repro.arch.specs import GPUSpec
 from repro.engine.phases import busy_phase_profile
 from repro.engine.simulator import GPUSimulator, RunRecord
@@ -143,9 +143,8 @@ class Testbed:
         re-draws deterministically for the new attempt.
         """
         telemetry = current_telemetry()
-        core_key = core if isinstance(core, str) else core.value
-        mem_key = mem if isinstance(mem, str) else mem.value
-        pair = f"{core_key.upper()}-{mem_key.upper()}"
+        core, mem = coerce_levels(core, mem)
+        pair = pair_key(core, mem)
         with telemetry.tracer.span(
             "vbios-reconfig", kind="instrument", gpu=self.gpu.name, pair=pair
         ):

@@ -92,14 +92,16 @@ class ModelGovernor:
         self.performance_model = performance_model
         self.max_slowdown = max_slowdown
 
-    def decide(
+    def predict_pairs(
         self, dataset: ModelingDataset, benchmark: str, scale: float
-    ) -> GovernorDecision:
-        """Pick a pair for one workload sample of a built dataset.
+    ) -> tuple[list[OperatingPoint], np.ndarray, np.ndarray]:
+        """Predicted ``(ops, seconds, power)`` at every configurable pair.
 
         Uses the sample's profiled counters; time and power at each pair
         come exclusively from the models (two-stage: predicted time feeds
-        the power model's rate features).
+        the power model's rate features).  This is the planning core
+        :meth:`decide` ranks — exposed separately so fleet placement can
+        consume the full per-pair table, not just the argmin.
         """
         sample = [
             o
@@ -153,6 +155,15 @@ class ModelGovernor:
             ),
         )
         pred_power = np.maximum(self.power_model.predict(candidates), 1.0)
+        return ops, pred_seconds, pred_power
+
+    def decide(
+        self, dataset: ModelingDataset, benchmark: str, scale: float
+    ) -> GovernorDecision:
+        """Pick a pair for one workload sample of a built dataset."""
+        ops, pred_seconds, pred_power = self.predict_pairs(
+            dataset, benchmark, scale
+        )
         pred_energy = pred_seconds * pred_power
 
         allowed = np.ones(len(ops), dtype=bool)

@@ -18,16 +18,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.arch.specs import GPUSpec
+from repro.arch.dvfs import coerce_levels
+from repro.arch.specs import (
+    DEFAULT_RECONFIGURE_POWER_W,
+    DEFAULT_RECONFIGURE_SECONDS,
+    GPUSpec,
+)
 from repro.core.dataset import ModelingDataset
 from repro.instruments.testbed import Testbed
 from repro.kernels.suites import get_benchmark
 from repro.optimize.governor import ModelGovernor
 
 #: Cost of one VBIOS reflash + reboot: the card is unusable for this long
-#: while the system still burns idle power.
-RECONFIGURE_SECONDS = 8.0
-RECONFIGURE_POWER_W = 95.0
+#: while the system still burns idle power.  Kept as module aliases for
+#: backward compatibility; the per-card truth lives on
+#: :attr:`GPUSpec.reconfigure_seconds` / :attr:`GPUSpec.reconfigure_power_w`.
+RECONFIGURE_SECONDS = DEFAULT_RECONFIGURE_SECONDS
+RECONFIGURE_POWER_W = DEFAULT_RECONFIGURE_POWER_W
 
 
 @dataclass(frozen=True)
@@ -46,11 +53,17 @@ class ScheduleOutcome:
     total_energy_j: float
     total_seconds: float
     reconfigurations: int
+    #: Energy charged per reconfiguration on the card that ran the
+    #: stream; defaults to the paper-card cost so pre-fleet outcomes are
+    #: unchanged.
+    reconfigure_cost_j: float = (
+        DEFAULT_RECONFIGURE_SECONDS * DEFAULT_RECONFIGURE_POWER_W
+    )
 
     @property
     def switch_energy_j(self) -> float:
         """Energy spent reflashing."""
-        return self.reconfigurations * RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
+        return self.reconfigurations * self.reconfigure_cost_j
 
 
 class DVFSScheduler:
@@ -112,10 +125,7 @@ class DVFSScheduler:
             saving = predicted.get(current, float("inf")) - predicted[
                 decision.op.key
             ]
-            switch = (
-                RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
-                / self.amortization_horizon
-            )
+            switch = self.gpu.reconfigure_energy_j / self.amortization_horizon
             return decision.op.key if saving > switch else current
         if policy == "oracle":
             best_key, best_energy = None, float("inf")
@@ -125,10 +135,7 @@ class DVFSScheduler:
             for op in self.gpu.operating_points():
                 probe.set_clocks(op.core_level, op.mem_level)
                 energies[op.key] = self._measure(probe, job).energy_j
-            switch = (
-                RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
-                / self.amortization_horizon
-            )
+            switch = self.gpu.reconfigure_energy_j / self.amortization_horizon
             for key, energy in energies.items():
                 cost = energy + (switch if key != current else 0.0)
                 if cost < best_energy:
@@ -146,10 +153,10 @@ class DVFSScheduler:
         for job in jobs:
             target = self._target_pair(job, policy, testbed)
             if target != testbed.sim.operating_point.key:
-                testbed.set_clocks(*target.split("-"))
+                testbed.set_clocks(*coerce_levels(target))
                 reconfigurations += 1
-                total_energy += RECONFIGURE_SECONDS * RECONFIGURE_POWER_W
-                total_seconds += RECONFIGURE_SECONDS
+                total_energy += self.gpu.reconfigure_energy_j
+                total_seconds += self.gpu.reconfigure_seconds
             m = self._measure(testbed, job)
             total_energy += m.energy_j
             total_seconds += m.exec_seconds
@@ -158,6 +165,7 @@ class DVFSScheduler:
             total_energy_j=total_energy,
             total_seconds=total_seconds,
             reconfigurations=reconfigurations,
+            reconfigure_cost_j=self.gpu.reconfigure_energy_j,
         )
 
     def compare(

@@ -23,10 +23,12 @@ from repro.session.context import (
     normalize_faults,
 )
 from repro.session.spec import (
+    FLEET_FORMAT,
     GOVERNOR_FORMAT,
     SPEC_FORMAT,
     SPEC_VERSION,
     CampaignSpec,
+    FleetSpec,
     GovernorSpec,
     SpecError,
     load_spec,
@@ -36,6 +38,8 @@ __all__ = [
     "CACHE_DIR_NAME",
     "CampaignSpec",
     "EVENTS_NAME",
+    "FLEET_FORMAT",
+    "FleetSpec",
     "GOVERNOR_FORMAT",
     "GovernorSpec",
     "METRICS_NAME",

@@ -43,7 +43,7 @@ from typing import Any
 from repro.execution.engine import ExecutionConfig
 from repro.faults.plan import FaultPlan
 from repro.instruments.profiler import CudaProfiler
-from repro.session.spec import CampaignSpec, GovernorSpec
+from repro.session.spec import CampaignSpec, FleetSpec, GovernorSpec
 from repro.telemetry.runtime import Telemetry
 
 #: Subdirectory of a campaign directory holding the work-unit cache.
@@ -129,6 +129,9 @@ class RunContext:
     #: DVFS-governor configuration the run plans frequencies under,
     #: when the campaign closes the loop (``repro governor``).
     governor: GovernorSpec | None = None
+    #: Fleet configuration, when the campaign places a job stream
+    #: across a synthesized device inventory (``repro fleet``).
+    fleet: FleetSpec | None = None
     #: The declarative spec this context was resolved from, if any.
     spec: CampaignSpec | None = None
 
@@ -148,6 +151,7 @@ class RunContext:
         metrics_path: str | pathlib.Path | None = None,
         trace_path: str | pathlib.Path | None = None,
         governor: GovernorSpec | None = None,
+        fleet: FleetSpec | None = None,
         spec: CampaignSpec | None = None,
     ) -> "RunContext":
         """Normalize loose session ingredients into one context.
@@ -188,6 +192,7 @@ class RunContext:
             metrics_path=metrics_path,
             trace_path=_as_path(trace_path),
             governor=governor,
+            fleet=fleet,
             spec=spec,
         )
 
@@ -251,6 +256,7 @@ class RunContext:
             metrics_path=metrics_path,
             trace_path=trace_path,
             governor=spec.governor,
+            fleet=spec.fleet,
             spec=spec,
         )
 
@@ -270,6 +276,7 @@ class RunContext:
             "metrics_path": self.metrics_path,
             "trace_path": self.trace_path,
             "governor": self.governor,
+            "fleet": self.fleet,
             "spec": self.spec,
         }
         unknown = sorted(set(changes) - set(ingredients))
@@ -345,6 +352,7 @@ class RunContext:
                 faults=self.faults,
                 breaker_threshold=self.execution.breaker_threshold,
                 governor=self.governor,
+                fleet=self.fleet,
             )
         document = spec.document()
         for key in self._MECHANICS_KEYS:

@@ -36,6 +36,10 @@ Schema (version 1, all keys optional)::
     # [governor]
     # mode = "online"
     # forgetting = 0.995
+    # [fleet]                        # fleet campaign (omit for single-card)
+    # devices = 1000
+    # jobs_total = 100000
+    # cap_fraction = 0.6
 """
 
 from __future__ import annotations
@@ -304,6 +308,153 @@ def _resolve_governor(spec) -> "GovernorSpec | None":
 
 
 # ----------------------------------------------------------------------
+# fleet spec
+# ----------------------------------------------------------------------
+
+FLEET_FORMAT = "repro.fleet-spec"
+
+#: Default workload-class mix of a fleet job stream (the governor
+#: experiments' evaluation set, so regret columns stay comparable).
+FLEET_WORKLOADS = ("kmeans", "hotspot", "lbm", "sgemm", "spmv", "stencil", "MAdd")
+
+#: Default architecture templates (the paper's four cards).
+FLEET_TEMPLATES = ("GTX 285", "GTX 460", "GTX 480", "GTX 680")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Declarative fleet-campaign configuration (the ``[fleet]`` table).
+
+    Describes a synthesized datacenter: how many devices, drawn from
+    which architecture templates with how much parameter spread, the
+    facility power cap, and the job stream to place.  Everything here
+    is science — it changes which devices exist and what the placement
+    report says — so the spec participates in campaign manifests.
+    """
+
+    #: Inventory size (devices cycle round-robin through the templates).
+    devices: int = 1000
+    #: Architecture templates devices are synthesized from.
+    templates: tuple[str, ...] = FLEET_TEMPLATES
+    #: Explicit facility power cap in watts; ``None`` derives it from
+    #: ``cap_fraction``.
+    power_cap_w: float | None = None
+    #: Fraction of the fleet's summed TDP allowed when no explicit cap
+    #: is given.
+    cap_fraction: float = 0.6
+    #: Total jobs in the placed stream.
+    jobs_total: int = 100000
+    #: Workload classes of the stream, at one input scale.
+    workloads: tuple[str, ...] = FLEET_WORKLOADS
+    scale: float = 0.25
+    #: Devices evaluated per shard work unit.
+    shard_devices: int = 64
+    #: Synthesis parameter spread (see :mod:`repro.arch.registry`).
+    jitter_pct: float = 0.05
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "templates", _frozen_names(self.templates, "fleet templates")
+        )
+        object.__setattr__(
+            self, "workloads", _frozen_names(self.workloads, "fleet workloads")
+        )
+        if not self.templates:
+            raise SpecError("fleet templates must name at least one card")
+        if not self.workloads:
+            raise SpecError("fleet workloads must name at least one class")
+        for field, minimum in (
+            ("devices", 1),
+            ("jobs_total", 1),
+            ("shard_devices", 1),
+        ):
+            value = getattr(self, field)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < minimum
+            ):
+                raise SpecError(
+                    f"fleet {field} must be an integer >= {minimum}, "
+                    f"got {value!r}"
+                )
+        if self.power_cap_w is not None and (
+            not isinstance(self.power_cap_w, (int, float))
+            or isinstance(self.power_cap_w, bool)
+            or self.power_cap_w <= 0
+        ):
+            raise SpecError(
+                f"fleet power_cap_w must be a number > 0 or null, "
+                f"got {self.power_cap_w!r}"
+            )
+        if (
+            not isinstance(self.cap_fraction, (int, float))
+            or isinstance(self.cap_fraction, bool)
+            or not 0.0 < self.cap_fraction <= 1.0
+        ):
+            raise SpecError(
+                f"fleet cap_fraction must be in (0, 1], "
+                f"got {self.cap_fraction!r}"
+            )
+        if (
+            not isinstance(self.scale, (int, float))
+            or isinstance(self.scale, bool)
+            or not 0.0 < self.scale <= 1.0
+        ):
+            raise SpecError(
+                f"fleet scale must be in (0, 1], got {self.scale!r}"
+            )
+        if (
+            not isinstance(self.jitter_pct, (int, float))
+            or isinstance(self.jitter_pct, bool)
+            or not 0.0 <= self.jitter_pct < 0.5
+        ):
+            raise SpecError(
+                f"fleet jitter_pct must be in [0, 0.5), "
+                f"got {self.jitter_pct!r}"
+            )
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form (manifests, placement reports)."""
+        return {
+            "format": FLEET_FORMAT,
+            "devices": self.devices,
+            "templates": list(self.templates),
+            "power_cap_w": self.power_cap_w,
+            "cap_fraction": self.cap_fraction,
+            "jobs_total": self.jobs_total,
+            "workloads": list(self.workloads),
+            "scale": self.scale,
+            "shard_devices": self.shard_devices,
+            "jitter_pct": self.jitter_pct,
+        }
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "FleetSpec":
+        """Build a fleet spec from a parsed table, validating it."""
+        if not isinstance(doc, dict):
+            raise SpecError(f"fleet spec must be a table, got {type(doc)}")
+        body = dict(doc)
+        declared = body.pop("format", FLEET_FORMAT)
+        if declared != FLEET_FORMAT:
+            raise SpecError(f"not a fleet spec: format={declared!r}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise SpecError(f"unknown fleet-spec fields: {', '.join(unknown)}")
+        return cls(**body)
+
+
+def _resolve_fleet(spec) -> "FleetSpec | None":
+    """Normalize any accepted fleet field into a spec or ``None``."""
+    if spec is None or isinstance(spec, FleetSpec):
+        return spec
+    if isinstance(spec, dict):
+        return FleetSpec.from_document(spec)
+    raise SpecError(f"fleet must be a table or FleetSpec, got {spec!r}")
+
+
+# ----------------------------------------------------------------------
 # the spec
 # ----------------------------------------------------------------------
 
@@ -360,6 +511,10 @@ class CampaignSpec:
     #: ("offline"/"online"), an inline table, or a
     #: :class:`GovernorSpec`; ``None`` means no governor runs.
     governor: GovernorSpec | None = None
+    #: Fleet-campaign configuration (already resolved): an inline
+    #: ``[fleet]`` table or a :class:`FleetSpec`; ``None`` means the
+    #: campaign is a plain single-card study.
+    fleet: FleetSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "gpus", _frozen_names(self.gpus, "gpus"))
@@ -399,6 +554,7 @@ class CampaignSpec:
             )
         object.__setattr__(self, "faults", _resolve_faults(self.faults))
         object.__setattr__(self, "governor", _resolve_governor(self.governor))
+        object.__setattr__(self, "fleet", _resolve_fleet(self.fleet))
 
     # ------------------------------------------------------------------
     # canonical form
@@ -411,7 +567,7 @@ class CampaignSpec:
         ``true`` rather than expanding to concrete paths, so campaigns
         regenerated into different directories embed identical specs.
         """
-        return {
+        doc: dict[str, Any] = {
             "format": SPEC_FORMAT,
             "version": SPEC_VERSION,
             "gpus": list(self.gpus) if self.gpus is not None else None,
@@ -432,6 +588,11 @@ class CampaignSpec:
                 self.governor.document() if self.governor is not None else None
             ),
         }
+        # Emitted only when configured: plain single-card campaigns keep
+        # their historical document shape (and golden bytes) unchanged.
+        if self.fleet is not None:
+            doc["fleet"] = self.fleet.document()
+        return doc
 
     def to_json(self) -> str:
         """Serialize the canonical document to JSON."""

@@ -27,11 +27,12 @@ class TestRegistration:
             "ext_seeds",
             "ext_profiler",
             "ext_pareto",
+            "ext_fleet",
         ):
             assert ext in ids
 
     def test_total_count(self):
-        assert len(EXPERIMENTS) == 32  # 19 paper artifacts + 13 extensions
+        assert len(EXPERIMENTS) == 33  # 19 paper artifacts + 14 extensions
 
     def test_paper_artifacts_come_first(self):
         ids = all_experiments()

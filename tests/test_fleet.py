@@ -1,0 +1,448 @@
+"""Fleet layer tests: registry synthesis, placement, campaign durability.
+
+The fast tests cover the template/instance split (determinism, jitter
+bounds, canonical-card byte-identity), the satellite refactors that rode
+along (per-card reconfiguration costs, registry-aware lookup errors, the
+single pair-spelling funnel), spec parsing, and the placement science
+invariants.  The ``slow``-marked acceptance test kills a real ``repro
+fleet`` subprocess mid-campaign and asserts the resumed run reproduces
+the uninterrupted report byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch import registry
+from repro.arch.dvfs import ClockLevel, coerce_levels, pair_key
+from repro.arch.specs import GPU_NAMES, get_gpu
+from repro.errors import UnknownGPUError
+from repro.fleet import Fleet, fleet_shard_units, run_fleet_campaign
+from repro.fleet.campaign import assemble_tables, job_mix
+from repro.fleet.model import template_prediction_table
+from repro.fleet.placement import DeviceTable, largest_remainder, place_all
+from repro.session import CampaignSpec, FleetSpec, RunContext, SpecError
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+SEED = 11
+
+
+# ----------------------------------------------------------------------
+# device registry: template/instance split
+# ----------------------------------------------------------------------
+
+
+class TestRegistrySynthesis:
+    def test_synthesis_is_deterministic(self):
+        first = registry.synthesize("GTX 480", 7, seed=SEED)
+        second = registry.synthesize("GTX 480", 7, seed=SEED)
+        assert first == second
+        assert registry.device_id(first) == registry.device_id(second)
+
+    def test_distinct_coordinates_distinct_devices(self):
+        base = registry.synthesize("GTX 480", 0, seed=SEED)
+        ids = {
+            registry.device_id(registry.synthesize("GTX 480", 1, seed=SEED)),
+            registry.device_id(registry.synthesize("GTX 480", 0, seed=SEED + 1)),
+            registry.device_id(registry.synthesize("GTX 460", 0, seed=SEED)),
+        }
+        assert registry.device_id(base) not in ids
+        assert len(ids) == 3
+
+    def test_die_level_facts_stay_template_properties(self):
+        template = get_gpu("GTX 680")
+        instance = registry.synthesize("GTX 680", 3, seed=SEED)
+        assert instance.num_cores == template.num_cores
+        assert instance.num_sms == template.num_sms
+        assert instance.peak_gflops == template.peak_gflops
+        assert instance.mem_bandwidth_gbs == template.mem_bandwidth_gbs
+        assert instance.tdp_w == template.tdp_w
+        assert instance.allowed_pairs == template.allowed_pairs
+
+    def test_jitter_is_bounded_and_tables_stay_monotone(self):
+        pct = 0.05
+        template = get_gpu("GTX 285")
+        for index in range(8):
+            instance = registry.synthesize("GTX 285", index, seed=SEED, jitter_pct=pct)
+            for level in (ClockLevel.L, ClockLevel.M, ClockLevel.H):
+                ratio = instance.core_mhz[level] / template.core_mhz[level]
+                assert 1 - pct <= ratio <= 1 + pct
+            assert (
+                instance.core_mhz[ClockLevel.L]
+                <= instance.core_mhz[ClockLevel.M]
+                <= instance.core_mhz[ClockLevel.H]
+            )
+            # the GTX 285 GDDR3 voltage table is flat; jitter must not
+            # break its monotonicity either
+            assert (
+                instance.mem_vdd.low
+                <= instance.mem_vdd.medium
+                <= instance.mem_vdd.high
+            )
+
+    def test_canonical_cards_untouched_by_synthesis(self):
+        before = {name: get_gpu(name) for name in GPU_NAMES}
+        registry.synthesize_inventory(GPU_NAMES, 12, seed=SEED)
+        for name in GPU_NAMES:
+            assert get_gpu(name) is before[name]
+
+    def test_inventory_cycles_templates_and_is_prefix_stable(self):
+        small = registry.synthesize_inventory(GPU_NAMES, 6, seed=SEED)
+        large = registry.synthesize_inventory(GPU_NAMES, 10, seed=SEED)
+        assert large[:6] == small
+        for i, spec in enumerate(large):
+            base = GPU_NAMES[i % len(GPU_NAMES)]
+            assert spec.name == f"{base} #{i // len(GPU_NAMES):05d}"
+
+    def test_synthesized_devices_resolve_by_name_and_id(self):
+        instance = registry.synthesize("GTX 460", 5, seed=SEED)
+        did = registry.device_id(instance)
+        assert registry.lookup_instance(instance.name) == instance
+        assert registry.lookup_instance(did) == instance
+        assert get_gpu(instance.name) == instance
+        assert get_gpu(did) == instance
+
+
+# ----------------------------------------------------------------------
+# satellite refactors
+# ----------------------------------------------------------------------
+
+
+class TestSatellites:
+    def test_reconfigure_costs_live_on_the_spec(self):
+        from repro.optimize import scheduler
+
+        for name in GPU_NAMES:
+            spec = get_gpu(name)
+            assert spec.reconfigure_seconds > 0
+            assert spec.reconfigure_power_w > 0
+        # the scheduler aliases stay for importers but defer to the spec
+        assert scheduler.RECONFIGURE_SECONDS == get_gpu("GTX 480").reconfigure_seconds
+
+    def test_unknown_gpu_error_lists_registry(self):
+        with pytest.raises(UnknownGPUError) as excinfo:
+            get_gpu("GTX 9999")
+        message = str(excinfo.value)
+        assert "GTX 9999" in message
+        assert "available:" in message
+        for name in GPU_NAMES:
+            assert name in message
+
+    def test_unknown_gpu_error_samples_fleet_instances(self):
+        instance = registry.synthesize("GTX 480", 0, seed=SEED)
+        error = UnknownGPUError.for_name(
+            "nope",
+            canonical=GPU_NAMES,
+            instances=[(registry.device_id(instance), instance)],
+        )
+        assert "synthesized fleet device" in str(error)
+        assert instance.name in str(error)
+
+    def test_pair_spellings_funnel_through_one_helper(self):
+        assert coerce_levels("H-L") == (ClockLevel.H, ClockLevel.L)
+        assert coerce_levels("m", "h") == (ClockLevel.M, ClockLevel.H)
+        assert pair_key(ClockLevel.H, ClockLevel.L) == "H-L"
+        assert pair_key("h-l") == pair_key("H", "L") == "H-L"
+        with pytest.raises(ValueError):
+            coerce_levels("X-Y")
+
+
+# ----------------------------------------------------------------------
+# fleet spec
+# ----------------------------------------------------------------------
+
+
+class TestFleetSpec:
+    def test_defaults_are_valid_and_documented(self):
+        spec = FleetSpec()
+        document = spec.document()
+        assert document["devices"] == 1000
+        assert document["jobs_total"] == 100000
+        assert FleetSpec.from_document(document) == spec
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"devices": 0},
+            {"jobs_total": 0},
+            {"cap_fraction": 0.0},
+            {"cap_fraction": 1.5},
+            {"power_cap_w": -10.0},
+            {"scale": 0.0},
+            {"jitter_pct": 0.5},
+            {"templates": ()},
+            {"workloads": ()},
+            {"shard_devices": 0},
+        ],
+    )
+    def test_validation_rejects_bad_fields(self, overrides):
+        with pytest.raises(SpecError):
+            FleetSpec(**overrides)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SpecError, match="unknown fleet-spec"):
+            FleetSpec.from_document({"devices": 4, "turbo": True})
+
+    def test_campaign_spec_toml_fleet_table(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'format = "repro.campaign-spec"',
+                    "version = 1",
+                    "seed = 3",
+                    "",
+                    "[fleet]",
+                    "devices = 16",
+                    "jobs_total = 500",
+                    "cap_fraction = 0.5",
+                ]
+            )
+        )
+        spec = CampaignSpec.load(path)
+        assert spec.fleet == FleetSpec(
+            devices=16, jobs_total=500, cap_fraction=0.5
+        )
+        assert spec.document()["fleet"]["devices"] == 16
+
+    def test_plain_spec_document_has_no_fleet_key(self):
+        assert "fleet" not in CampaignSpec(seed=0).document()
+
+
+# ----------------------------------------------------------------------
+# placement science
+# ----------------------------------------------------------------------
+
+
+def _table(index, energy, seconds, pred_energy=None, pred_seconds=None):
+    pairs = ("H-H", "H-L")
+    shape = (2, len(pairs))
+    true_e = np.full(shape, energy, dtype=float)
+    true_s = np.full(shape, seconds, dtype=float)
+    return DeviceTable(
+        index=index,
+        device_id=f"gpu-{index:012d}",
+        template="GTX 480",
+        name=f"GTX 480 #{index:05d}",
+        reconfigure_seconds=1.0,
+        reconfigure_power_w=10.0,
+        pairs=pairs,
+        idle_power_w=np.full(len(pairs), 5.0),
+        true_energy_j=true_e,
+        true_seconds=true_s,
+        pred_energy_j=(
+            true_e if pred_energy is None else np.full(shape, pred_energy)
+        ),
+        pred_seconds=(
+            true_s if pred_seconds is None else np.full(shape, pred_seconds)
+        ),
+    )
+
+
+class TestPlacement:
+    def test_largest_remainder_conserves_total(self):
+        quotas = np.array([1.4, 2.3, 0.3, 5.0])
+        counts = largest_remainder(quotas, 9)
+        assert counts.sum() == 9
+        assert (counts >= np.floor(quotas).astype(int)).all()
+
+    def test_job_mix_is_deterministic_and_conserving(self):
+        workloads = ("kmeans", "hotspot", "lbm")
+        first = job_mix(workloads, 1000, seed=SEED)
+        second = job_mix(workloads, 1000, seed=SEED)
+        assert (first == second).all()
+        assert first.sum() == 1000
+        assert (job_mix(workloads, 1000, seed=SEED + 1) != first).any()
+
+    def test_place_all_invariants(self):
+        tables = [
+            _table(0, energy=10.0, seconds=1.0),
+            _table(1, energy=30.0, seconds=1.0),
+            _table(2, energy=20.0, seconds=2.0),
+        ]
+        jobs = np.array([40, 60])
+        outcomes = place_all(tables, jobs, power_cap_w=1e6)
+        assert set(outcomes) == {"naive", "model", "oracle"}
+        oracle = outcomes["oracle"].fleet_energy_j
+        assert oracle <= outcomes["naive"].fleet_energy_j
+        assert oracle <= outcomes["model"].fleet_energy_j
+        for outcome in outcomes.values():
+            assert outcome.fleet_energy_j > 0
+            assert 1 <= outcome.active_devices <= len(tables)
+            assert outcome.makespan_s > 0
+
+    def test_cap_limits_admission(self):
+        # each device draws 100 W at its best pair; a 250 W cap admits
+        # at most two of them, whatever the policy prefers
+        tables = [_table(i, energy=100.0, seconds=1.0) for i in range(5)]
+        jobs = np.array([50, 50])
+        outcomes = place_all(tables, jobs, power_cap_w=250.0)
+        for outcome in outcomes.values():
+            assert outcome.active_devices <= 2
+            assert outcome.admitted_power_w <= 250.0
+
+    def test_biased_predictions_cost_regret_never_negative(self):
+        # predictions invert the true ranking: the model prefers the
+        # expensive device, the published oracle must not lose to it
+        tables = [
+            _table(0, energy=10.0, seconds=1.0, pred_energy=50.0),
+            _table(1, energy=50.0, seconds=1.0, pred_energy=10.0),
+        ]
+        jobs = np.array([30, 30])
+        outcomes = place_all(tables, jobs, power_cap_w=1e6)
+        assert (
+            outcomes["oracle"].fleet_energy_j
+            <= outcomes["model"].fleet_energy_j
+        )
+
+
+# ----------------------------------------------------------------------
+# campaign pipeline (in-process)
+# ----------------------------------------------------------------------
+
+
+SMALL = FleetSpec(devices=8, jobs_total=400, shard_devices=4)
+
+
+class TestFleetCampaign:
+    def test_shard_payload_and_assembly_shapes(self):
+        units = fleet_shard_units(SMALL, seed=SEED)
+        assert [(u.start, u.stop) for u in units] == [(0, 4), (4, 8)]
+        payloads = [unit.execute() for unit in units]
+        fleet = Fleet.build(
+            templates=SMALL.templates,
+            count=SMALL.devices,
+            cap_fraction=SMALL.cap_fraction,
+            seed=SEED,
+            jitter_pct=SMALL.jitter_pct,
+        )
+        template_table = template_prediction_table(
+            fleet.templates, SMALL.workloads, SMALL.scale, seed=SEED
+        )
+        tables = assemble_tables(payloads, template_table, SMALL.workloads)
+        assert [t.index for t in tables] == list(range(SMALL.devices))
+        classes = len(SMALL.workloads)
+        for table in tables:
+            assert table.true_energy_j.shape == (classes, len(table.pairs))
+            assert table.pred_energy_j.shape == table.true_energy_j.shape
+            assert (table.true_seconds > 0).all()
+            assert (table.pred_seconds > 0).all()
+
+    def test_campaign_report_is_deterministic(self, tmp_path):
+        ctx = RunContext.resolve(seed=SEED)
+        first = run_fleet_campaign(SMALL, ctx, tmp_path / "a")
+        second = run_fleet_campaign(SMALL, ctx, tmp_path / "b")
+        text_a = (tmp_path / "a" / "fleet.json").read_text()
+        text_b = (tmp_path / "b" / "fleet.json").read_text()
+        assert text_a == text_b
+        assert first == second
+        assert first["format"] == "repro.fleet-report"
+        assert first["jobs"]["total"] == SMALL.jobs_total
+        assert sum(first["jobs"]["classes"].values()) == SMALL.jobs_total
+        assert first["regret_pct"] >= 0
+
+    def test_pooled_run_matches_serial_bytes(self, tmp_path):
+        serial_ctx = RunContext.resolve(seed=SEED)
+        pooled_ctx = dataclasses.replace(
+            serial_ctx,
+            execution=dataclasses.replace(serial_ctx.execution, jobs=4),
+        )
+        run_fleet_campaign(SMALL, serial_ctx, tmp_path / "serial")
+        run_fleet_campaign(SMALL, pooled_ctx, tmp_path / "pooled")
+        assert (tmp_path / "serial" / "fleet.json").read_bytes() == (
+            tmp_path / "pooled" / "fleet.json"
+        ).read_bytes()
+
+    def test_resume_of_complete_journal_is_byte_identical(self, tmp_path):
+        # an artifact dir gives the run a result cache, so the resume
+        # replays settled shards from the journal instead of
+        # re-executing (and re-journaling) them
+        directory = tmp_path / "campaign"
+        ctx = RunContext.resolve(seed=SEED, artifact_dir=directory)
+        run_fleet_campaign(SMALL, ctx, directory)
+        report = (directory / "fleet.json").read_bytes()
+        journal = (directory / "journal.jsonl").read_bytes()
+        run_fleet_campaign(SMALL, ctx, directory, resume=True)
+        assert (directory / "fleet.json").read_bytes() == report
+        assert (directory / "journal.jsonl").read_bytes() == journal
+
+    def test_seed_changes_the_report(self, tmp_path):
+        run_fleet_campaign(SMALL, RunContext.resolve(seed=SEED), tmp_path / "a")
+        run_fleet_campaign(
+            SMALL, RunContext.resolve(seed=SEED + 1), tmp_path / "b"
+        )
+        first = json.loads((tmp_path / "a" / "fleet.json").read_text())
+        second = json.loads((tmp_path / "b" / "fleet.json").read_text())
+        assert first["fleet"]["inventory"] != second["fleet"]["inventory"]
+
+
+# ----------------------------------------------------------------------
+# kill-and-resume acceptance (subprocess)
+# ----------------------------------------------------------------------
+
+
+def _fleet_cli(directory, *extra):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet", str(directory),
+            "--devices", "96", "--jobs-total", "4000",
+            "--shard-devices", "4", "--seed", str(SEED), *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        cwd=str(REPO),
+    )
+
+
+def _await_journal(directory, minimum=3, timeout=120.0):
+    path = pathlib.Path(directory) / "journal.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            count = sum(
+                1 for line in path.read_text().splitlines() if '"unit"' in line
+            )
+        except OSError:
+            count = 0
+        if count >= minimum:
+            return count
+        time.sleep(0.02)
+    raise AssertionError(f"fleet campaign never journaled {minimum} shards")
+
+
+@pytest.mark.slow
+class TestFleetKillAndResume:
+    def test_sigterm_then_resume_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "reference"
+        proc = _fleet_cli(reference)
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err.decode()
+
+        directory = tmp_path / "interrupted"
+        proc = _fleet_cli(directory)
+        _await_journal(directory)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 75, (out.decode(), err.decode())
+        assert b"--resume" in err
+        assert not (directory / "fleet.json").exists()
+
+        resumed = _fleet_cli(directory, "--resume")
+        out, err = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, err.decode()
+        assert (directory / "fleet.json").read_bytes() == (
+            reference / "fleet.json"
+        ).read_bytes()
