@@ -277,6 +277,57 @@ register(
 )
 
 
+def _setup_bus_publish(seed, workdir):
+    from repro.telemetry.bus import EventBus
+
+    #: Envelopes per invocation — a realistic small campaign's worth.
+    publishes = 1000
+
+    def stream():
+        # A fresh bus per invocation with the production subscriber
+        # set: the NDJSON writer (same-path reopen overwrites) and the
+        # flight-recorder ring — the exact per-event cost a ``--live
+        # --flight-recorder`` campaign pays on its settle path.
+        bus = EventBus()
+        bus.attach_writer(workdir / "events.ndjson")
+        bus.attach_flight_recorder(workdir / "flight.json")
+        bus.phase_start("bench:publish", units=publishes)
+        for i in range(publishes):
+            bus.publish(
+                "progress",
+                {
+                    "phase": "bench:publish",
+                    "index": i,
+                    "done": i + 1,
+                    "total": publishes,
+                    "cache_hit": False,
+                    "failed": False,
+                    "quarantined": False,
+                },
+            )
+        stats = bus.stats()
+        bus.close()
+        return stats
+
+    return _ambient(stream)
+
+
+def _work_bus_publish(stats) -> dict[str, Any]:
+    return {"published": stats["published"], "dropped": stats["dropped"]}
+
+
+register(
+    Workload(
+        name="telemetry.bus.publish",
+        group="components",
+        title="EventBus: 1000 envelopes through writer + flight ring",
+        setup=_setup_bus_publish,
+        work=_work_bus_publish,
+        repeats=30,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # pipeline workloads: multi-unit orchestrations
 # ----------------------------------------------------------------------

@@ -284,7 +284,19 @@ class Campaign:
         Returns the per-GPU quality summary and writes the manifest.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
-        journal = RunJournal(self.journal_path, resume=resume)
+        bus = (
+            getattr(self.telemetry, "bus", None)
+            if self.telemetry is not None
+            else None
+        )
+        journal = RunJournal(
+            self.journal_path,
+            resume=resume,
+            # Durably appended records re-publish on the live bus; no
+            # observer when observability is off (identical journal
+            # bytes either way — the observer runs after the append).
+            observer=bus.journal_observer() if bus is not None else None,
+        )
         try:
             return self._run(journal, refresh=refresh, resume=resume)
         finally:
@@ -307,6 +319,7 @@ class Campaign:
             ),
         )
         telemetry = self.telemetry
+        bus = getattr(telemetry, "bus", None) if telemetry is not None else None
         summaries: list[CampaignSummary] = []
         archives: list[tuple[pathlib.Path, str]] = []
         campaign_span = (
@@ -345,6 +358,11 @@ class Campaign:
                 account.excluded = [e.document() for e in ds.exclusions]
                 if telemetry is not None:
                     telemetry.metrics.inc("campaign.gpus")
+                    if bus is not None:
+                        # Unit-less phase: the fit has no work units,
+                        # but the live view should show the campaign
+                        # left the measurement phase.
+                        bus.phase_start(f"fit:{name}", units=0)
                     fit_span = telemetry.tracer.span(
                         "model-fit", kind="phase", gpu=name
                     )
@@ -416,6 +434,16 @@ class Campaign:
             "summaries": [vars(s) for s in summaries],
         }
         atomic_write_text(self.manifest_path, json.dumps(manifest, indent=2))
+        # Point downstream tooling at the live stream / crash dump
+        # without globbing the run directory.  Relative names (when the
+        # artifact lives inside the campaign directory) keep health.json
+        # byte-comparable across run directories.
+        health.events_path = self._artifact_name(
+            self.ctx.live_path
+            if self.ctx.live_path is not None
+            else self.ctx.trace_path
+        )
+        health.flight_recorder_path = self._artifact_name(self.ctx.flight_path)
         atomic_write_text(self.health_path, health.to_json())
         if telemetry is not None:
             snapshot = telemetry.metrics.snapshot()
@@ -430,6 +458,15 @@ class Campaign:
         self.last_stats = totals
         self.last_health = health
         return summaries
+
+    def _artifact_name(self, path: pathlib.Path | None) -> str | None:
+        """A health-report pointer: relative inside the campaign dir."""
+        if path is None:
+            return None
+        try:
+            return str(pathlib.Path(path).relative_to(self.directory))
+        except ValueError:
+            return str(path)
 
     def load_model(self, gpu_name: str, kind: str):
         """Reload an archived fitted model (``"power"``/``"performance"``)."""

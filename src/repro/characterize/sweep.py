@@ -166,6 +166,9 @@ class FrequencySweep:
         telemetry = ctx.telemetry
         units = sweep_units(self.gpu, benchmarks, scale=scale, ctx=ctx)
         if telemetry is not None:
+            bus = getattr(telemetry, "bus", None)
+            if bus is not None:
+                bus.phase_start(f"sweep:{self.gpu.name}", units=len(units))
             with telemetry.tracer.span(
                 "sweep", kind="phase", gpu=self.gpu.name, units=len(units)
             ):

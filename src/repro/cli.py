@@ -8,7 +8,10 @@ Usage::
     python -m repro sweep "GTX 680" backprop
     python -m repro campaign out/ --faults aggressive
     python -m repro campaign out/ --trace --jobs 4
+    python -m repro campaign out/ --live --flight-recorder
+    python -m repro top out/
     python -m repro trace summarize out/events.jsonl
+    python -m repro trace export out/events.jsonl --format perfetto
     python -m repro chaos out/
     python -m repro governor --online --out regret.json
     python -m repro governor --faults aggressive --gpu "GTX 480"
@@ -91,6 +94,28 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "default path: events.jsonl under the output directory",
     )
     parser.add_argument(
+        "--live",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="stream versioned repro.events envelopes to a tailable "
+        "NDJSON log for 'repro top' (see docs/OBSERVABILITY.md); "
+        "default path: events.ndjson under the output directory",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        nargs="?",
+        const="auto",
+        default=None,
+        dest="flight_recorder",
+        metavar="PATH",
+        help="keep a bounded in-memory ring of recent events, dumped to "
+        "flight.json on watchdog timeouts, breaker quarantines, pool "
+        "rebuilds and shutdown signals; default path: flight.json under "
+        "the output directory",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         dest="metrics_out",
@@ -149,6 +174,12 @@ def _campaign_spec(args: argparse.Namespace, default_gpus=None):
         overrides["faults"] = args.faults
     if args.trace is not None:
         overrides["trace"] = True if args.trace == "auto" else args.trace
+    if getattr(args, "live", None) is not None:
+        overrides["live"] = True if args.live == "auto" else args.live
+    if getattr(args, "flight_recorder", None) is not None:
+        overrides["flight_recorder"] = (
+            True if args.flight_recorder == "auto" else args.flight_recorder
+        )
     if getattr(args, "unit_timeout", None) is not None:
         overrides["unit_timeout_s"] = args.unit_timeout
     if getattr(args, "breaker_threshold", None) is not None:
@@ -486,11 +517,110 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     if not path.exists():
         print(f"no event log at {path}", file=sys.stderr)
         return 2
+    if getattr(args, "follow", False):
+        code = _follow_events(
+            path, interval=args.interval, max_seconds=args.max_seconds
+        )
+        if code != 0:
+            return code
+        # Fall through to the final summary once the stream ends.
     summary = summarize_events(read_events(path))
     if args.json:
         print(json.dumps(summary.document(), indent=2, sort_keys=True))
     else:
         print(render_summary(summary))
+    return 0
+
+
+def _follow_events(
+    path,
+    interval: float = 0.5,
+    max_seconds: float | None = None,
+    once: bool = False,
+    clear: bool = False,
+) -> int:
+    """Tail an event log, rendering folded progress until it finishes.
+
+    Shared by ``repro top`` (``clear=True`` redraws in place) and
+    ``repro trace summarize --follow`` (scrolling frames, then the
+    final summary).  Returns 0 when the stream finished, 3 on a
+    ``--max-seconds`` deadline with the stream still open.
+    """
+    import pathlib
+    import time
+
+    from repro.telemetry import (
+        EtaEstimator,
+        ProgressEngine,
+        TailReader,
+        discover_bench_prior,
+        follow_into,
+        render_progress,
+    )
+
+    prior = discover_bench_prior(path.parent, pathlib.Path.cwd())
+    engine = ProgressEngine(eta=EtaEstimator(prior_unit_s=prior))
+    reader = TailReader(path)
+    started = time.monotonic()
+    while True:
+        now = time.monotonic()
+        follow_into(engine, reader, at=now - started)
+        frame = render_progress(engine)
+        if clear:
+            print("\x1b[H\x1b[2J" + frame, end="", flush=True)
+        else:
+            print(frame, flush=True)
+        if engine.finished or once:
+            return 0
+        if max_seconds is not None and now - started >= max_seconds:
+            print("(stream still open; deadline reached)", file=sys.stderr)
+            return 3
+        time.sleep(interval)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import pathlib
+
+    target = pathlib.Path(args.run_dir)
+    if target.is_dir():
+        candidates = [target / "events.ndjson", target / "events.jsonl"]
+        path = next((c for c in candidates if c.exists()), None)
+        if path is None:
+            print(
+                f"no events.ndjson or events.jsonl under {target} "
+                "(run the campaign with --live or --trace)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        path = target
+        if not path.exists():
+            print(f"no event log at {path}", file=sys.stderr)
+            return 2
+    return _follow_events(
+        path,
+        interval=args.interval,
+        max_seconds=args.max_seconds,
+        once=args.once,
+        clear=not args.once,
+    )
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.telemetry import export_trace
+
+    path = pathlib.Path(args.events)
+    if not path.exists():
+        print(f"no event log at {path}", file=sys.stderr)
+        return 2
+    try:
+        out = export_trace(path, out_path=args.out)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"wrote {out} (load it in ui.perfetto.dev or chrome://tracing)")
     return 0
 
 
@@ -808,13 +938,91 @@ def main(argv: Sequence[str] | None = None) -> int:
         "summarize",
         help="per-phase/per-unit breakdown of a JSONL event log",
     )
-    p_summarize.add_argument("events", help="path to an events.jsonl log")
+    p_summarize.add_argument(
+        "events",
+        help="path to an events.jsonl / events.ndjson / flight.json log",
+    )
     p_summarize.add_argument(
         "--json",
         action="store_true",
         help="emit the same aggregates as a machine-readable JSON document",
     )
+    p_summarize.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a live event stream, rendering progress frames until "
+        "it finishes, then print the summary",
+    )
+    p_summarize.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="refresh period while following (default: 0.5)",
+    )
+    p_summarize.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        dest="max_seconds",
+        metavar="SECONDS",
+        help="give up following after this long (default: wait forever)",
+    )
     p_summarize.set_defaults(func=_cmd_trace_summarize)
+
+    p_export = trace_sub.add_parser(
+        "export",
+        help="convert an event log into a Perfetto/Chrome trace.json",
+    )
+    p_export.add_argument(
+        "events",
+        help="path to an events.jsonl / events.ndjson / flight.json log",
+    )
+    p_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: trace.json next to the event log)",
+    )
+    p_export.add_argument(
+        "--format",
+        choices=("perfetto", "chrome"),
+        default="perfetto",
+        help="output flavour; both emit the Chrome trace-event JSON "
+        "object format that ui.perfetto.dev and chrome://tracing load",
+    )
+    p_export.set_defaults(func=_cmd_trace_export)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live progress/ETA view of a running (or finished) campaign",
+    )
+    p_top.add_argument(
+        "run_dir",
+        help="campaign directory (reads events.ndjson, falling back to "
+        "events.jsonl) or a direct path to an event log",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit instead of following",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="refresh period (default: 0.5)",
+    )
+    p_top.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        dest="max_seconds",
+        metavar="SECONDS",
+        help="give up after this long with the stream still open",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_bench = sub.add_parser(
         "bench",

@@ -246,6 +246,9 @@ def build_dataset(
     telemetry = ctx.telemetry
     units = dataset_units(gpu, benchmarks, pairs=pairs, ctx=ctx)
     if telemetry is not None:
+        bus = getattr(telemetry, "bus", None)
+        if bus is not None:
+            bus.phase_start(f"dataset:{gpu.name}", units=len(units))
         with telemetry.tracer.span(
             "dataset-build", kind="phase", gpu=gpu.name, units=len(units)
         ):

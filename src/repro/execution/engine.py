@@ -538,16 +538,23 @@ def run_units(
     else:
         # A RunContext (duck-typed to avoid the engine -> session cycle).
         config = getattr(config, "execution", config)
+    telemetry = (
+        config.telemetry if config.telemetry is not None else NULL_TELEMETRY
+    )
+    #: Live event bus (observe-only): publishes progress/phase/incident
+    #: envelopes and triggers flight-recorder dumps.  Everything below
+    #: is gated on ``bus is not None`` and never alters control flow,
+    #: journal bytes or metrics counters.
+    bus = getattr(telemetry, "bus", None)
     if shutdown_requested():
+        if bus is not None:
+            bus.flight_dump("shutdown")
         raise CampaignInterrupted(
             "shutdown requested before batch dispatch"
         )
     unit_list = list(units)
     stats = ExecutionStats(total_units=len(unit_list))
     start = time.perf_counter()
-    telemetry = (
-        config.telemetry if config.telemetry is not None else NULL_TELEMETRY
-    )
     metrics = telemetry.metrics
     cache = (
         ResultCache(config.cache_dir, metrics=metrics)
@@ -574,8 +581,32 @@ def run_units(
     metrics.inc("units.total", len(unit_list))
 
     def notify(
-        index: int, cache_hit: bool, attempts: int, failed: bool = False
+        index: int,
+        cache_hit: bool,
+        attempts: int,
+        failed: bool = False,
+        quarantined: bool = False,
     ) -> None:
+        if bus is not None:
+            # One progress envelope per settled unit, in the canonical
+            # settle order (identical at any --jobs), published after
+            # any journal append for the unit — so streamed completions
+            # are always a subset of what the journal can replay.
+            bus.publish(
+                "progress",
+                {
+                    "phase": bus.phase,
+                    "unit": str(unit_list[index]),
+                    "key": keys[index],
+                    "index": index,
+                    "done": done,
+                    "total": len(unit_list),
+                    "cache_hit": cache_hit,
+                    "attempts": attempts,
+                    "failed": failed,
+                    "quarantined": quarantined,
+                },
+            )
         if config.callback is not None:
             config.callback(
                 ProgressEvent(
@@ -676,25 +707,39 @@ def run_units(
             from repro.execution.pool import PersistentPoolExecutor
 
             pool = PersistentPoolExecutor(config.jobs)
-            for index, outcome in pool.run_pending(
-                unit_list,
-                pending,
-                config.retries,
-                config.backoff_s,
-                fast_flags,
-                str(config.cache_dir) if cache is not None else None,
-                keys,
-                unit_timeout_s=config.unit_timeout_s,
-                max_backoff_s=config.max_backoff_s,
-                grace_s=config.shutdown_grace_s,
-            ):
-                outcome_for[index] = outcome
-                if journal is not None:
-                    # Raw write-ahead record in completion order; the
-                    # settle loop below re-journals units a breaker
-                    # quarantines (last record wins on replay).
-                    _journal_outcome(journal, keys[index], outcome)
-                    metrics.inc("journal.appends")
+
+            def _pool_rebuilt(info: dict[str, Any]) -> None:
+                # A worker crash or stall is exactly the incident the
+                # flight recorder exists for: announce and dump.
+                bus.publish("pool", info)
+                bus.flight_dump("pool-rebuild")
+
+            try:
+                for index, outcome in pool.run_pending(
+                    unit_list,
+                    pending,
+                    config.retries,
+                    config.backoff_s,
+                    fast_flags,
+                    str(config.cache_dir) if cache is not None else None,
+                    keys,
+                    unit_timeout_s=config.unit_timeout_s,
+                    max_backoff_s=config.max_backoff_s,
+                    grace_s=config.shutdown_grace_s,
+                    on_rebuild=_pool_rebuilt if bus is not None else None,
+                ):
+                    outcome_for[index] = outcome
+                    if journal is not None:
+                        # Raw write-ahead record in completion order;
+                        # the settle loop below re-journals units a
+                        # breaker quarantines (last record wins on
+                        # replay).
+                        _journal_outcome(journal, keys[index], outcome)
+                        metrics.inc("journal.appends")
+            except CampaignInterrupted:
+                if bus is not None:
+                    bus.flight_dump("shutdown")
+                raise
         elif fast_flags:
             prepare_units([u for i, u in pending if i in fast_flags])
 
@@ -709,12 +754,28 @@ def run_units(
         for event in events:
             stats.breaker_events.append(event)
             if journal is not None:
+                # The journal observer re-publishes the durable record
+                # on the bus, so no direct publish here (no duplicates).
                 journal.record_breaker(
                     event["class"], event["event"], event["failures"]
                 )
                 metrics.inc("journal.appends")
+            elif bus is not None:
+                bus.publish(
+                    "breaker",
+                    {
+                        "class": event["class"],
+                        "event": event["event"],
+                        "failures": event["failures"],
+                    },
+                )
             if event["event"] == "open":
                 metrics.inc("breaker.opens")
+                if bus is not None:
+                    # An opening breaker quarantines every remaining
+                    # unit of its class: one dump per transition, not
+                    # one per quarantined unit.
+                    bus.flight_dump("breaker-quarantine")
 
     pending_index = {index for index, _ in pending}
     settle_order = sorted(pending_index | set(replayed))
@@ -768,7 +829,10 @@ def run_units(
             failures.append(failure)
             stats.quarantined += 1
             done += 1
-            notify(index, cache_hit=False, attempts=0, failed=True)
+            notify(
+                index, cache_hit=False, attempts=0, failed=True,
+                quarantined=True,
+            )
             continue
         if record is not None:
             if record["status"] == "ok":
@@ -796,6 +860,8 @@ def run_units(
             # canonical order, so a quarantined unit truly never runs
             # and a shutdown request stops the batch between units.
             if shutdown_requested():
+                if bus is not None:
+                    bus.flight_dump("shutdown")
                 raise CampaignInterrupted(
                     f"shutdown requested with {len(unit_list) - done} "
                     f"units unsettled; resume to continue"
@@ -828,6 +894,10 @@ def run_units(
         if outcome.metrics is not None:
             worker_metrics[index] = outcome.metrics
         if outcome.payload is None:
+            if bus is not None and outcome.error_type == "UnitTimeoutError":
+                # A unit that exhausted its watchdog budget is a crash
+                # candidate: capture the recent event window now.
+                bus.flight_dump("watchdog-timeout")
             failure = UnitFailure(
                 unit=unit,
                 index=index,

@@ -53,10 +53,23 @@ class RunJournal:
         writes a new header.  ``True`` replays the existing journal
         into memory — :attr:`resuming` reports whether there was
         anything valid to replay — and appends to it.
+    observer:
+        Optional callback invoked with each record dict *after* its
+        durable append (write + flush + fsync).  The live event bus
+        subscribes here so streamed unit records never report a
+        completion the journal could still lose.  Observe-only: an
+        observer error is swallowed, and replayed records are not
+        re-announced.
     """
 
-    def __init__(self, path: str | pathlib.Path, resume: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        resume: bool = False,
+        observer: Any = None,
+    ) -> None:
         self.path = pathlib.Path(path)
+        self.observer = observer
         self._handle: TextIO | None = None
         #: Last-wins unit records from a replayed journal, by unit key.
         self._records: dict[str, dict[str, Any]] = {}
@@ -136,6 +149,16 @@ class RunJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def _notify(self, record: dict[str, Any]) -> None:
+        if self.observer is None:
+            return
+        try:
+            self.observer(record)
+        except Exception:
+            # Observe-only: a broken observer must not fail the append
+            # (the record is already durable at this point).
+            pass
+
     def record_unit(
         self,
         key: str,
@@ -160,18 +183,19 @@ class RunJournal:
         self._write_line(record)
         self._records[key] = record
         self.appends += 1
+        self._notify(record)
 
     def record_breaker(self, cls: str, event: str, failures: int) -> None:
         """Durably append one circuit-breaker state transition."""
-        self._write_line(
-            {
-                "type": "breaker",
-                "class": cls,
-                "event": event,
-                "failures": failures,
-            }
-        )
+        record = {
+            "type": "breaker",
+            "class": cls,
+            "event": event,
+            "failures": failures,
+        }
+        self._write_line(record)
         self.appends += 1
+        self._notify(record)
 
     # ------------------------------------------------------------------
     # replay

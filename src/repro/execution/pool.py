@@ -232,6 +232,7 @@ class PersistentPoolExecutor:
         unit_timeout_s: float | None = None,
         max_backoff_s: float = 8.0,
         grace_s: float = 5.0,
+        on_rebuild: Any = None,
     ) -> Iterator[tuple[int, Any]]:
         """Run pending (index, unit) pairs; yields (index, outcome).
 
@@ -345,6 +346,18 @@ class PersistentPoolExecutor:
             if broken or stalled:
                 shutdown_pool()
                 self.stats.rebuilds += 1
+                if on_rebuild is not None:
+                    # Observe-only incident hook (the live event bus):
+                    # a failing observer must not break the rebuild.
+                    try:
+                        on_rebuild(
+                            {
+                                "rebuilds": self.stats.rebuilds,
+                                "reason": "broken" if broken else "stalled",
+                            }
+                        )
+                    except Exception:
+                        pass
                 if self.stats.rebuilds > MAX_POOL_REBUILDS:
                     if broken:
                         error_type = "BrokenProcessPool"

@@ -217,6 +217,36 @@ def call_with_timeout(fn: Callable[[], Any], timeout_s: float) -> Any:
 
 _SHUTDOWN_REQUESTED = False
 
+#: Observers invoked (once) when a shutdown is first requested — the
+#: flight recorder registers here so a SIGTERM dumps its ring even when
+#: the engine never reaches another drain point.  Callbacks run inside
+#: the signal handler, so they must be fast and must not raise; they
+#: are individually exception-guarded regardless.
+_SHUTDOWN_CALLBACKS: list[Callable[[], None]] = []
+
+
+def add_shutdown_callback(callback: Callable[[], None]) -> None:
+    """Register an observer fired when a graceful shutdown begins."""
+    if callback not in _SHUTDOWN_CALLBACKS:
+        _SHUTDOWN_CALLBACKS.append(callback)
+
+
+def remove_shutdown_callback(callback: Callable[[], None]) -> None:
+    """Deregister a shutdown observer (idempotent)."""
+    try:
+        _SHUTDOWN_CALLBACKS.remove(callback)
+    except ValueError:
+        pass
+
+
+def _fire_shutdown_callbacks() -> None:
+    for callback in list(_SHUTDOWN_CALLBACKS):
+        try:
+            callback()
+        except Exception:
+            # Observe-only: a failing observer cannot break the drain.
+            pass
+
 
 def shutdown_requested() -> bool:
     """Whether a graceful shutdown has been requested (engine poll)."""
@@ -226,7 +256,10 @@ def shutdown_requested() -> bool:
 def request_shutdown() -> None:
     """Request a graceful drain programmatically (tests, embedders)."""
     global _SHUTDOWN_REQUESTED
+    already = _SHUTDOWN_REQUESTED
     _SHUTDOWN_REQUESTED = True
+    if not already:
+        _fire_shutdown_callbacks()
 
 
 def clear_shutdown() -> None:
@@ -256,6 +289,7 @@ class GracefulShutdown:
         if _SHUTDOWN_REQUESTED:
             raise KeyboardInterrupt
         _SHUTDOWN_REQUESTED = True
+        _fire_shutdown_callbacks()
 
     def __enter__(self) -> "GracefulShutdown":
         clear_shutdown()

@@ -26,6 +26,11 @@ from repro._version import __version__
 
 HEALTH_FORMAT = "repro.campaign-health"
 
+#: Structural version of the health document.  Bumped when keys are
+#: added or change meaning, so downstream tooling can gate on shape
+#: independently of the package release in ``version``.
+HEALTH_SCHEMA = 1
+
 
 @dataclass
 class GPUHealth:
@@ -82,6 +87,12 @@ class CampaignHealth:
     #: Canonical document of the active fault plan (``None`` = no faults).
     fault_plan: dict[str, Any] | None = None
     gpus: list[GPUHealth] = field(default_factory=list)
+    #: Where the run's event stream lives (the live ``events.ndjson``
+    #: when streaming, else the trace ``events.jsonl``), relative to the
+    #: campaign directory when inside it.  ``None`` = no event log.
+    events_path: str | None = None
+    #: Where the flight recorder dumps its crash ring, same convention.
+    flight_recorder_path: str | None = None
 
     def gpu(self, name: str) -> GPUHealth:
         """The (created-on-demand) account for one GPU."""
@@ -111,9 +122,12 @@ class CampaignHealth:
         """Canonical JSON-able form of the whole report."""
         return {
             "format": HEALTH_FORMAT,
+            "schema": HEALTH_SCHEMA,
             "version": __version__,
             "seed": self.seed,
             "fault_plan": self.fault_plan,
+            "events_path": self.events_path,
+            "flight_recorder_path": self.flight_recorder_path,
             "gpus": [g.document() for g in self.gpus],
             "totals": {
                 "attempted": sum(g.attempted for g in self.gpus),

@@ -188,13 +188,20 @@ def run_fleet_campaign(
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    journal = RunJournal(directory / JOURNAL_NAME, resume=resume)
+    bus = getattr(ctx.telemetry, "bus", None) if ctx.telemetry else None
+    journal = RunJournal(
+        directory / JOURNAL_NAME,
+        resume=resume,
+        observer=bus.journal_observer() if bus is not None else None,
+    )
     try:
         run_ctx = dataclasses.replace(
             ctx,
             execution=dataclasses.replace(ctx.execution, journal=journal),
         )
         units = fleet_shard_units(fleet_spec, seed=ctx.seed)
+        if bus is not None:
+            bus.phase_start("fleet:shards", units=len(units))
         result = run_units(units, run_ctx)
     finally:
         journal.close()

@@ -388,6 +388,17 @@ class OnlineGovernor:
             decision = self._plan(benchmark, scale, counters)
         self.decision_log.append(decision.document())
         telemetry.metrics.inc("governor.decisions")
+        bus = getattr(telemetry, "bus", None)
+        if bus is not None:
+            bus.publish(
+                "governor",
+                {
+                    "benchmark": benchmark,
+                    "scale": scale,
+                    "pair": decision.op.key,
+                    "source": decision.source,
+                },
+            )
         return decision
 
     def _plan(

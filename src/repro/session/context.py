@@ -53,6 +53,10 @@ CACHE_DIR_NAME = "cache"
 EVENTS_NAME = "events.jsonl"
 METRICS_NAME = "metrics.json"
 
+#: Live-observability artifacts (``--live`` / ``--flight-recorder``).
+LIVE_NAME = "events.ndjson"
+FLIGHT_NAME = "flight.json"
+
 
 def normalize_faults(faults: FaultPlan | None) -> FaultPlan | None:
     """Collapse null fault plans to ``None``.
@@ -126,6 +130,11 @@ class RunContext:
     metrics_path: pathlib.Path | None = None
     #: Where the JSONL event log streams, when tracing.
     trace_path: pathlib.Path | None = None
+    #: Where the live ``repro.events`` NDJSON stream goes, when live
+    #: observability is on.
+    live_path: pathlib.Path | None = None
+    #: Where the flight recorder dumps its crash ring, when attached.
+    flight_path: pathlib.Path | None = None
     #: DVFS-governor configuration the run plans frequencies under,
     #: when the campaign closes the loop (``repro governor``).
     governor: GovernorSpec | None = None
@@ -150,6 +159,8 @@ class RunContext:
         artifact_dir: str | pathlib.Path | None = None,
         metrics_path: str | pathlib.Path | None = None,
         trace_path: str | pathlib.Path | None = None,
+        live_path: str | pathlib.Path | None = None,
+        flight_path: str | pathlib.Path | None = None,
         governor: GovernorSpec | None = None,
         fleet: FleetSpec | None = None,
         spec: CampaignSpec | None = None,
@@ -191,6 +202,8 @@ class RunContext:
             artifact_dir=artifact_dir,
             metrics_path=metrics_path,
             trace_path=_as_path(trace_path),
+            live_path=_as_path(live_path),
+            flight_path=_as_path(flight_path),
             governor=governor,
             fleet=fleet,
             spec=spec,
@@ -229,23 +242,44 @@ class RunContext:
             breaker_threshold=spec.breaker_threshold,
         )
 
-        trace_path: pathlib.Path | None = None
-        if spec.trace is True:
-            trace_path = (
-                base_dir / EVENTS_NAME
-                if base_dir is not None
-                else pathlib.Path(EVENTS_NAME)
-            )
-        elif spec.trace is not False:
-            trace_path = pathlib.Path(spec.trace)
+        def _setting_path(
+            setting: bool | str, default_name: str
+        ) -> pathlib.Path | None:
+            if setting is False:
+                return None
+            if setting is True:
+                return (
+                    base_dir / default_name
+                    if base_dir is not None
+                    else pathlib.Path(default_name)
+                )
+            return pathlib.Path(setting)
+
+        trace_path = _setting_path(spec.trace, EVENTS_NAME)
+        live_path = _setting_path(spec.live, LIVE_NAME)
+        flight_path = _setting_path(spec.flight_recorder, FLIGHT_NAME)
+
+        # Live observability rides the same telemetry object: the bus
+        # joins the tracer's sinks and the engine publishes progress /
+        # incident envelopes through ``telemetry.bus``.  Observe-only —
+        # enabling it must not change any deterministic artifact.
+        bus = None
+        if live_path is not None or flight_path is not None:
+            from repro.telemetry.bus import EventBus
+
+            bus = EventBus()
+            if live_path is not None:
+                bus.attach_writer(live_path)
+            if flight_path is not None:
+                bus.attach_flight_recorder(flight_path)
 
         telemetry: Telemetry | None = None
         if trace_path is not None:
             from repro.telemetry.sinks import JsonlSink
 
-            telemetry = Telemetry(sinks=[JsonlSink(trace_path)])
-        elif metrics_path is not None:
-            telemetry = Telemetry()
+            telemetry = Telemetry(sinks=[JsonlSink(trace_path)], bus=bus)
+        elif metrics_path is not None or bus is not None:
+            telemetry = Telemetry(bus=bus)
 
         return cls.resolve(
             seed=spec.seed,
@@ -255,6 +289,8 @@ class RunContext:
             artifact_dir=base_dir,
             metrics_path=metrics_path,
             trace_path=trace_path,
+            live_path=live_path,
+            flight_path=flight_path,
             governor=spec.governor,
             fleet=spec.fleet,
             spec=spec,
@@ -275,6 +311,8 @@ class RunContext:
             "artifact_dir": self.artifact_dir,
             "metrics_path": self.metrics_path,
             "trace_path": self.trace_path,
+            "live_path": self.live_path,
+            "flight_path": self.flight_path,
             "governor": self.governor,
             "fleet": self.fleet,
             "spec": self.spec,
@@ -320,7 +358,14 @@ class RunContext:
     #: campaign manifest omits them: serial/parallel and cached/uncached
     #: runs of one campaign stay byte-identical (mechanics are accounted
     #: in ``health.json`` instead).
-    _MECHANICS_KEYS = ("jobs", "cache", "trace", "unit_timeout_s")
+    _MECHANICS_KEYS = (
+        "jobs",
+        "cache",
+        "trace",
+        "live",
+        "flight_recorder",
+        "unit_timeout_s",
+    )
 
     def spec_document(
         self,

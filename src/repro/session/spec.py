@@ -27,6 +27,8 @@ Schema (version 1, all keys optional)::
     jobs = 4                         # worker processes
     cache = true                     # true | false | explicit directory
     trace = true                     # true | false | explicit JSONL path
+    live = true                      # stream repro.events NDJSON (or a path)
+    flight_recorder = true           # crash ring -> flight.json (or a path)
     unit_timeout_s = 30.0            # per-unit watchdog budget (seconds)
     breaker_threshold = 3            # circuit-breaker quarantine threshold
     faults = "aggressive"            # preset/plan-file name, or a table:
@@ -499,6 +501,15 @@ class CampaignSpec:
     #: ``True`` streams the JSONL event log to the default path under
     #: the campaign directory, a string is an explicit path.
     trace: bool | str = False
+    #: ``True`` streams the live ``repro.events`` NDJSON envelope feed
+    #: to ``events.ndjson`` under the campaign directory, a string is an
+    #: explicit path.  Observe-only mechanics: tailable progress, never
+    #: a result change.
+    live: bool | str = False
+    #: ``True`` keeps a crash ring dumped to ``flight.json`` under the
+    #: campaign directory on watchdog/breaker/pool/SIGTERM incidents, a
+    #: string is an explicit path.  Observe-only mechanics.
+    flight_recorder: bool | str = False
     #: Per-unit wall-clock budget in seconds (``None`` disables the
     #: watchdog).  Execution mechanics: never changes what is measured.
     unit_timeout_s: float | None = None
@@ -533,6 +544,15 @@ class CampaignSpec:
         if not isinstance(self.trace, (bool, str)):
             raise SpecError(
                 f"trace must be true, false or a path, got {self.trace!r}"
+            )
+        if not isinstance(self.live, (bool, str)):
+            raise SpecError(
+                f"live must be true, false or a path, got {self.live!r}"
+            )
+        if not isinstance(self.flight_recorder, (bool, str)):
+            raise SpecError(
+                f"flight_recorder must be true, false or a path, "
+                f"got {self.flight_recorder!r}"
             )
         if self.unit_timeout_s is not None and (
             not isinstance(self.unit_timeout_s, (int, float))
@@ -590,6 +610,10 @@ class CampaignSpec:
         }
         # Emitted only when configured: plain single-card campaigns keep
         # their historical document shape (and golden bytes) unchanged.
+        if self.live is not False:
+            doc["live"] = self.live
+        if self.flight_recorder is not False:
+            doc["flight_recorder"] = self.flight_recorder
         if self.fleet is not None:
             doc["fleet"] = self.fleet.document()
         return doc

@@ -17,10 +17,35 @@ campaign itself:
   composes with the byte-identical-manifest guarantees of the
   execution engine.
 
+Live observability rides on the same sink interface: an
+:class:`EventBus` multiplexes spans, metrics, journal records, breaker
+transitions and governor decisions into the versioned ``repro.events``
+NDJSON protocol (tailable while the run executes), a
+:class:`ProgressEngine` folds that stream into per-phase progress with
+bench-seeded ETAs, a :class:`FlightRecorder` keeps a crash ring dumped
+to ``flight.json`` on watchdog/breaker/pool/SIGTERM incidents, and
+``repro trace export`` converts any event source into a
+Perfetto-loadable Chrome trace.
+
 See docs/OBSERVABILITY.md for the span model, the metric-name
-catalogue and the event schema.
+catalogue, the event schema and the live-stream protocol.
 """
 
+from repro.telemetry.bus import (
+    EVENT_KINDS,
+    EVENTS_FORMAT,
+    EVENTS_VERSION,
+    EventBus,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    LiveEventWriter,
+    Subscription,
+)
+from repro.telemetry.export import (
+    export_trace,
+    trace_events_document,
+    validate_trace_document,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -42,6 +67,17 @@ from repro.telemetry.sinks import (
     metrics_document,
     write_metrics_json,
 )
+from repro.telemetry.progress import (
+    EtaEstimator,
+    PhaseProgress,
+    ProgressEngine,
+    TailReader,
+    bench_unit_seconds,
+    discover_bench_prior,
+    follow_into,
+    iter_events,
+    render_progress,
+)
 from repro.telemetry.spans import Span, Tracer
 from repro.telemetry.timing import (
     ROBUST_FIELDS,
@@ -60,30 +96,50 @@ from repro.telemetry.summarize import (
 
 __all__ = [
     "Counter",
+    "EVENT_KINDS",
+    "EVENTS_FORMAT",
+    "EVENTS_VERSION",
+    "EtaEstimator",
+    "EventBus",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LiveEventWriter",
     "METRICS_FORMAT",
     "MemorySink",
     "Metrics",
     "NULL_TELEMETRY",
     "NullMetrics",
+    "PhaseProgress",
+    "ProgressEngine",
     "ROBUST_FIELDS",
     "STREAMING_FIELDS",
     "Sink",
     "Span",
     "SpanAggregate",
+    "Subscription",
+    "TailReader",
     "Telemetry",
     "TimingSummary",
     "TraceSummary",
     "Tracer",
+    "bench_unit_seconds",
     "current_telemetry",
+    "discover_bench_prior",
+    "export_trace",
+    "follow_into",
+    "iter_events",
     "metrics_document",
     "read_events",
+    "render_progress",
     "render_summary",
     "streaming_document",
     "summarize_events",
     "summarize_file",
+    "trace_events_document",
     "using_telemetry",
+    "validate_trace_document",
     "write_metrics_json",
 ]

@@ -38,11 +38,26 @@ class Telemetry:
     enabled:
         A disabled context records nothing; :data:`NULL_TELEMETRY` is
         the shared disabled instance.
+    bus:
+        Optional :class:`~repro.telemetry.bus.EventBus`.  The bus joins
+        the tracer's sinks (so every span / point / metrics document is
+        re-published as a live envelope) and stays reachable as
+        ``telemetry.bus`` for engine-side publishes (progress ticks,
+        phase starts, flight dumps).  Ignored when disabled.
     """
 
-    def __init__(self, sinks: tuple | list = (), enabled: bool = True) -> None:
+    def __init__(
+        self,
+        sinks: tuple | list = (),
+        enabled: bool = True,
+        bus: Any = None,
+    ) -> None:
         self.enabled = enabled
-        self.tracer = Tracer(sinks=sinks, enabled=enabled)
+        self.bus = bus if enabled else None
+        all_sinks = list(sinks)
+        if self.bus is not None:
+            all_sinks.append(self.bus)
+        self.tracer = Tracer(sinks=all_sinks, enabled=enabled)
         self.metrics: Metrics = Metrics() if enabled else NullMetrics()
 
     def snapshot(self) -> dict[str, Any]:

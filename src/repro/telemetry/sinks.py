@@ -45,9 +45,11 @@ class MemorySink(Sink):
 class JsonlSink(Sink):
     """Appends one JSON object per event to a file, opened lazily.
 
-    Events are written with sorted keys and flushed per line, so a
-    killed campaign leaves a readable prefix of the log rather than a
-    torn tail of partial objects.
+    The handle is line-buffered and additionally flushed per event, so
+    a concurrent tailer (``repro top``, ``repro trace summarize
+    --follow``) sees every completed line immediately and a killed
+    campaign leaves a readable prefix of the log rather than a torn
+    tail of partial objects.
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
@@ -57,7 +59,9 @@ class JsonlSink(Sink):
     def emit(self, event: dict[str, Any]) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(
+                self.path, "w", encoding="utf-8", buffering=1
+            )
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
         self._handle.flush()
 

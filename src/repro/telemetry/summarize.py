@@ -121,10 +121,55 @@ def _group_label(event: dict[str, Any]) -> str:
     return str(event.get("name", ""))
 
 
+def _unwrap(event: dict[str, Any]) -> dict[str, Any] | None:
+    """Reduce a ``repro.events`` envelope to a summarizable event.
+
+    Envelope payloads that are tracer documents (``span`` / ``event`` /
+    ``metrics``) pass through verbatim; engine-side kinds (``progress``,
+    ``unit``, ``breaker``, ...) are tagged with their kind as ``type``
+    so downstream consumers can still group them.  Raw (non-envelope)
+    events pass through untouched.
+    """
+    if not ("v" in event and "kind" in event and "data" in event):
+        return event
+    data = event.get("data")
+    if not isinstance(data, dict):
+        return None
+    if "type" in data:
+        return data
+    return {"type": event.get("kind"), **data}
+
+
 def read_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
-    """Parse a JSONL event log, skipping torn or non-JSON lines."""
+    """Parse an event log, skipping torn or non-JSON lines.
+
+    Accepts all three on-disk shapes: a raw trace log
+    (``events.jsonl``), a live envelope stream (``events.ndjson`` —
+    envelopes are unwrapped), and a flight-recorder dump
+    (``flight.json`` — a single JSON document whose ``events`` list is
+    unwrapped).
+    """
     events: list[dict[str, Any]] = []
     text = pathlib.Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        # Whole-file parse: a flight.json dump is one JSON document,
+        # not NDJSON.  Anything else falls through to line mode.
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if (
+            isinstance(document, dict)
+            and document.get("format") == "repro.flight"
+            and isinstance(document.get("events"), list)
+        ):
+            for wrapped in document["events"]:
+                if isinstance(wrapped, dict):
+                    event = _unwrap(wrapped)
+                    if event is not None:
+                        events.append(event)
+            return events
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -134,7 +179,9 @@ def read_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
         except json.JSONDecodeError:
             continue  # torn tail of a killed run
         if isinstance(event, dict):
-            events.append(event)
+            event = _unwrap(event)
+            if event is not None:
+                events.append(event)
     return events
 
 
